@@ -1,0 +1,67 @@
+// Command lfi-corpus materialises the synthetic evaluation corpus to
+// disk: for every Table 2 library it writes the MiniC source, the SLEF
+// binary, the man-page documentation bundle, and the ground-truth item
+// list — useful for inspecting what the accuracy experiments measure.
+//
+//	lfi-corpus -o corpus/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"lfi/internal/corpus"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lfi-corpus:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("o", "corpus", "output directory")
+	flag.Parse()
+
+	rows := corpus.Table2Rows()
+	rows = append(rows, corpus.PcreSpec())
+	for _, row := range rows {
+		lib, err := corpus.Generate(row.Traits)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Join(*out, fmt.Sprintf("%s-%s",
+			strings.TrimSuffix(row.Traits.Name, ".so"), strings.ToLower(row.Traits.Platform)))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		files := map[string][]byte{
+			"source.mc": []byte(lib.Source),
+			"lib.slef":  lib.Object.Encode(),
+			"docs.man":  []byte(lib.Docs.Render()),
+			"truth.txt": []byte(renderTruth(lib)),
+		}
+		for name, data := range files {
+			if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("%-40s %4d functions, %6d bytes text, %4d truth items\n",
+			dir, len(lib.Object.ExportedFuncs()), len(lib.Object.Text), len(lib.Truth))
+	}
+	return nil
+}
+
+func renderTruth(lib *corpus.Library) string {
+	items := make([]string, 0, len(lib.Truth))
+	for it := range lib.Truth {
+		items = append(items, it.String())
+	}
+	sort.Strings(items)
+	return strings.Join(items, "\n") + "\n"
+}

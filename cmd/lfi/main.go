@@ -1,0 +1,431 @@
+// Command lfi is the LFI command-line tool: build MiniC sources into SLEF
+// objects, profile libraries and applications, generate fault scenarios,
+// run injection campaigns, and inspect binaries.
+//
+// The paper's two-command workflow:
+//
+//	lfi profile -app app.slef -lib libc.slef -o profiles/
+//	lfi run -app app.slef -lib libc.slef -plan plan.xml
+//
+// Supporting commands:
+//
+//	lfi build prog.mc -o prog.slef [-exe]
+//	lfi plan -kind random -p 10 -seed 7 -profile libc.profile.xml -o plan.xml
+//	lfi disasm lib.slef [-func name]
+//	lfi cfg lib.slef -func name [-dot]
+//	lfi demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lfi/internal/cfg"
+	"lfi/internal/core"
+	"lfi/internal/disasm"
+	"lfi/internal/libc"
+	"lfi/internal/minic"
+	"lfi/internal/obj"
+	"lfi/internal/profile"
+	"lfi/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lfi:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: lfi <build|profile|plan|run|disasm|cfg|demo> ...")
+	}
+	switch args[0] {
+	case "build":
+		return cmdBuild(args[1:])
+	case "profile":
+		return cmdProfile(args[1:])
+	case "plan":
+		return cmdPlan(args[1:])
+	case "run":
+		return cmdRun(args[1:])
+	case "disasm":
+		return cmdDisasm(args[1:])
+	case "cfg":
+		return cmdCFG(args[1:])
+	case "demo":
+		return cmdDemo(args[1:])
+	}
+	return fmt.Errorf("unknown subcommand %q", args[0])
+}
+
+func loadObj(path string) (*obj.File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return obj.Decode(b)
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ContinueOnError)
+	out := fs.String("o", "", "output SLEF path (default: <name>.slef)")
+	exe := fs.Bool("exe", false, "build an executable instead of a library")
+	name := fs.String("name", "", "module name (default: source file base name)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("build: exactly one MiniC source file required")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	mod := *name
+	if mod == "" {
+		mod = strings.TrimSuffix(filepath.Base(fs.Arg(0)), filepath.Ext(fs.Arg(0)))
+	}
+	kind := obj.Library
+	if *exe {
+		kind = obj.Executable
+	}
+	f, err := minic.Compile(mod, string(src), kind)
+	if err != nil {
+		return err
+	}
+	dst := *out
+	if dst == "" {
+		dst = mod + ".slef"
+	}
+	if err := os.WriteFile(dst, f.Encode(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("built %s: %s, %d bytes text, %d exported functions\n",
+		dst, f.Kind, len(f.Text), len(f.ExportedFuncs()))
+	return nil
+}
+
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	app := fs.String("app", "", "application SLEF to profile (profiles its needed libraries)")
+	libFlag := fs.String("lib", "", "comma-separated library SLEF paths")
+	one := fs.String("library", "", "profile one library by module name")
+	outDir := fs.String("o", ".", "output directory for .profile.xml files")
+	heur := fs.Bool("heuristics", false, "enable the unsound §3.1 filtering heuristics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	l := core.New(core.Options{Heuristics: *heur})
+	if err := l.AddKernelImage(); err != nil {
+		return err
+	}
+	for _, p := range splitList(*libFlag) {
+		f, err := loadObj(p)
+		if err != nil {
+			return err
+		}
+		if err := l.AddLibrary(f); err != nil {
+			return err
+		}
+	}
+	var set profile.Set
+	switch {
+	case *app != "":
+		f, err := loadObj(*app)
+		if err != nil {
+			return err
+		}
+		if err := l.AddLibrary(f); err != nil {
+			return err
+		}
+		s, err := l.ProfileApplication(f.Name)
+		if err != nil {
+			return err
+		}
+		set = s
+	case *one != "":
+		p, err := l.ProfileLibrary(*one)
+		if err != nil {
+			return err
+		}
+		set = profile.Set{*one: p}
+	default:
+		return fmt.Errorf("profile: need -app or -library")
+	}
+	for name, p := range set {
+		blob, err := p.Marshal()
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(*outDir, name+".profile.xml")
+		if err := os.WriteFile(dst, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d functions)\n", dst, len(p.Functions))
+	}
+	return nil
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
+	kind := fs.String("kind", "exhaustive", "scenario kind: exhaustive|random|fileio|malloc|socket")
+	prob := fs.Float64("p", 5, "injection probability in percent (random kinds)")
+	seed := fs.Int64("seed", 1, "random seed")
+	profiles := fs.String("profile", "", "comma-separated .profile.xml paths")
+	out := fs.String("o", "plan.xml", "output plan path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	set := make(profile.Set)
+	for _, p := range splitList(*profiles) {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		pr, err := profile.Unmarshal(b)
+		if err != nil {
+			return err
+		}
+		set[pr.Library] = pr
+	}
+	if len(set) == 0 {
+		return fmt.Errorf("plan: need at least one -profile")
+	}
+	var plan *scenario.Plan
+	switch *kind {
+	case "exhaustive":
+		plan = scenario.Exhaustive(set)
+	case "random":
+		plan = scenario.Random(set, *prob, *seed)
+	case "fileio":
+		plan = scenario.LibcFileIO(set, *prob, *seed)
+	case "malloc":
+		plan = scenario.LibcMemAlloc(set, *prob, *seed)
+	case "socket":
+		plan = scenario.LibcSocketIO(set, *prob, *seed)
+	default:
+		return fmt.Errorf("plan: unknown kind %q", *kind)
+	}
+	blob, err := plan.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d triggers)\n", *out, len(plan.Triggers))
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	app := fs.String("app", "", "application SLEF to run")
+	libFlag := fs.String("lib", "", "comma-separated library SLEF paths")
+	planPath := fs.String("plan", "", "fault scenario XML (omit for a clean run)")
+	profiles := fs.String("profile", "", "comma-separated .profile.xml paths")
+	logPath := fs.String("log", "", "write the injection log here")
+	replayPath := fs.String("replay", "", "write the replay script here")
+	budget := fs.Uint64("budget", 500_000_000, "cycle budget (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *app == "" {
+		return fmt.Errorf("run: -app is required")
+	}
+	appObj, err := loadObj(*app)
+	if err != nil {
+		return err
+	}
+	programs := []*obj.File{appObj}
+	for _, p := range splitList(*libFlag) {
+		f, err := loadObj(p)
+		if err != nil {
+			return err
+		}
+		programs = append(programs, f)
+	}
+	cfgC := core.CampaignConfig{Programs: programs, Executable: appObj.Name}
+	if *planPath != "" {
+		b, err := os.ReadFile(*planPath)
+		if err != nil {
+			return err
+		}
+		plan, err := scenario.Unmarshal(b)
+		if err != nil {
+			return err
+		}
+		cfgC.Plan = plan
+		set := make(profile.Set)
+		for _, p := range splitList(*profiles) {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			pr, err := profile.Unmarshal(b)
+			if err != nil {
+				return err
+			}
+			set[pr.Library] = pr
+		}
+		cfgC.Profiles = set
+	}
+	c, err := core.NewCampaign(cfgC)
+	if err != nil {
+		return err
+	}
+	rep, err := c.Run(*budget)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exit: code=%d signal=%d deadlocked=%v cycles=%d injections=%d\n",
+		rep.Status.Code, rep.Status.Signal, rep.Deadlocked, rep.Cycles, len(rep.Injections))
+	if *logPath != "" && c.Controller() != nil {
+		f, err := os.Create(*logPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := c.Controller().WriteLog(f); err != nil {
+			return err
+		}
+	}
+	if *replayPath != "" && rep.ReplayPlan != nil {
+		blob, err := rep.ReplayPlan.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*replayPath, blob, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	fs := flag.NewFlagSet("disasm", flag.ContinueOnError)
+	fn := fs.String("func", "", "limit to one function")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("disasm: one SLEF path required")
+	}
+	f, err := loadObj(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	p, err := disasm.Disassemble(f)
+	if err != nil {
+		return err
+	}
+	if *fn != "" {
+		sym, ok := f.LookupExport(*fn)
+		if !ok {
+			if sym, ok = f.Lookup(*fn); !ok {
+				return fmt.Errorf("no symbol %q", *fn)
+			}
+		}
+		fmt.Print(p.Render(sym.Off, sym.Off+sym.Size))
+		return nil
+	}
+	fmt.Print(p.Render(0, int32(len(f.Text))))
+	return nil
+}
+
+func cmdCFG(args []string) error {
+	fs := flag.NewFlagSet("cfg", flag.ContinueOnError)
+	fn := fs.String("func", "", "function to graph")
+	dot := fs.Bool("dot", false, "emit Graphviz dot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *fn == "" {
+		return fmt.Errorf("cfg: usage: lfi cfg lib.slef -func name [-dot]")
+	}
+	f, err := loadObj(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	p, err := disasm.Disassemble(f)
+	if err != nil {
+		return err
+	}
+	sym, ok := f.Lookup(*fn)
+	if !ok {
+		return fmt.Errorf("no symbol %q", *fn)
+	}
+	g, err := cfg.Build(p, sym.Off)
+	if err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Print(g.Dot(*fn))
+		return nil
+	}
+	fmt.Printf("%s: %d blocks, %d exits, incomplete=%v\n",
+		*fn, len(g.Blocks), len(g.ExitBlocks()), g.Incomplete)
+	for _, b := range g.Blocks {
+		succs := make([]string, 0, len(b.Succs))
+		for _, s := range b.Succs {
+			succs = append(succs, fmt.Sprintf("b%d", s.ID))
+		}
+		fmt.Printf("  b%d [%#x..%#x) -> %s\n", b.ID, b.Start, b.End, strings.Join(succs, ","))
+	}
+	return nil
+}
+
+// cmdDemo writes the synthetic libc and its profile to the current
+// directory — a zero-setup way to try the tool.
+func cmdDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
+	dir := fs.String("o", ".", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lc, err := libc.Compile()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*dir, "libc.slef"), lc.Encode(), 0o644); err != nil {
+		return err
+	}
+	l := core.New(core.Options{Heuristics: true})
+	if err := l.AddKernelImage(); err != nil {
+		return err
+	}
+	if err := l.AddLibrary(lc); err != nil {
+		return err
+	}
+	p, err := l.ProfileLibrary(libc.Name)
+	if err != nil {
+		return err
+	}
+	blob, err := p.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(*dir, "libc.so.profile.xml"), blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote libc.slef and libc.so.profile.xml (%d functions) to %s\n", len(p.Functions), *dir)
+	return nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeDemoAssets runs `lfi demo` into dir and returns the produced
+// paths.
+func writeDemoAssets(t *testing.T, dir string) (libPath, profPath string) {
+	t.Helper()
+	if err := run([]string{"demo", "-o", dir}); err != nil {
+		t.Fatalf("demo: %v", err)
+	}
+	return filepath.Join(dir, "libc.slef"), filepath.Join(dir, "libc.so.profile.xml")
+}
+
+const cliAppSrc = `
+needs "libc.so";
+extern int open(byte *path, int flags, int mode);
+extern int close(int fd);
+extern tls int errno;
+int main(void) {
+  int fd;
+  fd = open("/cfg", 0, 0);
+  if (fd < 0) { return errno; }
+  close(fd);
+  return 0;
+}
+`
+
+func TestCLIFullWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	libPath, profPath := writeDemoAssets(t, dir)
+
+	// build
+	srcPath := filepath.Join(dir, "app.mc")
+	if err := os.WriteFile(srcPath, []byte(cliAppSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	appPath := filepath.Join(dir, "app.slef")
+	if err := run([]string{"build", "-exe", "-name", "app", "-o", appPath, srcPath}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+
+	// plan (random, seeded)
+	planPath := filepath.Join(dir, "plan.xml")
+	if err := run([]string{"plan", "-kind", "fileio", "-p", "100", "-seed", "3",
+		"-profile", profPath, "-o", planPath}); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	planBytes, err := os.ReadFile(planPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(planBytes), `name="open"`) {
+		t.Errorf("plan missing open trigger:\n%s", planBytes)
+	}
+
+	// run under injection, capture log + replay
+	logPath := filepath.Join(dir, "lfi.log")
+	replayPath := filepath.Join(dir, "replay.xml")
+	if err := run([]string{"run", "-app", appPath, "-lib", libPath,
+		"-plan", planPath, "-profile", profPath,
+		"-log", logPath, "-replay", replayPath}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	logBytes, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(logBytes), "fn=open") {
+		t.Errorf("log missing injection: %q", logBytes)
+	}
+	replayBytes, err := os.ReadFile(replayPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(replayBytes), "<plan>") {
+		t.Errorf("replay script malformed: %q", replayBytes)
+	}
+
+	// replay the generated script
+	if err := run([]string{"run", "-app", appPath, "-lib", libPath,
+		"-plan", replayPath, "-profile", profPath}); err != nil {
+		t.Fatalf("replay run: %v", err)
+	}
+}
+
+func TestCLIProfileApplication(t *testing.T) {
+	dir := t.TempDir()
+	libPath, _ := writeDemoAssets(t, dir)
+	srcPath := filepath.Join(dir, "app.mc")
+	if err := os.WriteFile(srcPath, []byte(cliAppSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	appPath := filepath.Join(dir, "app.slef")
+	if err := run([]string{"build", "-exe", "-name", "app", "-o", appPath, srcPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"profile", "-app", appPath, "-lib", libPath, "-o", dir}); err != nil {
+		t.Fatalf("profile -app: %v", err)
+	}
+	out, err := os.ReadFile(filepath.Join(dir, "libc.so.profile.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `<function name="close">`) {
+		t.Error("application profile missing close")
+	}
+}
+
+func TestCLIDisasmAndCFG(t *testing.T) {
+	dir := t.TempDir()
+	libPath, _ := writeDemoAssets(t, dir)
+	if err := run([]string{"disasm", "-func", "close", libPath}); err != nil {
+		t.Errorf("disasm: %v", err)
+	}
+	if err := run([]string{"cfg", "-func", "close", libPath}); err != nil {
+		t.Errorf("cfg: %v", err)
+	}
+	if err := run([]string{"cfg", "-func", "close", "-dot", libPath}); err != nil {
+		t.Errorf("cfg -dot: %v", err)
+	}
+	if err := run([]string{"cfg", "-func", "missing", libPath}); err == nil {
+		t.Error("cfg of missing symbol should fail")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"frobnicate"},
+		{"build"},                       // missing source
+		{"profile"},                     // need -app or -library
+		{"plan", "-kind", "bogus"},      // unknown kind
+		{"plan"},                        // no profiles
+		{"run"},                         // missing -app
+		{"disasm"},                      // missing path
+		{"run", "-app", "/nonexistent"}, // unreadable
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+// Package lfi is a reproduction of "LFI: A Practical and General
+// Library-Level Fault Injector" (Marinescu & Candea, DSN 2009) as a Go
+// library, complete with the synthetic platform substrate (SIA-32 ISA,
+// assembler, SLEF object format, MiniC compiler, dynamic-linking VM and
+// kernel) on which the profiler and controller operate, the evaluation
+// corpus, and one benchmark harness per table and figure of the paper.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The public entry point for programmatic use is internal/core;
+// the command-line tools are cmd/lfi, cmd/lfi-bench and cmd/lfi-corpus.
+package lfi

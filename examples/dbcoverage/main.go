@@ -1,0 +1,35 @@
+// Database coverage improvement: reproduce the paper's §6.1 MySQL
+// experiment. The minidb regression suite is run twice — plain, and under
+// a fully automatic random libc faultload — and basic-block coverage is
+// compared overall and per module. Fault injection exercises the WAL
+// recovery paths no functional test reaches (the InnoDB-ibuf analogue)
+// and exposes a latent unchecked-malloc crash.
+//
+//	go run ./examples/dbcoverage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lfi/internal/experiments"
+)
+
+func main() {
+	env, err := experiments.NewEnv()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := experiments.DBCoverage(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+	mod, delta := res.BestModuleDelta()
+	fmt.Printf("\nLargest module gain: %s (+%.1f points) — recovery code reached only\n", mod, delta)
+	fmt.Println("under injection, with zero human effort (paper: +12% in InnoDB ibuf).")
+	if res.Crashes > 0 {
+		fmt.Printf("%d test runs crashed under injection (paper saw 12 SIGSEGVs),\n", res.Crashes)
+		fmt.Println("pinpointing an unchecked malloc() on the commit path.")
+	}
+}

@@ -1,0 +1,32 @@
+// Pidgin bug hunt: reproduce the paper's §6.1 case study. A random 10%
+// faultload on libc's file-I/O functions crashes the Pidgin analogue with
+// SIGABRT — the forked DNS resolver ignores write() failures, the pipe
+// stream desynchronises, and the parent aborts on a garbage-sized malloc.
+// The generated replay script reproduces the crash deterministically.
+//
+//	go run ./examples/pidginbug
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lfi/internal/experiments"
+)
+
+func main() {
+	env, err := experiments.NewEnv()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := experiments.PidginBug(env, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+	fmt.Println("\nDiagnosis (as in Pidgin ticket #8672): the resolver child writes")
+	fmt.Println("(status, size, payload) to the response pipe without checking the")
+	fmt.Println("write() return value. After an injected failure the parent reads the")
+	fmt.Println("next response's bytes as a size, calls malloc with a huge value, the")
+	fmt.Println("allocation fails, and the g_malloc-style wrapper aborts: SIGABRT.")
+}

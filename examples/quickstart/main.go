@@ -1,0 +1,146 @@
+// Quickstart: profile a small library, generate a fault scenario, and run
+// an application under injection — the paper's complete workflow on a
+// self-contained example.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"lfi/internal/core"
+	"lfi/internal/libc"
+	"lfi/internal/minic"
+	"lfi/internal/obj"
+	"lfi/internal/scenario"
+)
+
+// The application: reads a config file, falling back to defaults when I/O
+// fails — does it really handle every failure path?
+const appSource = `
+needs "libc.so";
+extern int open(byte *path, int flags, int mode);
+extern int close(int fd);
+extern int read(int fd, byte *buf, int n);
+extern byte *malloc(int n);
+extern tls int errno;
+
+static int load_config(byte *out, int max) {
+  int fd;
+  int n;
+  fd = open("/etc/app.conf", 0, 0);
+  if (fd < 0) { return -1; }
+  n = read(fd, out, max);
+  close(fd);
+  return n;
+}
+
+int main(void) {
+  byte conf[64];
+  byte *state;
+  int n;
+  n = load_config(conf, 63);
+  if (n < 0) { n = 0; }
+  state = malloc(128);
+  if (state == 0) { return 70; }   // graceful: EX_SOFTWARE
+  return n;
+}
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Compile the substrate and the application.
+	lc, err := libc.Compile()
+	if err != nil {
+		return err
+	}
+	app, err := minic.Compile("demo-app", appSource, obj.Executable)
+	if err != nil {
+		return err
+	}
+
+	// Step 1 — profile (the paper's first command). LFI walks the
+	// application's needed libraries and analyses their binaries plus
+	// the kernel image.
+	l := core.New(core.Options{Heuristics: true})
+	if err := l.AddKernelImage(); err != nil {
+		return err
+	}
+	if err := l.AddLibrary(lc); err != nil {
+		return err
+	}
+	if err := l.AddLibrary(app); err != nil {
+		return err
+	}
+	set, err := l.ProfileApplication("demo-app")
+	if err != nil {
+		return err
+	}
+	fmt.Println("== fault profile for libc.so (excerpt) ==")
+	p := set[libc.Name]
+	for _, fn := range []string{"open", "read", "close", "malloc"} {
+		if f, ok := p.Lookup(fn); ok {
+			nse := 0
+			for _, ec := range f.ErrorCodes {
+				nse += len(ec.SideEffects)
+			}
+			fmt.Printf("  %s: error retvals %v, %d side-effect entries\n",
+				fn, f.Retvals(), nse)
+		}
+	}
+
+	// Step 2 — inject (the paper's second command): exhaustive scenario,
+	// then run the app once per interesting outcome.
+	plan := scenario.Exhaustive(set)
+	fmt.Printf("\n== exhaustive scenario: %d triggers ==\n", len(plan.Triggers))
+
+	campaign, err := core.NewCampaign(core.CampaignConfig{
+		Programs:   []*obj.File{lc, app},
+		Executable: "demo-app",
+		Profiles:   set,
+		Plan:       plan,
+		Files:      map[string][]byte{"/etc/app.conf": []byte("mode=fast\n")},
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := campaign.Run(100_000_000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== run under injection ==\nexit code %d, signal %d, %d injections\n",
+		rep.Status.Code, rep.Status.Signal, len(rep.Injections))
+	if err := campaign.Controller().WriteLog(os.Stdout); err != nil {
+		return err
+	}
+
+	// The replay script re-fires the same injections deterministically.
+	replay, err := rep.ReplayPlan.Marshal()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== replay script ==\n%s", replay)
+
+	// Clean baseline for comparison.
+	clean, err := core.NewCampaign(core.CampaignConfig{
+		Programs:   []*obj.File{lc, app},
+		Executable: "demo-app",
+		Files:      map[string][]byte{"/etc/app.conf": []byte("mode=fast\n")},
+	})
+	if err != nil {
+		return err
+	}
+	cleanRep, err := clean.Run(100_000_000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== clean run ==\nexit code %d (config bytes read)\n", cleanRep.Status.Code)
+	return nil
+}

@@ -1,0 +1,585 @@
+// Package apps provides the MiniC workload applications used by the
+// evaluation experiments:
+//
+//   - httpd: an Apache-analogue web server serving a static page and a
+//     "PHP" page that performs many more library calls (paper Table 3);
+//   - minidb: a MySQL-analogue transactional store with a WAL, recovery
+//     paths exercised only under fault injection, and an unexercised
+//     admin module (paper Table 4 and the §6.1 coverage experiment);
+//   - pidgin + resolver: the §6.1 case study — a parent that forks a DNS
+//     resolver child communicating over a pipe, where the child ignores
+//     write() failures and the parent aborts on a huge malloc when the
+//     pipe stream desynchronises (the real Pidgin ticket #8672 bug).
+//
+// All programs link against the synthetic libc and run in the SIA-32 VM.
+package apps
+
+import (
+	"fmt"
+
+	"lfi/internal/minic"
+	"lfi/internal/obj"
+)
+
+// Port numbers the servers listen on.
+const (
+	HTTPPort int32 = 80
+	DBPort   int32 = 3306
+)
+
+const commonHeader = `
+needs "libc.so";
+extern int open(byte *path, int flags, int mode);
+extern int close(int fd);
+extern int read(int fd, byte *buf, int n);
+extern int write(int fd, byte *buf, int n);
+extern int socket(int domain);
+extern int listen(int fd, int port);
+extern int accept(int fd);
+extern int send(int fd, byte *buf, int n);
+extern int recv(int fd, byte *buf, int n);
+extern byte *malloc(int n);
+extern void free(byte *p);
+extern int strlen(byte *s);
+extern int strcmp(byte *a, byte *b);
+extern int strncmp(byte *a, byte *b, int n);
+extern void memset(byte *p, int v, int n);
+extern int itoa(int v, byte *out);
+extern int atoi(byte *s);
+extern void exit(int code);
+extern void abort(void);
+extern int pipe(int *fds);
+extern int spawn(byte *prog, int fdin, int fdout);
+extern int waitpid(int pid, int *status);
+extern tls int errno;
+`
+
+// HttpdSource is the web server. GET /index.html is the static workload
+// (a handful of library calls); GET /app.php is the dynamic workload
+// (roughly ten times as many library calls, mirroring the paper's
+// static-vs-PHP factor in Table 3).
+const HttpdSource = commonHeader + `
+int requests = 0;
+
+// render models the server-side processing of a response body (header
+// assembly, content filtering) — the in-process work that dominates a
+// real Apache request next to which trigger evaluation is negligible.
+static int render(byte *buf, int n, int rounds) {
+  int r;
+  int i;
+  int acc;
+  acc = 0;
+  for (r = 0; r < rounds; r = r + 1) {
+    for (i = 0; i < n; i = i + 1) {
+      acc = acc + buf[i];
+      acc = acc ^ (acc << 1);
+    }
+  }
+  return acc;
+}
+
+static int handle_static(int cfd, byte *path) {
+  int fd;
+  int n;
+  byte fbuf[256];
+  fd = open(path, 0, 0);
+  if (fd < 0) {
+    send(cfd, "404 \n\n", 6);
+    return -1;
+  }
+  n = read(fd, fbuf, 255);
+  if (n < 0) { n = 0; }
+  close(fd);
+  render(fbuf, n, 8);
+  send(cfd, "200 ", 4);
+  send(cfd, fbuf, n);
+  send(cfd, "\n\n", 2);
+  return 0;
+}
+
+static int handle_php(int cfd) {
+  int i;
+  int fd;
+  int n;
+  int total;
+  byte fbuf[128];
+  byte num[16];
+  byte *tmp;
+  total = 0;
+  for (i = 0; i < 20; i = i + 1) {
+    fd = open("/www/inc.php", 0, 0);
+    if (fd < 0) { continue; }
+    n = read(fd, fbuf, 127);
+    if (n > 0) {
+      total = total + n;
+      // "Interpret" the include — PHP burns far more CPU per request
+      // than the static path, as in the paper's 10x baseline gap.
+      render(fbuf, n, 10);
+    }
+    close(fd);
+  }
+  tmp = malloc(64);
+  if (tmp != 0) {
+    memset(tmp, 'p', 32);
+    free(tmp);
+  }
+  send(cfd, "200 ", 4);
+  itoa(total, num);
+  send(cfd, num, strlen(num));
+  send(cfd, "\n\n", 2);
+  return 0;
+}
+
+int main(void) {
+  int lfd;
+  int cfd;
+  int n;
+  byte req[256];
+  lfd = socket(1);
+  if (lfd < 0) { return 1; }
+  if (listen(lfd, 80) != 0) { return 2; }
+  while (1) {
+    cfd = accept(lfd);
+    if (cfd < 0) { continue; }
+    n = recv(cfd, req, 255);
+    if (n <= 0) { close(cfd); continue; }
+    req[n] = 0;
+    requests = requests + 1;
+    if (strncmp(req, "GET /app.php", 12) == 0) {
+      handle_php(cfd);
+    } else {
+      handle_static(cfd, "/www/index.html");
+    }
+    close(cfd);
+  }
+  return 0;
+}
+`
+
+// MinidbSource is the transactional store. Function-name prefixes form
+// the "modules" of the coverage experiment: net_ (connection handling),
+// parse_ (command parsing), tbl_ (table), wal_ (write-ahead log, with
+// recovery code reached only under fault injection — the InnoDB-ibuf
+// analogue), adm_ (admin commands the regression suite never runs).
+//
+// Protocol: one connection per transaction; the command string is a
+// space-separated token list: "R <k>" reads key k, "W <k> <v>" writes,
+// "A" runs admin stats, "C" commits. The reply is "OK <sum>\n".
+const MinidbSource = commonHeader + `
+int table[512];
+int wal_fd = -1;
+int wal_failures = 0;
+int wal_shorts = 0;
+int wal_lost = 0;
+int stats_reads = 0;
+int stats_writes = 0;
+
+// ---- wal module ----
+
+static int wal_open(void) {
+  wal_fd = open("/db/wal", 64 | 1 | 1024, 0);
+  if (wal_fd < 0) { return -1; }
+  return 0;
+}
+
+static void wal_giveup(void) {
+  // Recovery failed: run degraded, count every update as lost.
+  wal_lost = wal_lost + 1;
+  wal_fd = -1;
+}
+
+static void wal_reopen(void) {
+  if (wal_fd >= 0) { close(wal_fd); }
+  wal_fd = open("/db/wal", 64 | 1 | 1024, 0);
+  if (wal_fd < 0) {
+    wal_giveup();
+    return;
+  }
+  wal_failures = wal_failures + 1;
+}
+
+static void wal_short_write(int wrote, int want) {
+  // A short append tore a record; truncate by reopening and note it.
+  wal_shorts = wal_shorts + 1;
+  if (wrote > 0) {
+    wal_reopen();
+    return;
+  }
+  wal_giveup();
+}
+
+static int wal_format(int k, int v, byte *rec) {
+  int len;
+  int crc;
+  int i;
+  len = itoa(k, rec);
+  rec[len] = ':';
+  len = len + 1;
+  len = len + itoa(v, rec + len);
+  rec[len] = '#';
+  len = len + 1;
+  crc = 0;
+  for (i = 0; i < len; i = i + 1) {
+    crc = crc + rec[i];
+    crc = crc ^ (crc << 1);
+  }
+  if (crc < 0) { crc = -crc; }
+  len = len + itoa(crc % 997, rec + len);
+  rec[len] = 10;
+  return len + 1;
+}
+
+static int wal_append(int k, int v) {
+  byte rec[48];
+  int len;
+  int n;
+  len = wal_format(k, v, rec);
+  if (wal_fd < 0) { return -1; }
+  n = write(wal_fd, rec, len);
+  if (n < 0) {
+    if (errno == 4) {
+      // EINTR: retry once, the common recovery idiom.
+      n = write(wal_fd, rec, len);
+      if (n == len) { return 0; }
+    }
+    wal_reopen();
+    return -1;
+  }
+  if (n < len) {
+    wal_short_write(n, len);
+    return -1;
+  }
+  return 0;
+}
+
+// ---- tbl module ----
+
+static int tbl_slot(int k) {
+  int s;
+  s = k % 512;
+  if (s < 0) { s = s + 512; }
+  return s;
+}
+
+// tbl_walk models the index traversal and row materialisation a real
+// storage engine performs per point query — the per-transaction work
+// that dwarfs trigger evaluation in the paper's Table 4.
+static int tbl_walk(int s) {
+  int i;
+  int acc;
+  acc = s;
+  for (i = 0; i < 120; i = i + 1) {
+    acc = acc + table[(s + i * 7) % 512];
+    acc = acc ^ (acc << 1);
+  }
+  return acc;
+}
+
+static int tbl_get(int k) {
+  int s;
+  stats_reads = stats_reads + 1;
+  s = tbl_slot(k);
+  tbl_walk(s);
+  return table[s];
+}
+
+static void tbl_put(int k, int v) {
+  int s;
+  stats_writes = stats_writes + 1;
+  s = tbl_slot(k);
+  tbl_walk(s);
+  table[s] = v;
+}
+
+static int tbl_check(void) {
+  int i;
+  int bad;
+  bad = 0;
+  for (i = 0; i < 512; i = i + 1) {
+    if (table[i] < 0) { bad = bad + 1; }
+  }
+  return bad;
+}
+
+// ---- adm module (never exercised by the regression workloads) ----
+
+static int adm_stats(int cfd) {
+  byte num[16];
+  send(cfd, "STATS ", 6);
+  itoa(stats_reads, num);
+  send(cfd, num, strlen(num));
+  send(cfd, " ", 1);
+  itoa(stats_writes, num);
+  send(cfd, num, strlen(num));
+  send(cfd, "\n", 1);
+  return 0;
+}
+
+static int adm_flush(void) {
+  int i;
+  for (i = 0; i < 512; i = i + 1) { table[i] = 0; }
+  if (wal_fd >= 0) { close(wal_fd); }
+  return wal_open();
+}
+
+static int adm_repair(void) {
+  int bad;
+  bad = tbl_check();
+  if (bad > 0) {
+    adm_flush();
+    return bad;
+  }
+  return 0;
+}
+
+static int adm_backup(int cfd) {
+  int fd;
+  int i;
+  byte num[16];
+  int len;
+  fd = open("/db/backup", 64 | 1 | 512, 0);
+  if (fd < 0) { return -1; }
+  for (i = 0; i < 512; i = i + 1) {
+    len = itoa(table[i], num);
+    num[len] = 10;
+    write(fd, num, len + 1);
+  }
+  close(fd);
+  send(cfd, "BACKUP OK\n", 10);
+  return 0;
+}
+
+// ---- parse module ----
+
+static int parse_int(byte *s, int *pos) {
+  int i;
+  int v;
+  int sign;
+  i = *pos;
+  while (s[i] == ' ') { i = i + 1; }
+  sign = 1;
+  if (s[i] == '-') { sign = -1; i = i + 1; }
+  v = 0;
+  while (s[i] >= '0' && s[i] <= '9') {
+    v = v * 10 + (s[i] - '0');
+    i = i + 1;
+  }
+  *pos = i;
+  return v * sign;
+}
+
+static int parse_exec(int cfd, byte *cmd, int len) {
+  int pos;
+  int sum;
+  int k;
+  int v;
+  byte *scratch;
+  pos = 0;
+  sum = 0;
+  while (pos < len) {
+    if (cmd[pos] == ' ' || cmd[pos] == 10) { pos = pos + 1; continue; }
+    if (cmd[pos] == 'R') {
+      pos = pos + 1;
+      k = parse_int(cmd, &pos);
+      sum = sum + tbl_get(k);
+      continue;
+    }
+    if (cmd[pos] == 'W') {
+      pos = pos + 1;
+      k = parse_int(cmd, &pos);
+      v = parse_int(cmd, &pos);
+      tbl_put(k, v);
+      wal_append(k, v);
+      continue;
+    }
+    if (cmd[pos] == 'A') {
+      pos = pos + 1;
+      adm_stats(cfd);
+      adm_repair();
+      adm_backup(cfd);
+      continue;
+    }
+    if (cmd[pos] == 'V') {
+      // Verify: consistency check over the table.
+      pos = pos + 1;
+      sum = sum + tbl_check();
+      continue;
+    }
+    if (cmd[pos] == 'C') {
+      pos = pos + 1;
+      // Commit: allocate the reply record. The allocation result is
+      // not checked — MySQL-style latent bug that only fault
+      // injection exposes (the paper saw 12 SIGSEGVs).
+      scratch = malloc(48);
+      scratch[0] = 'C';
+      free(scratch);
+      continue;
+    }
+    pos = pos + 1;
+  }
+  return sum;
+}
+
+// ---- net module ----
+
+static int net_reply(int cfd, int sum) {
+  byte out[32];
+  int len;
+  out[0] = 'O';
+  out[1] = 'K';
+  out[2] = ' ';
+  len = 3 + itoa(sum, out + 3);
+  out[len] = 10;
+  return send(cfd, out, len + 1);
+}
+
+static int net_serve(int lfd) {
+  int cfd;
+  int n;
+  int sum;
+  byte cmd[256];
+  cfd = accept(lfd);
+  if (cfd < 0) { return -1; }
+  n = recv(cfd, cmd, 255);
+  if (n <= 0) { close(cfd); return -1; }
+  cmd[n] = 0;
+  sum = parse_exec(cfd, cmd, n);
+  if (net_reply(cfd, sum) < 0) {
+    // Reply failed: nothing to recover, the client sees a dead conn.
+    close(cfd);
+    return -1;
+  }
+  close(cfd);
+  return 0;
+}
+
+int main(void) {
+  int lfd;
+  if (wal_open() != 0) { return 1; }
+  lfd = socket(1);
+  if (lfd < 0) { return 2; }
+  if (listen(lfd, 3306) != 0) { return 3; }
+  while (1) {
+    net_serve(lfd);
+  }
+  return 0;
+}
+`
+
+// ResolverSource is pidgin's forked DNS child. The bug is verbatim from
+// the paper: "The child does not handle the case when writes fail or are
+// incomplete" — every write return value is ignored, so an injected
+// write failure desynchronises the response stream.
+const ResolverSource = commonHeader + `
+int main(void) {
+  byte req[64];
+  int n;
+  int status;
+  int size;
+  while (1) {
+    n = read(0, req, 64);
+    if (n <= 0) { exit(0); }
+    status = 0;
+    size = 8;
+    write(1, &status, 4);
+    write(1, &size, 4);
+    write(1, "10.0.0.1", 8);
+  }
+  return 0;
+}
+`
+
+// PidginSource is the parent: it spawns the resolver, sends resolution
+// requests, and reads (status, size, payload) responses. It trusts the
+// size field; after a desync it calls malloc with a garbage size, the
+// allocation fails, and the xmalloc-style wrapper aborts — the paper's
+// SIGABRT.
+const PidginSource = commonHeader + `
+static int read_full(int fd, byte *dst, int want) {
+  int got;
+  int n;
+  got = 0;
+  while (got < want) {
+    n = read(fd, dst + got, want - got);
+    if (n < 0) { continue; }
+    if (n == 0) { return got; }
+    got = got + n;
+  }
+  return got;
+}
+
+static byte *xmalloc(int n) {
+  byte *p;
+  p = malloc(n);
+  if (p == 0) { abort(); }
+  return p;
+}
+
+int main(void) {
+  int req_pipe[2];
+  int resp_pipe[2];
+  int pid;
+  int i;
+  int status;
+  int size;
+  byte *addr;
+  int resolved;
+  if (pipe(req_pipe) != 0) { return 1; }
+  if (pipe(resp_pipe) != 0) { return 2; }
+  pid = spawn("resolver", req_pipe[0], resp_pipe[1]);
+  if (pid < 0) { return 3; }
+  resolved = 0;
+  for (i = 0; i < 12; i = i + 1) {
+    // The parent is robust to its own send failures: retry.
+    while (write(req_pipe[1], "resolve im.example\n", 19) < 0) { }
+    if (read_full(resp_pipe[0], &status, 4) != 4) { break; }
+    if (read_full(resp_pipe[0], &size, 4) != 4) { break; }
+    if (status == 0) {
+      addr = xmalloc(size);
+      read_full(resp_pipe[0], addr, size);
+      resolved = resolved + 1;
+      free(addr);
+    }
+  }
+  return resolved;
+}
+`
+
+// Compile builds one of the applications by name.
+func Compile(name string) (*obj.File, error) {
+	var src string
+	switch name {
+	case "httpd":
+		src = HttpdSource
+	case "minidb":
+		src = MinidbSource
+	case "pidgin":
+		src = PidginSource
+	case "resolver":
+		src = ResolverSource
+	default:
+		return nil, fmt.Errorf("apps: unknown application %q", name)
+	}
+	f, err := minic.Compile(name, src, obj.Executable)
+	if err != nil {
+		return nil, fmt.Errorf("apps: compiling %s: %w", name, err)
+	}
+	return f, nil
+}
+
+// WWWFiles returns the web content httpd serves; install them with
+// Kernel.AddFile before spawning.
+func WWWFiles() map[string][]byte {
+	page := make([]byte, 200)
+	for i := range page {
+		page[i] = byte('a' + i%26)
+	}
+	inc := make([]byte, 100)
+	for i := range inc {
+		inc[i] = byte('A' + i%26)
+	}
+	return map[string][]byte{
+		"/www/index.html": page,
+		"/www/inc.php":    inc,
+	}
+}

@@ -1,0 +1,99 @@
+package asm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lfi/internal/isa"
+)
+
+// TestAssembleRenderReassemble: rendering every assembled instruction
+// through isa.Inst.String and feeding it back to the assembler must
+// produce identical code (for the symbol-free instruction forms).
+func TestAssembleRenderReassemble(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	reg := func() string {
+		return isa.Reg(rng.Intn(int(isa.NumRegs))).String()
+	}
+	lines := []string{".lib rt.so", ".func f"}
+	for i := 0; i < 200; i++ {
+		switch rng.Intn(10) {
+		case 0:
+			lines = append(lines, fmt.Sprintf("  mov %s, %d", reg(), rng.Intn(1000)-500))
+		case 1:
+			lines = append(lines, fmt.Sprintf("  mov %s, %s", reg(), reg()))
+		case 2:
+			lines = append(lines, fmt.Sprintf("  load %s, [%s%+d]", reg(), reg(), rng.Intn(64)-32))
+		case 3:
+			lines = append(lines, fmt.Sprintf("  store [%s%+d], %s", reg(), rng.Intn(64)-32, reg()))
+		case 4:
+			lines = append(lines, fmt.Sprintf("  add %s, %d", reg(), rng.Intn(100)))
+		case 5:
+			lines = append(lines, fmt.Sprintf("  cmp %s, %s", reg(), reg()))
+		case 6:
+			lines = append(lines, fmt.Sprintf("  push %s", reg()))
+		case 7:
+			lines = append(lines, fmt.Sprintf("  pop %s", reg()))
+		case 8:
+			lines = append(lines, fmt.Sprintf("  neg %s", reg()))
+		default:
+			lines = append(lines, "  nop")
+		}
+	}
+	lines = append(lines, "  ret")
+	src := strings.Join(lines, "\n") + "\n"
+
+	f1, err := Assemble("a.s", src)
+	if err != nil {
+		t.Fatalf("first assembly: %v", err)
+	}
+	insts, err := isa.DecodeAll(f1.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Render back to text and reassemble.
+	out := []string{".lib rt.so", ".func f"}
+	for _, in := range insts {
+		out = append(out, "  "+in.String())
+	}
+	f2, err := Assemble("b.s", strings.Join(out, "\n")+"\n")
+	if err != nil {
+		t.Fatalf("reassembly: %v", err)
+	}
+	if string(f1.Text) != string(f2.Text) {
+		t.Error("render/reassemble round trip diverged")
+	}
+}
+
+// TestLargeFunctionAssembly exercises assembler scale and label
+// resolution over thousands of branches.
+func TestLargeFunctionAssembly(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(".lib big.so\n.global f\n.func f\n")
+	const n = 2000
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, ".l%d:\n  cmp r0, %d\n  je .l%d\n", i, i, (i+7)%n)
+	}
+	b.WriteString("  ret\n")
+	f, err := Assemble("big.s", b.String())
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	insts, err := isa.DecodeAll(f.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every branch target must be in range and 8-aligned.
+	for i, in := range insts {
+		if in.Op.IsBranch() {
+			if in.Imm < 0 || in.Imm >= int32(len(f.Text)) || in.Imm%isa.Size != 0 {
+				t.Fatalf("inst %d: branch target %#x out of range", i, in.Imm)
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package cfg_test
+
+import (
+	"strings"
+	"testing"
+
+	"lfi/internal/asm"
+	"lfi/internal/cfg"
+	"lfi/internal/disasm"
+	"lfi/internal/obj"
+)
+
+func build(t *testing.T, src, fn string) (*cfg.Graph, *obj.File) {
+	t.Helper()
+	f, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	p, err := disasm.Disassemble(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, ok := f.Lookup(fn)
+	if !ok {
+		t.Fatalf("no symbol %s", fn)
+	}
+	g, err := cfg.Build(p, sym.Off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, f
+}
+
+func TestStraightLine(t *testing.T) {
+	g, _ := build(t, `
+.lib x
+.global f
+.func f
+  mov r0, 1
+  add r0, 2
+  ret
+`, "f")
+	if len(g.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(g.Blocks))
+	}
+	if !g.Blocks[0].IsExit() || g.Blocks[0].NumInsts() != 3 {
+		t.Errorf("block shape wrong: %d insts", g.Blocks[0].NumInsts())
+	}
+	if g.Entry != g.Blocks[0] {
+		t.Error("entry mismatch")
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	g, _ := build(t, `
+.lib x
+.global f
+.func f
+  cmp r0, 0
+  je .zero
+  mov r0, 1
+  jmp .done
+.zero:
+  mov r0, 2
+.done:
+  ret
+`, "f")
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4 (cond, then, else, join)", len(g.Blocks))
+	}
+	if len(g.Entry.Succs) != 2 {
+		t.Errorf("entry successors = %d, want 2", len(g.Entry.Succs))
+	}
+	exits := g.ExitBlocks()
+	if len(exits) != 1 {
+		t.Fatalf("exits = %d", len(exits))
+	}
+	if len(exits[0].Preds) != 2 {
+		t.Errorf("join preds = %d, want 2", len(exits[0].Preds))
+	}
+}
+
+func TestLoop(t *testing.T) {
+	g, _ := build(t, `
+.lib x
+.global f
+.func f
+.head:
+  cmp r0, 10
+  jge .out
+  add r0, 1
+  jmp .head
+.out:
+  ret
+`, "f")
+	// head, body, out.
+	if len(g.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(g.Blocks))
+	}
+	head := g.Entry
+	var body *cfg.Block
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == head && b != head {
+				body = b
+			}
+		}
+	}
+	if body == nil {
+		t.Fatal("no back edge found")
+	}
+}
+
+func TestMultipleExits(t *testing.T) {
+	g, _ := build(t, `
+.lib x
+.global f
+.func f
+  cmp r0, 0
+  jne .b
+  mov r0, -1
+  ret
+.b:
+  mov r0, 0
+  ret
+`, "f")
+	if len(g.ExitBlocks()) != 2 {
+		t.Errorf("exits = %d, want 2", len(g.ExitBlocks()))
+	}
+}
+
+func TestIndirectJumpMarksIncomplete(t *testing.T) {
+	g, _ := build(t, `
+.lib x
+.global f
+.func f
+  jmpi r1
+`, "f")
+	if !g.Incomplete {
+		t.Error("indirect jump must mark the CFG incomplete")
+	}
+	if len(g.Entry.Succs) != 0 {
+		t.Error("jmpi block has unknowable successors")
+	}
+}
+
+func TestUnreachableCodeExcluded(t *testing.T) {
+	g, _ := build(t, `
+.lib x
+.global f
+.func f
+  mov r0, 1
+  ret
+  mov r0, 2
+  ret
+`, "f")
+	total := 0
+	for _, b := range g.Blocks {
+		total += b.NumInsts()
+	}
+	if total != 2 {
+		t.Errorf("reachable instructions = %d, want 2 (dead tail excluded)", total)
+	}
+}
+
+func TestCallsDoNotSplitBlocks(t *testing.T) {
+	g, _ := build(t, `
+.lib x
+.extern w
+.global f
+.func f
+  push 1
+  call w
+  add sp, 4
+  ret
+`, "f")
+	if len(g.Blocks) != 1 {
+		t.Errorf("blocks = %d: calls fall through and must not end blocks", len(g.Blocks))
+	}
+}
+
+func TestBlockContaining(t *testing.T) {
+	g, f := build(t, `
+.lib x
+.global f
+.func f
+  cmp r0, 0
+  je .a
+  mov r0, 1
+.a:
+  ret
+`, "f")
+	_ = f
+	for _, b := range g.Blocks {
+		for i := 0; i < b.NumInsts(); i++ {
+			got, ok := g.BlockContaining(b.InstOff(i))
+			if !ok || got != b {
+				t.Errorf("BlockContaining(%#x) = %v, want block %d", b.InstOff(i), got, b.ID)
+			}
+		}
+	}
+	if _, ok := g.BlockAt(g.Entry.Start); !ok {
+		t.Error("BlockAt(entry) failed")
+	}
+}
+
+func TestBadEntry(t *testing.T) {
+	f, err := asm.Assemble("t.s", ".lib x\n.global f\n.func f\nret\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := disasm.Disassemble(f)
+	if _, err := cfg.Build(p, 4096); err == nil {
+		t.Error("out-of-range entry should fail")
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	g, _ := build(t, `
+.lib x
+.global f
+.func f
+  cmp r0, 0
+  je .a
+  mov r0, 1
+.a:
+  ret
+`, "f")
+	dot := g.Dot("f")
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "->") {
+		t.Errorf("dot output malformed:\n%s", dot)
+	}
+}

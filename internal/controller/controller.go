@@ -1,0 +1,370 @@
+// Package controller implements the LFI controller (DSN'09 §5): it
+// combines fault profiles with a fault scenario, synthesises an
+// interceptor library, drives the injection at run time, records an
+// injection log and generates replay scripts.
+//
+// Following Figure 3, the stub generator emits one SIA-32 interception
+// stub per function named in the scenario, combines them with boilerplate
+// (a call counter and the dlsym(RTLD_NEXT)-style tail jump), and the
+// result is a real SLEF library that the VM loader preloads ahead of the
+// original libraries — the LD_PRELOAD analogue. Each stub:
+//
+//  1. increments its static call counter (as in the paper's stub sketch);
+//  2. calls the trigger evaluator with its function id;
+//  3. if a fault is to be injected, loads the injected return value from
+//     the controller mailbox and returns without calling the original;
+//  4. otherwise restores the stack and tail-jumps (DlNext + JmpI) to the
+//     next definition of its own symbol — the original library function.
+//
+// Trigger evaluation, side-effect application (errno stores) and argument
+// modification run on the host — in the paper these are compiled C inside
+// the synthesised library; here they are the Go half of the same
+// controller, reached through the __lfi_eval host import.
+package controller
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lfi/internal/asm"
+	"lfi/internal/obj"
+	"lfi/internal/profile"
+	"lfi/internal/scenario"
+	"lfi/internal/vm"
+)
+
+// StubLibName is the module name of the synthesised interceptor library.
+const StubLibName = "liblfi.so"
+
+// evalHostFunc is the host import every stub calls.
+const evalHostFunc = "__lfi_eval"
+
+// mailboxSym is the stub-library data word through which the host passes
+// the injected return value to the stub.
+const mailboxSym = "__lfi_ret"
+
+// InjectionRecord is one line of the LFI log (§5.2): which injection
+// happened, its side effects, and the triggering context.
+type InjectionRecord struct {
+	PID       int
+	Function  string
+	CallCount int32
+	Retval    int32
+	HasRetval bool
+	Errno     int32
+	HasErrno  bool
+	Modified  []scenario.Modify
+	CallOrig  bool
+	Stack     []string
+	Cycle     uint64
+}
+
+// String renders the record as a log line.
+func (r InjectionRecord) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pid=%d cycle=%d fn=%s call=%d", r.PID, r.Cycle, r.Function, r.CallCount)
+	if r.HasRetval {
+		fmt.Fprintf(&b, " retval=%d", r.Retval)
+	}
+	if r.HasErrno {
+		fmt.Fprintf(&b, " errno=%d", r.Errno)
+	}
+	for _, m := range r.Modified {
+		fmt.Fprintf(&b, " modify(arg%d %s %d)", m.Argument, m.Op, m.Value)
+	}
+	if r.CallOrig {
+		b.WriteString(" calloriginal")
+	}
+	if len(r.Stack) > 0 {
+		fmt.Fprintf(&b, " stack=%s", strings.Join(r.Stack, "<-"))
+	}
+	return b.String()
+}
+
+// Controller drives one fault-injection campaign.
+type Controller struct {
+	set  profile.Set
+	plan *scenario.Plan
+
+	fidToFunc []string
+	stub      *obj.File
+	evals     map[int]*scenario.Evaluator
+	log       []InjectionRecord
+	// PassThrough forces every decision to call the original function
+	// after trigger evaluation — used by the overhead experiments
+	// (Tables 3 and 4), which must let the workload complete.
+	PassThrough bool
+}
+
+// New creates a controller for the given profiles and scenario.
+func New(set profile.Set, plan *scenario.Plan) *Controller {
+	return &Controller{
+		set:   set,
+		plan:  plan,
+		evals: make(map[int]*scenario.Evaluator),
+	}
+}
+
+// Log returns the injection records so far.
+func (c *Controller) Log() []InjectionRecord { return append([]InjectionRecord(nil), c.log...) }
+
+// ResetLog clears the injection log (between experiment repetitions).
+func (c *Controller) ResetLog() { c.log = c.log[:0] }
+
+// StubLibrary synthesises (once) the interceptor library for every
+// function the plan names.
+func (c *Controller) StubLibrary() (*obj.File, error) {
+	if c.stub != nil {
+		return c.stub, nil
+	}
+	fns := c.plan.Functions()
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("controller: scenario has no triggers")
+	}
+	c.fidToFunc = fns
+	src := GenerateStubSource(fns)
+	f, err := asm.Assemble(StubLibName+".s", src)
+	if err != nil {
+		return nil, fmt.Errorf("controller: synthesising stubs: %w", err)
+	}
+	c.stub = f
+	return f, nil
+}
+
+// GenerateStubSource emits the interceptor library's assembly: per-function
+// stubs plus shared boilerplate, mirroring the paper's §5.1 stub shape.
+func GenerateStubSource(fns []string) string {
+	var b strings.Builder
+	b.WriteString("; synthesised by the LFI controller — do not edit\n")
+	b.WriteString(".lib " + StubLibName + "\n")
+	b.WriteString(".extern " + evalHostFunc + "\n")
+	b.WriteString(".global " + mailboxSym + "\n")
+	b.WriteString(".dataw " + mailboxSym + " 0\n")
+	sorted := append([]string(nil), fns...)
+	sort.Strings(sorted)
+	for fid, fn := range sorted {
+		fmt.Fprintf(&b, ".global %s\n", fn)
+		fmt.Fprintf(&b, ".dataw __cnt_%s 0\n", fn)
+		fmt.Fprintf(&b, ".func %s\n", fn)
+		// static call_count++ (kept in the stub itself, as in the paper).
+		fmt.Fprintf(&b, "  lea r1, __cnt_%s\n", fn)
+		b.WriteString("  load r2, [r1+0]\n")
+		b.WriteString("  add r2, 1\n")
+		b.WriteString("  store [r1+0], r2\n")
+		// if (eval_trigger(fid)) { return mailbox; }
+		fmt.Fprintf(&b, "  push %d\n", fid)
+		fmt.Fprintf(&b, "  call %s\n", evalHostFunc)
+		b.WriteString("  add sp, 4\n")
+		b.WriteString("  cmp r0, 0\n")
+		b.WriteString("  je .pass\n")
+		fmt.Fprintf(&b, "  lea r1, %s\n", mailboxSym)
+		b.WriteString("  load r0, [r1+0]\n")
+		b.WriteString("  ret\n")
+		// else: restore stack (already clean) and tail-jump to the
+		// original — dlsym(RTLD_NEXT) + jmp.
+		b.WriteString(".pass:\n")
+		fmt.Fprintf(&b, "  dlnext r1, %s\n", fn)
+		b.WriteString("  jmpi r1\n")
+		b.WriteString(".endfunc\n")
+	}
+	return b.String()
+}
+
+// Install registers the stub library and the trigger-evaluation host
+// function with the system. Spawn the target with PreloadList() to enable
+// interception.
+func (c *Controller) Install(sys *vm.System) error {
+	stub, err := c.StubLibrary()
+	if err != nil {
+		return err
+	}
+	sys.Register(stub)
+	sys.RegisterHost(evalHostFunc, c.evalTrigger)
+	return nil
+}
+
+// PreloadList returns the preload set for SpawnConfig (the LD_PRELOAD
+// line).
+func (c *Controller) PreloadList() []string { return []string{StubLibName} }
+
+// evaluatorFor returns (creating on demand) the per-process evaluator;
+// call counts and random streams are per process, like the static
+// counters in a preloaded interceptor.
+func (c *Controller) evaluatorFor(pid int) *scenario.Evaluator {
+	ev, ok := c.evals[pid]
+	if !ok {
+		ev = scenario.NewEvaluator(c.plan, c.set)
+		ev.SetPID(pid)
+		c.evals[pid] = ev
+	}
+	return ev
+}
+
+// evalTrigger is the __lfi_eval host function: it evaluates the triggers
+// for the intercepted call, applies side effects and argument
+// modifications, logs the injection, and tells the stub whether to return
+// the mailbox value (1) or pass through (0).
+func (c *Controller) evalTrigger(hc *vm.HostCall) int32 {
+	fid := int(hc.Arg(0))
+	if fid < 0 || fid >= len(c.fidToFunc) {
+		return 0
+	}
+	fn := c.fidToFunc[fid]
+	ev := c.evaluatorFor(hc.Proc.ID)
+
+	frames := backtrace(hc.Proc)
+	d := ev.OnCall(fn, frames)
+	// Charge the native cost of trigger evaluation: a fixed dispatch
+	// cost plus a tight per-examined-trigger scan term, in virtual
+	// cycles — this is what the paper's Tables 3/4 measure.
+	hc.ChargeCycles(uint64(10 + 2*d.Scanned))
+	if !d.Inject {
+		return 0
+	}
+
+	rec := InjectionRecord{
+		PID:       hc.Proc.ID,
+		Function:  fn,
+		CallCount: d.CallCount,
+		Cycle:     hc.Proc.Cycles,
+	}
+	for _, f := range frames {
+		if f.Symbol != "" {
+			rec.Stack = append(rec.Stack, f.Symbol)
+		} else {
+			rec.Stack = append(rec.Stack, "0x"+strconv.FormatUint(uint64(f.Addr), 16))
+		}
+		if len(rec.Stack) >= 6 {
+			break
+		}
+	}
+
+	// Argument modifications: the intercepted function's original
+	// arguments sit above the stub frame — arg i (1-based) lives at
+	// ArgAddr(1+i) relative to this host call (retaddr, fid, stub
+	// return address, then the arguments).
+	for _, m := range d.Modify {
+		addr := hc.ArgAddr(int(1 + m.Argument))
+		old, err := hc.Proc.ReadWord(addr)
+		if err != nil {
+			continue
+		}
+		if err := hc.Proc.WriteWord(addr, m.Apply(old)); err == nil {
+			rec.Modified = append(rec.Modified, m)
+		}
+	}
+
+	// Side effects from the fault profile (TLS/global stores).
+	for _, se := range d.SideEffects {
+		c.applySideEffect(hc.Proc, se)
+	}
+	// Symbolic errno (errno="EBADF") without a profile side effect:
+	// resolve the exported errno symbol across the loaded images.
+	if d.HasErrno {
+		c.applyErrno(hc.Proc, d.Errno)
+		rec.HasErrno = true
+		rec.Errno = d.Errno
+	}
+
+	callOriginal := d.CallOriginal || c.PassThrough || !d.HasRetval
+	rec.CallOrig = callOriginal
+	rec.HasRetval = d.HasRetval && !callOriginal
+	rec.Retval = d.Retval
+	c.log = append(c.log, rec)
+
+	if callOriginal {
+		return 0
+	}
+	// Place the return value in the mailbox for the stub to load.
+	if im, ok := hc.Proc.ImageByName(StubLibName); ok {
+		if va, ok := im.SymbolVA(mailboxSym); ok {
+			if err := hc.Proc.WriteWord(va, d.Retval); err == nil {
+				return 1
+			}
+		}
+	}
+	return 0
+}
+
+// applySideEffect stores a profile side effect into the target process.
+func (c *Controller) applySideEffect(p *vm.Proc, se profile.SideEffect) {
+	switch se.Type {
+	case profile.SideEffectTLS, profile.SideEffectGlobal:
+		im, ok := p.ImageByName(se.Module)
+		if !ok {
+			return
+		}
+		base := im.TLSBase
+		if se.Type == profile.SideEffectGlobal {
+			base = im.DataBase
+		}
+		_ = p.WriteWord(base+uint32(se.Offset), se.Applied())
+	case profile.SideEffectArgument:
+		// Argument side effects require the argument pointer, applied in
+		// evalTrigger via Modify; profiles drive retval/errno only.
+	}
+}
+
+// applyErrno resolves the canonical exported errno symbol and stores v.
+func (c *Controller) applyErrno(p *vm.Proc, v int32) {
+	for _, im := range p.Images {
+		if im.File.Name == StubLibName {
+			continue
+		}
+		if va, ok := im.SymbolVA("errno"); ok {
+			_ = p.WriteWord(va, v)
+			return
+		}
+	}
+}
+
+// backtrace converts the process shadow stack (innermost last) into
+// scenario frames (innermost first), skipping nothing: the stub frame is
+// the innermost, exactly like an LD_PRELOAD interceptor's.
+func backtrace(p *vm.Proc) []scenario.StackFrame {
+	out := make([]scenario.StackFrame, 0, len(p.CallStack))
+	for i := len(p.CallStack) - 1; i >= 0; i-- {
+		f := p.CallStack[i]
+		out = append(out, scenario.StackFrame{Addr: f.FuncVA, Symbol: f.Symbol})
+	}
+	return out
+}
+
+// WriteLog writes the text injection log (§5.2).
+func (c *Controller) WriteLog(w io.Writer) error {
+	for _, r := range c.log {
+		if _, err := fmt.Fprintln(w, r.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplayPlan generates a replay script (§5.2) from the injection log: a
+// deterministic plan that re-fires each logged injection at the same call
+// count. Replay is exact in the single-threaded VM; the paper notes
+// native replay may diverge under nondeterminism.
+func (c *Controller) ReplayPlan() *scenario.Plan {
+	out := &scenario.Plan{}
+	for _, r := range c.log {
+		t := scenario.Trigger{
+			Function:     r.Function,
+			Inject:       r.CallCount,
+			CallOriginal: r.CallOrig,
+			Once:         true,
+			Pid:          r.PID,
+		}
+		if r.HasRetval {
+			t.Retval = strconv.Itoa(int(r.Retval))
+		}
+		if r.HasErrno {
+			t.Errno = strconv.Itoa(int(r.Errno))
+		}
+		t.Modify = append(t.Modify, r.Modified...)
+		out.Triggers = append(out.Triggers, t)
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+// Package core is the top-level LFI facade: the library-level fault
+// injector of Marinescu & Candea (DSN'09) assembled from its parts.
+//
+// Using LFI is the paper's two-step workflow (§2):
+//
+//  1. Profile: point LFI at a target application; it finds the shared
+//     libraries the application links against (like ldd), statically
+//     analyses their binaries — and the kernel image beneath libc — and
+//     produces per-library fault profiles (error return values plus errno
+//     and output-argument side effects).
+//
+//  2. Inject: combine the profiles with a fault scenario (exhaustive,
+//     random, ready-made libc faultloads, or a hand-written XML plan);
+//     the controller synthesises an interceptor library, preloads it
+//     ahead of the originals, runs the workload, logs each injection and
+//     emits a replay script.
+//
+// A minimal campaign:
+//
+//	l := core.New(core.Options{})
+//	l.AddLibrary(libcObj)
+//	l.AddKernelImage()
+//	set, _ := l.ProfileApplication(appObj)
+//	plan := scenario.Random(set, 10, seed)
+//	c, _ := core.NewCampaign(core.CampaignConfig{
+//	    Programs: []*obj.File{libcObj, appObj},
+//	    Executable: appObj.Name, Profiles: set, Plan: plan,
+//	})
+//	report, _ := c.Run(0)
+package core
+
+import (
+	"fmt"
+
+	"lfi/internal/controller"
+	"lfi/internal/kernel"
+	"lfi/internal/obj"
+	"lfi/internal/profile"
+	"lfi/internal/profiler"
+	"lfi/internal/scenario"
+	"lfi/internal/vm"
+)
+
+// Options configures profiling.
+type Options struct {
+	// Heuristics enables the paper's two unsound §3.1 filters
+	// (drop-zero-returns, drop-predicate-functions). Off by default,
+	// exactly as in the paper.
+	Heuristics bool
+	// MaxStates bounds the per-function product-graph search.
+	MaxStates int
+}
+
+// LFI is the profiling half of the tool.
+type LFI struct {
+	prof *profiler.Profiler
+}
+
+// New creates an LFI instance.
+func New(opts Options) *LFI {
+	return &LFI{prof: profiler.New(profiler.Options{
+		DropZeroReturns: opts.Heuristics,
+		DropPredicates:  opts.Heuristics,
+		MaxStates:       opts.MaxStates,
+	})}
+}
+
+// AddLibrary registers a library (or application) binary for analysis.
+func (l *LFI) AddLibrary(f *obj.File) error { return l.prof.AddLibrary(f) }
+
+// AddKernelImage compiles and registers the synthetic kernel image so
+// that libc-style syscall wrappers resolve their kernel dependencies
+// (§3.1).
+func (l *LFI) AddKernelImage() error {
+	img, err := kernel.Image()
+	if err != nil {
+		return err
+	}
+	return l.prof.AddLibrary(img)
+}
+
+// ProfileLibrary profiles one library by name.
+func (l *LFI) ProfileLibrary(name string) (*profile.Profile, error) {
+	return l.prof.ProfileLibrary(name)
+}
+
+// ProfileApplication walks the application's needed libraries (the ldd
+// step) and profiles each of them.
+func (l *LFI) ProfileApplication(appName string) (profile.Set, error) {
+	return l.prof.ProfileApplication(appName)
+}
+
+// Stats exposes profiling statistics (functions analysed, product-graph
+// states expanded) for the §6.2 efficiency measurements.
+func (l *LFI) Stats() profiler.Stats { return l.prof.Stats() }
+
+// CampaignConfig describes one fault-injection experiment.
+type CampaignConfig struct {
+	// Programs are the executable and all libraries it needs.
+	Programs []*obj.File
+	// Executable is the program to run under injection.
+	Executable string
+	// Profiles drive random scenarios and side-effect application.
+	Profiles profile.Set
+	// Plan is the fault scenario; nil runs without injection.
+	Plan *scenario.Plan
+	// Files are installed into the kernel file system before the run.
+	Files map[string][]byte
+	// VM tunes the virtual machine (coverage, heap limit, ...).
+	VM vm.Options
+	// PassThrough forces trigger evaluation without fault activation
+	// (the Tables 3/4 overhead methodology).
+	PassThrough bool
+}
+
+// Campaign is a configured injection experiment.
+type Campaign struct {
+	cfg  CampaignConfig
+	sys  *vm.System
+	ctl  *controller.Controller
+	proc *vm.Proc
+}
+
+// Report summarises a campaign run (§5.2's log plus replay script).
+type Report struct {
+	Status     vm.ExitStatus
+	Injections []controller.InjectionRecord
+	ReplayPlan *scenario.Plan
+	Cycles     uint64
+	// Deadlocked is set when the run wedged rather than exiting.
+	Deadlocked bool
+}
+
+// NewCampaign builds the system: registers programs, installs kernel
+// files, synthesises and installs the interceptor library, and spawns the
+// executable with the interceptor preloaded.
+func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
+	c := &Campaign{cfg: cfg, sys: vm.NewSystem(cfg.VM)}
+	for _, f := range cfg.Programs {
+		c.sys.Register(f)
+	}
+	for path, data := range cfg.Files {
+		c.sys.Kernel().AddFile(path, data)
+	}
+	spawnCfg := vm.SpawnConfig{}
+	if cfg.Plan != nil {
+		c.ctl = controller.New(cfg.Profiles, cfg.Plan)
+		c.ctl.PassThrough = cfg.PassThrough
+		if err := c.ctl.Install(c.sys); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		spawnCfg.Preload = c.ctl.PreloadList()
+	}
+	p, err := c.sys.Spawn(cfg.Executable, spawnCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	c.proc = p
+	return c, nil
+}
+
+// System exposes the VM for workload drivers.
+func (c *Campaign) System() *vm.System { return c.sys }
+
+// Process returns the process under test.
+func (c *Campaign) Process() *vm.Proc { return c.proc }
+
+// Controller returns the injection controller (nil without a plan).
+func (c *Campaign) Controller() *controller.Controller { return c.ctl }
+
+// Run executes to completion (budget 0 = unlimited) and reports.
+func (c *Campaign) Run(budget uint64) (*Report, error) {
+	err := c.sys.Run(budget)
+	rep := &Report{
+		Status: c.proc.Status,
+		Cycles: c.sys.TotalCycles,
+	}
+	if c.ctl != nil {
+		rep.Injections = c.ctl.Log()
+		rep.ReplayPlan = c.ctl.ReplayPlan()
+	}
+	switch err {
+	case nil:
+	case vm.ErrDeadlock:
+		rep.Deadlocked = true
+	case vm.ErrBudget:
+		rep.Deadlocked = true
+	default:
+		return rep, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lfi/internal/kernel"
+	"lfi/internal/profile"
+	"lfi/internal/scenario"
+)
+
+// Outcome classifies one fault-injection run — the rows of the §2 test
+// report ("the results in the report can pinpoint bugs or weak spots in
+// the target software").
+type Outcome string
+
+// Outcomes.
+const (
+	// OutcomeHandled: the program terminated exactly as it does without
+	// injection — it tolerated the fault.
+	OutcomeHandled Outcome = "handled"
+	// OutcomeErrorExit: the program terminated normally but with a
+	// different exit code — it detected the fault and degraded.
+	OutcomeErrorExit Outcome = "error-exit"
+	// OutcomeCrash: the program died on a signal (SIGSEGV, SIGABRT...).
+	OutcomeCrash Outcome = "crash"
+	// OutcomeHang: the program deadlocked or exhausted its cycle budget.
+	OutcomeHang Outcome = "hang"
+	// OutcomeNotTriggered: the workload never called the function, so
+	// the fault was not exercised.
+	OutcomeNotTriggered Outcome = "not-triggered"
+)
+
+// SweepEntry is one (function, error code) experiment.
+type SweepEntry struct {
+	Library  string
+	Function string
+	Retval   int32
+	Errno    int32
+	HasErrno bool
+	Outcome  Outcome
+	ExitCode int32
+	Signal   int32
+}
+
+// String renders the entry as a report line.
+func (e SweepEntry) String() string {
+	fault := fmt.Sprintf("%s.%s -> %d", e.Library, e.Function, e.Retval)
+	if e.HasErrno {
+		name := kernel.ErrnoName(e.Errno)
+		if name == "" {
+			name = fmt.Sprint(e.Errno)
+		}
+		fault += " errno=" + name
+	}
+	return fmt.Sprintf("%-46s %s", fault, e.Outcome)
+}
+
+// SweepResult is the robustness matrix of one application.
+type SweepResult struct {
+	Executable string
+	Baseline   int32 // clean-run exit code
+	Entries    []SweepEntry
+}
+
+// Summary counts entries per outcome.
+func (r *SweepResult) Summary() map[Outcome]int {
+	out := make(map[Outcome]int)
+	for _, e := range r.Entries {
+		out[e.Outcome]++
+	}
+	return out
+}
+
+// Render prints the report: per-fault rows then the outcome summary.
+func (r *SweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "robustness sweep: %s (baseline exit %d, %d faults)\n",
+		r.Executable, r.Baseline, len(r.Entries))
+	for _, e := range r.Entries {
+		fmt.Fprintf(&b, "  %s\n", e.String())
+	}
+	sum := r.Summary()
+	keys := make([]string, 0, len(sum))
+	for k := range sum {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	b.WriteString("summary:")
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%d", k, sum[Outcome(k)])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Sweep runs one campaign per (function, error code) in the profile set —
+// the systematic fault-tolerance benchmark the paper's §2 envisions. Each
+// run injects exactly one fault on the function's first call and
+// classifies the program's reaction against a clean baseline.
+//
+// The cfg's Plan and PassThrough are ignored; everything else (programs,
+// executable, files, VM options) describes the target. budget bounds each
+// run's cycles (0 = a generous default).
+func Sweep(cfg CampaignConfig, set profile.Set, budget uint64) (*SweepResult, error) {
+	if budget == 0 {
+		budget = 200_000_000
+	}
+	baseCfg := cfg
+	baseCfg.Plan = nil
+	baseline, err := NewCampaign(baseCfg)
+	if err != nil {
+		return nil, err
+	}
+	baseRep, err := baseline.Run(budget)
+	if err != nil {
+		return nil, err
+	}
+	if baseRep.Status.Signal != 0 || baseRep.Deadlocked {
+		return nil, fmt.Errorf("core: baseline run is unhealthy: %+v", baseRep.Status)
+	}
+
+	res := &SweepResult{Executable: cfg.Executable, Baseline: baseRep.Status.Code}
+	libs := make([]string, 0, len(set))
+	for lib := range set {
+		libs = append(libs, lib)
+	}
+	sort.Strings(libs)
+	for _, lib := range libs {
+		for _, fn := range set[lib].Functions {
+			for _, ec := range fn.ErrorCodes {
+				entry := SweepEntry{
+					Library: lib, Function: fn.Name, Retval: ec.Retval,
+				}
+				trigger := scenario.Trigger{
+					Function: fn.Name,
+					Inject:   1,
+					Retval:   fmt.Sprint(ec.Retval),
+					Once:     true,
+				}
+				for _, se := range ec.SideEffects {
+					if se.Type == profile.SideEffectTLS {
+						entry.HasErrno = true
+						entry.Errno = se.Applied()
+						if name := kernel.ErrnoName(entry.Errno); name != "" {
+							trigger.Errno = name
+						} else {
+							trigger.Errno = fmt.Sprint(entry.Errno)
+						}
+						break
+					}
+				}
+				runCfg := cfg
+				runCfg.Plan = &scenario.Plan{Triggers: []scenario.Trigger{trigger}}
+				runCfg.PassThrough = false
+				c, err := NewCampaign(runCfg)
+				if err != nil {
+					return nil, err
+				}
+				rep, err := c.Run(budget)
+				if err != nil {
+					return nil, err
+				}
+				entry.ExitCode = rep.Status.Code
+				entry.Signal = rep.Status.Signal
+				switch {
+				case len(rep.Injections) == 0:
+					entry.Outcome = OutcomeNotTriggered
+				case rep.Status.Signal != 0:
+					entry.Outcome = OutcomeCrash
+				case rep.Deadlocked:
+					entry.Outcome = OutcomeHang
+				case rep.Status.Code == res.Baseline:
+					entry.Outcome = OutcomeHandled
+				default:
+					entry.Outcome = OutcomeErrorExit
+				}
+				res.Entries = append(res.Entries, entry)
+			}
+		}
+	}
+	return res, nil
+}

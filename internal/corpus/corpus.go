@@ -1,0 +1,605 @@
+// Package corpus generates the synthetic library corpus used by the
+// evaluation experiments.
+//
+// The paper evaluates the profiler on real commodity libraries (libssl,
+// libxml2, libpanel, ...) whose binaries and documentation we do not have
+// in this offline reproduction. Per the substitution rule, the corpus
+// generator produces, for each library in the paper's Table 2, a MiniC
+// library whose *code traits* drive the same accuracy phenomena:
+//
+//   - planted, documented error codes on plain branches (true positives);
+//   - documented codes reachable only through indirect calls, which the
+//     static analysis cannot follow (§3.1) — false negatives;
+//   - statically present but dynamically dead constant-return paths and
+//     state-dependent returns that the documentation (rightly) omits —
+//     false positives;
+//   - per-function side-effect channels (TLS errno, global last-error,
+//     output arguments) sampled from the paper's Table 1 mix.
+//
+// The generator also emits man-page documentation (package mandoc) used
+// as the Table 2 ground truth, and keeps perfect ground truth (the
+// libpcre-style manual-inspection baseline of §6.3).
+//
+// Everything is deterministic in Traits.Seed.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"lfi/internal/kernel"
+	"lfi/internal/mandoc"
+	"lfi/internal/minic"
+	"lfi/internal/obj"
+	"lfi/internal/profile"
+)
+
+// ChannelMix is a joint distribution over (return type, side channel),
+// mirroring the paper's Table 1 cells. Fractions should sum to ~1.
+type ChannelMix struct {
+	VoidNone     float64
+	ScalarNone   float64
+	ScalarGlobal float64
+	ScalarArgs   float64
+	PtrNone      float64
+	PtrGlobal    float64
+	PtrArgs      float64
+}
+
+// PaperMix returns the Table 1 distribution from the paper: >90% of
+// exported functions expose no error side channel.
+func PaperMix() ChannelMix {
+	return ChannelMix{
+		VoidNone:     0.230,
+		ScalarNone:   0.565,
+		ScalarGlobal: 0.010,
+		ScalarArgs:   0.035,
+		PtrNone:      0.116,
+		PtrGlobal:    0.010,
+		PtrArgs:      0.034,
+	}
+}
+
+// Traits parameterises one generated library.
+type Traits struct {
+	Name     string
+	Platform string // "Linux", "Solaris", "Windows" — metadata only
+	Prefix   string // function-name prefix ("xml", "ssl", ...)
+	Seed     int64
+	NumFuncs int
+	CodeKB   int // approximate text-section size target
+
+	// Accuracy items to plant (item = one documented/found error retval
+	// or errno detail), targeting the paper's Table 2 row counts.
+	TPItems int // documented codes on analysable paths
+	FNItems int // documented codes hidden behind indirect calls
+	FPItems int // undocumented, unreachable constant-return paths
+
+	// Mix controls padding-function shapes; zero value uses PaperMix.
+	Mix ChannelMix
+}
+
+// Library is a generated corpus entry.
+type Library struct {
+	Traits Traits
+	Object *obj.File
+	Source string
+	Docs   *mandoc.Set
+	// Truth is the per-item ground truth from generation ("manual code
+	// inspection" in §6.3 terms).
+	Truth map[Item]bool
+	// FuncReturnTypes maps every generated function to its C return
+	// type, the header-analysis input of Table 1.
+	FuncReturnTypes map[string]string
+}
+
+// Item is one accuracy-evaluation unit: an error return value or an errno
+// detail of one function.
+type Item struct {
+	Func  string
+	Kind  ItemKind
+	Value int32
+}
+
+// ItemKind distinguishes return values from errno details.
+type ItemKind uint8
+
+// Item kinds.
+const (
+	ItemRetval ItemKind = iota + 1
+	ItemErrno
+)
+
+// String renders the item for logs.
+func (it Item) String() string {
+	k := "retval"
+	if it.Kind == ItemErrno {
+		k = "errno"
+	}
+	return fmt.Sprintf("%s/%s=%d", it.Func, k, it.Value)
+}
+
+// errnoPool is the set of errno values planted codes draw details from.
+var errnoPool = []int32{
+	kernel.EBADF, kernel.EIO, kernel.EINVAL, kernel.ENOMEM, kernel.EACCES,
+	kernel.ENOENT, kernel.EINTR, kernel.EAGAIN, kernel.ENOSPC, kernel.EPIPE,
+}
+
+// Generate builds the library: MiniC source, compiled object, docs and
+// ground truth.
+func Generate(tr Traits) (*Library, error) {
+	if tr.Mix == (ChannelMix{}) {
+		tr.Mix = PaperMix()
+	}
+	if tr.NumFuncs <= 0 {
+		tr.NumFuncs = 20
+	}
+	if tr.Prefix == "" {
+		tr.Prefix = strings.TrimPrefix(strings.TrimSuffix(tr.Name, ".so"), "lib")
+	}
+	g := &generator{
+		tr:    tr,
+		rng:   rand.New(rand.NewSource(tr.Seed)),
+		docs:  mandoc.NewSet(tr.Name),
+		truth: make(map[Item]bool),
+		rtyp:  make(map[string]string),
+	}
+	src := g.generate()
+	f, err := minic.Compile(tr.Name, src, obj.Library)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %s: %w", tr.Name, err)
+	}
+	return &Library{
+		Traits: tr, Object: f, Source: src, Docs: g.docs,
+		Truth: g.truth, FuncReturnTypes: g.rtyp,
+	}, nil
+}
+
+type generator struct {
+	tr    Traits
+	rng   *rand.Rand
+	b     strings.Builder
+	docs  *mandoc.Set
+	truth map[Item]bool
+	rtyp  map[string]string
+
+	hiddenN     int
+	hiddenDecls []string // static helpers, emitted at top level
+	bodyOps     int
+}
+
+// plantedCode is one error code planted into a function.
+type plantedCode struct {
+	retval    int32
+	errnoName string
+	errnoVal  int32
+	hasErrno  bool
+	hidden    bool // behind an indirect call (expected FN)
+	phantom   bool // dynamically dead path, undocumented (expected FP)
+	channel   chanKind
+}
+
+type chanKind uint8
+
+const (
+	chanNone chanKind = iota + 1
+	chanTLS
+	chanGlobal
+	chanArg
+)
+
+func (g *generator) generate() string {
+	tr := g.tr
+	fmt.Fprintf(&g.b, "// %s — generated corpus library (%s), seed %d\n",
+		tr.Name, tr.Platform, tr.Seed)
+	g.b.WriteString("tls int errno;\n")
+	g.b.WriteString("int __lasterr;\nint __state;\nbyte __pool[64];\nint __sink;\n\n")
+
+	// Code-size budget: instructions per function.
+	instPerFn := 60
+	if tr.CodeKB > 0 {
+		instPerFn = tr.CodeKB * 1024 / 8 / tr.NumFuncs
+	}
+	g.bodyOps = (instPerFn - 36) / 7
+	if g.bodyOps < 1 {
+		g.bodyOps = 1
+	}
+
+	// Split items into codes: a code carries a retval item and, usually,
+	// an errno item.
+	tpCodes := splitItems(tr.TPItems)
+	fnCodes := splitItems(tr.FNItems)
+	for i := range fnCodes {
+		fnCodes[i].hidden = true
+	}
+	fpCodes := splitItemsNoErrno(tr.FPItems)
+
+	// Distribute codes over carrier functions (1..3 codes per function).
+	type fnPlan struct {
+		codes []plantedCode
+		ptr   bool
+	}
+	var plans []fnPlan
+	queue := make([]plantedCode, 0, len(tpCodes)+len(fnCodes)+len(fpCodes))
+	queue = append(queue, tpCodes...)
+	queue = append(queue, fnCodes...)
+	queue = append(queue, fpCodes...)
+	g.rng.Shuffle(len(queue), func(i, j int) { queue[i], queue[j] = queue[j], queue[i] })
+	for len(queue) > 0 {
+		n := 1 + g.rng.Intn(3)
+		if n > len(queue) {
+			n = len(queue)
+		}
+		plans = append(plans, fnPlan{codes: queue[:n], ptr: g.rng.Float64() < 0.2})
+		queue = queue[n:]
+	}
+
+	carriers := len(plans)
+	padding := tr.NumFuncs - carriers
+	if padding < 0 {
+		padding = 0
+	}
+
+	idx := 0
+	for _, pl := range plans {
+		g.emitCarrier(idx, pl.codes, pl.ptr)
+		idx++
+	}
+	for i := 0; i < padding; i++ {
+		g.emitPadding(idx)
+		idx++
+	}
+	for _, decl := range g.hiddenDecls {
+		g.b.WriteString(decl)
+	}
+	return g.b.String()
+}
+
+// splitItems converts an item budget into codes, pairing retval+errno.
+func splitItems(items int) []plantedCode {
+	var out []plantedCode
+	for items >= 2 {
+		out = append(out, plantedCode{hasErrno: true})
+		items -= 2
+	}
+	if items == 1 {
+		out = append(out, plantedCode{})
+	}
+	return out
+}
+
+func splitItemsNoErrno(items int) []plantedCode {
+	out := make([]plantedCode, 0, items)
+	for i := 0; i < items; i++ {
+		out = append(out, plantedCode{phantom: true})
+	}
+	return out
+}
+
+var verbs = []string{
+	"parse", "load", "store", "sync", "poll", "bind", "emit", "scan",
+	"init", "copy", "seek", "attach", "detach", "flush", "query", "walk",
+}
+
+func (g *generator) fname(idx int) string {
+	return fmt.Sprintf("%s_%s%d", g.tr.Prefix, verbs[idx%len(verbs)], idx)
+}
+
+// emitPaddingOps writes arithmetic filler that keeps r0 non-constant.
+func (g *generator) emitPaddingOps(n int) {
+	for i := 0; i < n; i++ {
+		switch g.rng.Intn(3) {
+		case 0:
+			fmt.Fprintf(&g.b, "  t = t * %d + a0;\n", 2+g.rng.Intn(7))
+		case 1:
+			fmt.Fprintf(&g.b, "  t = (t ^ %d) + a1;\n", g.rng.Intn(97))
+		default:
+			fmt.Fprintf(&g.b, "  t = t + a0 - %d;\n", g.rng.Intn(13))
+		}
+	}
+}
+
+// emitCarrier writes a function carrying planted error codes.
+func (g *generator) emitCarrier(idx int, codes []plantedCode, ptr bool) {
+	name := g.fname(idx)
+	ret := "int"
+	if ptr {
+		ret = "byte*"
+	}
+	// Assign concrete values now.
+	base := int32(idx%7 + 1)
+	for i := range codes {
+		c := &codes[i]
+		if ptr {
+			c.retval = 0 // NULL
+		} else {
+			c.retval = -(base + int32(i))
+		}
+		if codes[i].hasErrno || codes[i].hidden {
+			pick := errnoPool[g.rng.Intn(len(errnoPool))]
+			c.errnoVal = pick
+			c.errnoName = kernel.ErrnoName(pick)
+			c.hasErrno = true
+		}
+		// Mark some TP codes as hidden per the FN plan: hidden flag was
+		// set by the caller via splitItems on FNItems... distinguish by
+		// origin below.
+	}
+	_ = ret
+
+	hasArgChan := false
+	for _, c := range codes {
+		if c.channel == chanArg {
+			hasArgChan = true
+		}
+	}
+	params := "int a0, int a1"
+	if hasArgChan {
+		params += ", int *err_out"
+	}
+
+	fmt.Fprintf(&g.b, "%s %s(%s) {\n", ret, name, params)
+	g.b.WriteString("  int t;\n  int fp;\n  t = a0 + 1;\n")
+	g.emitPaddingOps(g.bodyOps)
+
+	page := &mandoc.Page{
+		Library:  g.tr.Name,
+		Function: name,
+		Synopsis: fmt.Sprintf("%s %s(%s)", ret, name, params),
+		Prose:    "corpus-generated routine",
+	}
+
+	guard := 0
+	for _, c := range codes {
+		guard++
+		cond := fmt.Sprintf("a0 == -%d", guard)
+		switch {
+		case c.phantom:
+			// Dynamically dead, statically visible, undocumented: the
+			// §6.3 false-positive source (state-dependent returns).
+			if ptr {
+				fmt.Fprintf(&g.b, "  if (a0 > %d && a0 < %d) { return 0; }\n", 90+guard, guard)
+				g.addTruthless(name, ItemRetval, 0)
+			} else {
+				v := -(int32(40) + int32(guard))
+				fmt.Fprintf(&g.b, "  if (a0 > %d && a0 < %d) { return %d; }\n", 90+guard, guard, v)
+				g.addTruthless(name, ItemRetval, v)
+			}
+		case c.hidden:
+			// Documented but reachable only through an indirect call:
+			// the §3.1 false-negative source.
+			h := g.emitHiddenTarget(c)
+			fmt.Fprintf(&g.b, "  fp = &%s;\n", h)
+			fmt.Fprintf(&g.b, "  if (%s) { return fp(); }\n", cond)
+			g.addTrue(name, ItemRetval, c.retval)
+			page.Retvals = append(page.Retvals, c.retval)
+			if c.hasErrno {
+				g.addTrue(name, ItemErrno, c.errnoVal)
+				page.Errnos = append(page.Errnos, c.errnoName)
+			}
+		default:
+			// Plain documented code: true positive.
+			g.b.WriteString("  if (" + cond + ") {")
+			if c.hasErrno {
+				switch c.channel {
+				case chanGlobal:
+					fmt.Fprintf(&g.b, " __lasterr = %d;", c.errnoVal)
+				case chanArg:
+					fmt.Fprintf(&g.b, " *err_out = %d;", c.errnoVal)
+				default:
+					fmt.Fprintf(&g.b, " errno = %d;", c.errnoVal)
+				}
+			}
+			fmt.Fprintf(&g.b, " return %d; }\n", c.retval)
+			g.addTrue(name, ItemRetval, c.retval)
+			page.Retvals = append(page.Retvals, c.retval)
+			if c.hasErrno {
+				g.addTrue(name, ItemErrno, c.errnoVal)
+				page.Errnos = append(page.Errnos, c.errnoName)
+			}
+		}
+	}
+
+	// Success path: pointers return a buffer; scalars return either a
+	// computed value or the C-conventional constant 0 — the latter is
+	// the success return §3.1's first heuristic exists to filter.
+	if ptr {
+		g.b.WriteString("  __sink = t;\n  return __pool;\n}\n\n")
+		g.rtyp[name] = "byte*"
+	} else if g.rng.Intn(3) == 0 {
+		g.b.WriteString("  __sink = t;\n  return 0;\n}\n\n")
+		g.rtyp[name] = "int"
+	} else {
+		g.b.WriteString("  return t;\n}\n\n")
+		g.rtyp[name] = "int"
+	}
+	g.docs.Add(page)
+}
+
+// emitHiddenTarget queues the static helper a hidden code lives in; the
+// helper is emitted at top level after all carriers.
+func (g *generator) emitHiddenTarget(c plantedCode) string {
+	g.hiddenN++
+	name := fmt.Sprintf("__%s_hid%d", g.tr.Prefix, g.hiddenN)
+	decl := fmt.Sprintf("static int %s(void) {", name)
+	if c.hasErrno {
+		decl += fmt.Sprintf(" errno = %d;", c.errnoVal)
+	}
+	decl += fmt.Sprintf(" return %d; }\n", c.retval)
+	g.hiddenDecls = append(g.hiddenDecls, decl)
+	return name
+}
+
+// emitPadding writes a code-free function whose shape is sampled from the
+// Table 1 mix.
+func (g *generator) emitPadding(idx int) {
+	name := g.fname(idx)
+	m := g.tr.Mix
+	x := g.rng.Float64() * (m.VoidNone + m.ScalarNone + m.ScalarGlobal +
+		m.ScalarArgs + m.PtrNone + m.PtrGlobal + m.PtrArgs)
+	page := &mandoc.Page{Library: g.tr.Name, Function: name, Prose: "corpus padding routine"}
+
+	switch {
+	case x < m.VoidNone:
+		fmt.Fprintf(&g.b, "void %s(int a0, int a1) {\n  int t;\n  t = a0;\n", name)
+		g.emitPaddingOps(g.bodyOps)
+		g.b.WriteString("  __sink = t;\n}\n\n")
+		page.Synopsis = fmt.Sprintf("void %s(int a0, int a1)", name)
+		g.rtyp[name] = "void"
+
+	case x < m.VoidNone+m.ScalarNone:
+		// Scalar, no side channel. A fifth are isFile()-style predicates
+		// (the §3.1 second-heuristic target); of the rest, a small
+		// fraction carry a bare documented code.
+		if g.rng.Intn(5) == 0 {
+			fmt.Fprintf(&g.b,
+				"int %s(int a0, int a1) {\n  if (a0 == %d) { return 1; }\n  return 0;\n}\n\n",
+				name, g.rng.Intn(16))
+			page.Synopsis = fmt.Sprintf("int %s(int a0, int a1)", name)
+			g.rtyp[name] = "int"
+			break
+		}
+		fmt.Fprintf(&g.b, "int %s(int a0, int a1) {\n  int t;\n  t = a0 + 2;\n", name)
+		g.emitPaddingOps(g.bodyOps)
+		if g.rng.Intn(6) == 0 {
+			v := -(int32(g.rng.Intn(5)) + 1)
+			fmt.Fprintf(&g.b, "  if (a0 < -9) { return %d; }\n", v)
+			g.addTrue(name, ItemRetval, v)
+			page.Retvals = append(page.Retvals, v)
+		}
+		g.b.WriteString("  return t;\n}\n\n")
+		page.Synopsis = fmt.Sprintf("int %s(int a0, int a1)", name)
+		g.rtyp[name] = "int"
+
+	case x < m.VoidNone+m.ScalarNone+m.ScalarGlobal:
+		v := errnoPool[g.rng.Intn(len(errnoPool))]
+		fmt.Fprintf(&g.b, "int %s(int a0, int a1) {\n  int t;\n  t = a0 + 3;\n", name)
+		g.emitPaddingOps(g.bodyOps)
+		fmt.Fprintf(&g.b, "  if (a0 < -3) { errno = %d; return -1; }\n  return t;\n}\n\n", v)
+		g.addTrue(name, ItemRetval, -1)
+		g.addTrue(name, ItemErrno, v)
+		page.Synopsis = fmt.Sprintf("int %s(int a0, int a1)", name)
+		page.Retvals = []int32{-1}
+		page.Errnos = []string{kernel.ErrnoName(v)}
+		g.rtyp[name] = "int"
+
+	case x < m.VoidNone+m.ScalarNone+m.ScalarGlobal+m.ScalarArgs:
+		v := errnoPool[g.rng.Intn(len(errnoPool))]
+		fmt.Fprintf(&g.b, "int %s(int a0, int *err_out) {\n  int t;\n  t = a0 + 4;\n", name)
+		fmt.Fprintf(&g.b, "  if (a0 < -4) { *err_out = %d; return -1; }\n  return t;\n}\n\n", v)
+		g.addTrue(name, ItemRetval, -1)
+		g.addTrue(name, ItemErrno, v)
+		page.Synopsis = fmt.Sprintf("int %s(int a0, int *err_out)", name)
+		page.Retvals = []int32{-1}
+		page.Errnos = []string{kernel.ErrnoName(v)}
+		g.rtyp[name] = "int"
+
+	case x < m.VoidNone+m.ScalarNone+m.ScalarGlobal+m.ScalarArgs+m.PtrNone:
+		fmt.Fprintf(&g.b, "byte *%s(int a0) {\n", name)
+		if g.rng.Intn(5) == 0 {
+			g.b.WriteString("  if (a0 < 0) { return 0; }\n")
+			g.addTrue(name, ItemRetval, 0)
+			page.Retvals = []int32{0}
+		}
+		g.b.WriteString("  return __pool;\n}\n\n")
+		page.Synopsis = fmt.Sprintf("byte *%s(int a0)", name)
+		g.rtyp[name] = "byte*"
+
+	case x < m.VoidNone+m.ScalarNone+m.ScalarGlobal+m.ScalarArgs+m.PtrNone+m.PtrGlobal:
+		v := errnoPool[g.rng.Intn(len(errnoPool))]
+		fmt.Fprintf(&g.b, "byte *%s(int a0) {\n  if (a0 < 0) { __lasterr = %d; return 0; }\n  return __pool;\n}\n\n", name, v)
+		g.addTrue(name, ItemRetval, 0)
+		g.addTrue(name, ItemErrno, v)
+		page.Synopsis = fmt.Sprintf("byte *%s(int a0)", name)
+		page.Retvals = []int32{0}
+		page.Errnos = []string{kernel.ErrnoName(v)}
+		g.rtyp[name] = "byte*"
+
+	default:
+		v := errnoPool[g.rng.Intn(len(errnoPool))]
+		fmt.Fprintf(&g.b, "byte *%s(int a0, int *err_out) {\n  if (a0 < 0) { *err_out = %d; return 0; }\n  return __pool;\n}\n\n", name, v)
+		g.addTrue(name, ItemRetval, 0)
+		g.addTrue(name, ItemErrno, v)
+		page.Synopsis = fmt.Sprintf("byte *%s(int a0, int *err_out)", name)
+		page.Retvals = []int32{0}
+		page.Errnos = []string{kernel.ErrnoName(v)}
+		g.rtyp[name] = "byte*"
+	}
+	g.docs.Add(page)
+}
+
+func (g *generator) addTrue(fn string, k ItemKind, v int32) {
+	g.truth[Item{Func: fn, Kind: k, Value: v}] = true
+}
+
+// addTruthless records nothing: phantom codes are absent from both truth
+// and docs. Kept as a named helper for readability.
+func (g *generator) addTruthless(fn string, k ItemKind, v int32) {}
+
+// ---------------------------------------------------------------------------
+// Accuracy evaluation (§6.3)
+// ---------------------------------------------------------------------------
+
+// DocumentedItems extracts the documentation's items — the Table 2 ground
+// truth.
+func (l *Library) DocumentedItems() map[Item]bool {
+	out := make(map[Item]bool)
+	for fn, page := range l.Docs.Pages {
+		for _, v := range page.Retvals {
+			out[Item{Func: fn, Kind: ItemRetval, Value: v}] = true
+		}
+		for _, e := range page.Errnos {
+			if v, ok := kernel.ErrnoByName(e); ok {
+				out[Item{Func: fn, Kind: ItemErrno, Value: v}] = true
+			}
+		}
+	}
+	return out
+}
+
+// ProfiledItems converts a fault profile into accuracy items.
+func ProfiledItems(p *profile.Profile) map[Item]bool {
+	out := make(map[Item]bool)
+	for _, fn := range p.Functions {
+		for _, ec := range fn.ErrorCodes {
+			out[Item{Func: fn.Name, Kind: ItemRetval, Value: ec.Retval}] = true
+			for _, se := range ec.SideEffects {
+				out[Item{Func: fn.Name, Kind: ItemErrno, Value: se.Applied()}] = true
+			}
+		}
+	}
+	return out
+}
+
+// Score is an accuracy result in the paper's TP/(TP+FN+FP) form.
+type Score struct {
+	TP, FN, FP int
+}
+
+// Accuracy returns TP/(TP+FN+FP).
+func (s Score) Accuracy() float64 {
+	d := s.TP + s.FN + s.FP
+	if d == 0 {
+		return 1
+	}
+	return float64(s.TP) / float64(d)
+}
+
+// Compare scores found items against ground-truth items.
+func Compare(found, truth map[Item]bool) Score {
+	var s Score
+	for it := range truth {
+		if found[it] {
+			s.TP++
+		} else {
+			s.FN++
+		}
+	}
+	for it := range found {
+		if !truth[it] {
+			s.FP++
+		}
+	}
+	return s
+}

@@ -1,0 +1,191 @@
+package corpus_test
+
+import (
+	"testing"
+
+	"lfi/internal/corpus"
+	"lfi/internal/mandoc"
+	"lfi/internal/profiler"
+)
+
+func genProfileScore(t *testing.T, tr corpus.Traits) (corpus.Score, *corpus.Library) {
+	t.Helper()
+	lib, err := corpus.Generate(tr)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	pr := profiler.New(profiler.Options{DropZeroReturns: true, DropPredicates: true})
+	if err := pr.AddLibrary(lib.Object); err != nil {
+		t.Fatal(err)
+	}
+	p, err := pr.ProfileLibrary(tr.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := corpus.ProfiledItems(p)
+	return corpus.Compare(found, lib.DocumentedItems()), lib
+}
+
+func TestGeneratedLibraryCompilesAndValidates(t *testing.T) {
+	lib, err := corpus.Generate(corpus.Traits{
+		Name: "libdemo.so", Platform: "Linux", Seed: 1,
+		NumFuncs: 30, TPItems: 20, FNItems: 4, FPItems: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Object.Validate(); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+	if n := len(lib.Object.ExportedFuncs()); n < 30 {
+		t.Errorf("exported funcs = %d, want >= 30", n)
+	}
+	if len(lib.Docs.Pages) == 0 {
+		t.Error("no documentation generated")
+	}
+	if len(lib.Truth) == 0 {
+		t.Error("no ground truth recorded")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	tr := corpus.Traits{Name: "libdet.so", Seed: 42, NumFuncs: 25, TPItems: 10, FNItems: 2, FPItems: 1}
+	a, err := corpus.Generate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := corpus.Generate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Source != b.Source {
+		t.Error("generation is not deterministic")
+	}
+	if string(a.Object.Encode()) != string(b.Object.Encode()) {
+		t.Error("objects differ across identical generations")
+	}
+}
+
+// TestAccuracyPhenomena: planted TPs are found, hidden codes are missed
+// (FN), phantom codes are reported (FP) — the three §6.3 mechanisms.
+func TestAccuracyPhenomena(t *testing.T) {
+	score, lib := genProfileScore(t, corpus.Traits{
+		Name: "libacc.so", Seed: 7, NumFuncs: 60,
+		TPItems: 60, FNItems: 10, FPItems: 8,
+	})
+	total := score.TP + score.FN + score.FP
+	if total == 0 {
+		t.Fatal("no items scored")
+	}
+	if score.TP == 0 {
+		t.Error("no true positives — planted codes were not found")
+	}
+	if score.FN == 0 {
+		t.Error("no false negatives — indirect-call hiding failed")
+	}
+	if score.FP == 0 {
+		t.Error("no false positives — phantom paths were not reported")
+	}
+	// The bulk of planted documented items must be found.
+	docItems := len(lib.DocumentedItems())
+	if score.TP < docItems*7/10 {
+		t.Errorf("TP = %d of %d documented items — analysis recall too low", score.TP, docItems)
+	}
+}
+
+// TestCalibrationNearTargets: measured TP/FN/FP track the planted item
+// budgets within a tolerance (analysis noise is the point of the
+// experiment, but it must stay bounded).
+func TestCalibrationNearTargets(t *testing.T) {
+	tr := corpus.Traits{
+		Name: "libcal.so", Seed: 11, NumFuncs: 120,
+		TPItems: 150, FNItems: 20, FPItems: 10,
+	}
+	score, _ := genProfileScore(t, tr)
+	near := func(got, want, slackPct int) bool {
+		slack := want * slackPct / 100
+		if slack < 6 {
+			slack = 6
+		}
+		return got >= want-slack && got <= want+slack
+	}
+	if !near(score.TP, tr.TPItems, 15) {
+		t.Errorf("TP = %d, target %d", score.TP, tr.TPItems)
+	}
+	if !near(score.FN, tr.FNItems, 40) {
+		t.Errorf("FN = %d, target %d", score.FN, tr.FNItems)
+	}
+	if !near(score.FP, tr.FPItems, 60) {
+		t.Errorf("FP = %d, target %d", score.FP, tr.FPItems)
+	}
+}
+
+func TestPcreManualInspectionBaseline(t *testing.T) {
+	row := corpus.PcreSpec()
+	lib, err := corpus.Generate(row.Traits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := profiler.New(profiler.Options{DropZeroReturns: true, DropPredicates: true})
+	if err := pr.AddLibrary(lib.Object); err != nil {
+		t.Fatal(err)
+	}
+	p, err := pr.ProfileLibrary(row.Traits.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manual inspection = ground truth, not docs.
+	score := corpus.Compare(corpus.ProfiledItems(p), lib.Truth)
+	acc := score.Accuracy()
+	if acc < 0.70 || acc > 0.95 {
+		t.Errorf("libpcre accuracy = %.2f (TP=%d FN=%d FP=%d), paper 0.84",
+			acc, score.TP, score.FN, score.FP)
+	}
+}
+
+func TestMandocRoundTrip(t *testing.T) {
+	lib, err := corpus.Generate(corpus.Traits{
+		Name: "libdoc.so", Seed: 3, NumFuncs: 15, TPItems: 12, FNItems: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := lib.Docs.Render()
+	parsed, err := mandoc.ParseSet("libdoc.so", text)
+	if err != nil {
+		t.Fatalf("parse rendered docs: %v", err)
+	}
+	if len(parsed.Pages) != len(lib.Docs.Pages) {
+		t.Fatalf("pages: got %d, want %d", len(parsed.Pages), len(lib.Docs.Pages))
+	}
+	for name, orig := range lib.Docs.Pages {
+		got, ok := parsed.Pages[name]
+		if !ok {
+			t.Errorf("page %s lost", name)
+			continue
+		}
+		if len(got.Retvals) != len(orig.Retvals) || len(got.Errnos) != len(orig.Errnos) {
+			t.Errorf("%s: retvals/errnos mismatch: %v/%v vs %v/%v",
+				name, got.Retvals, got.Errnos, orig.Retvals, orig.Errnos)
+		}
+		if got.ReturnType() == "" {
+			t.Errorf("%s: no return type parsed from synopsis %q", name, got.Synopsis)
+		}
+	}
+}
+
+func TestTable2SpecsGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 2 corpus generation is slow")
+	}
+	for _, row := range corpus.Table2Rows()[:4] {
+		lib, err := corpus.Generate(row.Traits)
+		if err != nil {
+			t.Errorf("%s/%s: %v", row.Traits.Name, row.Traits.Platform, err)
+			continue
+		}
+		if err := lib.Object.Validate(); err != nil {
+			t.Errorf("%s: %v", row.Traits.Name, err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package corpus_test
+
+import (
+	"testing"
+
+	"lfi/internal/corpus"
+	"lfi/internal/profiler"
+)
+
+// TestSymbolicPruningRemovesPhantoms: the PruneInfeasible extension (the
+// paper's §3.1 future-work item) eliminates the corpus's planted
+// argument-dependent false positives without losing true positives.
+func TestSymbolicPruningRemovesPhantoms(t *testing.T) {
+	tr := corpus.Traits{
+		Name: "libsym.so", Seed: 21, NumFuncs: 80,
+		TPItems: 80, FNItems: 8, FPItems: 12,
+	}
+	lib, err := corpus.Generate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(prune bool) corpus.Score {
+		pr := profiler.New(profiler.Options{
+			DropZeroReturns: true, DropPredicates: true, PruneInfeasible: prune,
+		})
+		if err := pr.AddLibrary(lib.Object); err != nil {
+			t.Fatal(err)
+		}
+		p, err := pr.ProfileLibrary(tr.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return corpus.Compare(corpus.ProfiledItems(p), lib.DocumentedItems())
+	}
+	off := score(false)
+	on := score(true)
+	if off.FP == 0 {
+		t.Fatal("corpus planted no false positives")
+	}
+	if on.FP >= off.FP {
+		t.Errorf("pruning did not reduce FPs: %d -> %d", off.FP, on.FP)
+	}
+	if on.FP > off.FP/3 {
+		t.Errorf("pruning left %d of %d FPs, want most phantoms removed", on.FP, off.FP)
+	}
+	// True positives must not be sacrificed (allow a tiny margin: a TP
+	// whose representative path is unluckily infeasible).
+	if on.TP < off.TP-2 {
+		t.Errorf("pruning lost true positives: %d -> %d", off.TP, on.TP)
+	}
+	if on.Accuracy() <= off.Accuracy() {
+		t.Errorf("accuracy did not improve: %.3f -> %.3f", off.Accuracy(), on.Accuracy())
+	}
+}

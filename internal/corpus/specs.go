@@ -1,0 +1,114 @@
+package corpus
+
+// Table2Row pairs a corpus spec with the paper's published accuracy
+// numbers, so experiments can print paper-vs-measured side by side.
+type Table2Row struct {
+	Traits  Traits
+	PaperTP int
+	PaperFN int
+	PaperFP int
+}
+
+// PaperAccuracy returns the row's published accuracy.
+func (r Table2Row) PaperAccuracy() float64 {
+	return float64(r.PaperTP) / float64(r.PaperTP+r.PaperFN+r.PaperFP)
+}
+
+// Table2Rows returns one generated-library spec per row of the paper's
+// Table 2 ("Profiler accuracy with no human assistance, no documentation,
+// and no source code, on Linux/x86, Solaris/SPARC, and Windows/x86").
+// Item budgets equal the paper's TP/FN/FP counts; function counts and
+// code sizes are plausible for each library (libdmx and libxml2 use the
+// §6.2 figures: 18 functions / 8 KB and 1612 functions / 897 KB).
+func Table2Rows() []Table2Row {
+	mk := func(name, platform string, funcs, kb, tp, fn, fp int, seed int64) Table2Row {
+		return Table2Row{
+			Traits: Traits{
+				Name: name, Platform: platform, Seed: seed,
+				NumFuncs: funcs, CodeKB: kb,
+				TPItems: tp, FNItems: fn, FPItems: fp,
+			},
+			PaperTP: tp, PaperFN: fn, PaperFP: fp,
+		}
+	}
+	return []Table2Row{
+		mk("libssl.so", "Windows", 300, 170, 164, 18, 6, 101),
+		mk("libxml2.so", "Solaris", 1612, 897, 1003, 138, 88, 102),
+		mk("libpanel.so", "Solaris", 20, 10, 23, 0, 0, 103),
+		mk("libpctx.so", "Solaris", 15, 8, 10, 0, 2, 104),
+		mk("libldap.so", "Linux", 400, 230, 368, 45, 21, 105),
+		mk("libxml2.so", "Linux", 1612, 897, 989, 152, 102, 106),
+		mk("libXss.so", "Linux", 12, 6, 12, 1, 0, 107),
+		mk("libgtkspell.so", "Linux", 8, 4, 7, 0, 0, 108),
+		mk("libpanel.so", "Linux", 20, 10, 21, 2, 0, 109),
+		mk("libdmx.so", "Linux", 18, 8, 26, 8, 0, 110),
+		mk("libao.so", "Linux", 14, 7, 12, 3, 0, 111),
+		mk("libhesiod.so", "Linux", 12, 6, 10, 0, 0, 112),
+		mk("libnetfilter_q.so", "Linux", 22, 12, 24, 2, 0, 113),
+		mk("libcdt.so", "Linux", 16, 8, 15, 0, 0, 114),
+		mk("libdaemon.so", "Linux", 28, 14, 30, 3, 0, 115),
+		mk("libdns_sd.so", "Linux", 45, 25, 50, 4, 2, 116),
+		mk("libgimpthumb.so", "Linux", 30, 16, 31, 3, 3, 117),
+		mk("libvorbisfile.so", "Linux", 40, 30, 133, 4, 39, 118),
+	}
+}
+
+// PcreSpec reproduces the §6.3 manual-inspection baseline: libpcre, 20
+// exported functions, accuracy 84% against ground truth (52 TP, 10 FN,
+// 0 FP).
+func PcreSpec() Table2Row {
+	return Table2Row{
+		Traits: Traits{
+			Name: "libpcre.so", Platform: "Linux", Seed: 200,
+			NumFuncs: 20, CodeKB: 24,
+			TPItems: 52, FNItems: 10, FPItems: 0,
+		},
+		PaperTP: 52, PaperFN: 10, PaperFP: 0,
+	}
+}
+
+// Table1Spec builds the side-channel-statistics corpus of §3.2: numFuncs
+// exported functions whose (return type, channel) joint distribution is
+// the paper's Table 1 mix. The paper analysed >20,000 functions of the
+// Ubuntu libraries; pass numFuncs=20000 for a full-scale run.
+func Table1Spec(numFuncs int, seed int64) Traits {
+	return Traits{
+		Name: "libubuntu.so", Platform: "Linux", Prefix: "ub", Seed: seed,
+		NumFuncs: numFuncs, CodeKB: numFuncs * 60 * 8 / 1024,
+		Mix: PaperMix(),
+	}
+}
+
+// EfficiencySpec is one point of the §6.2 profiling-time curve.
+type EfficiencySpec struct {
+	Traits     Traits
+	PaperSecs  float64 // the paper's measured profiling time, when given
+	ExportedFn int
+}
+
+// EfficiencySpecs returns the §6.2 series: profiling time from libdmx
+// (18 exported functions, 8 KB of code, 0.2 s in the paper) to libxml2
+// (1612 functions, 897 KB, 20 s), with intermediate sizes to show the
+// ~linear dependence on code size.
+func EfficiencySpecs() []EfficiencySpec {
+	mk := func(name string, funcs, kb int, paperSecs float64, seed int64) EfficiencySpec {
+		return EfficiencySpec{
+			Traits: Traits{
+				Name: name, Platform: "Linux", Seed: seed,
+				NumFuncs: funcs, CodeKB: kb,
+				// Give every library a realistic sprinkling of codes.
+				TPItems: funcs / 2, FNItems: funcs / 20, FPItems: funcs / 30,
+			},
+			PaperSecs:  paperSecs,
+			ExportedFn: funcs,
+		}
+	}
+	return []EfficiencySpec{
+		mk("libdmx.so", 18, 8, 0.2, 301),
+		mk("libao.so", 60, 32, 0, 302),
+		mk("libdaemon.so", 160, 90, 0, 303),
+		mk("libldap.so", 400, 230, 0, 304),
+		mk("libssl.so", 800, 450, 0, 305),
+		mk("libxml2.so", 1612, 897, 20, 306),
+	}
+}

@@ -1,0 +1,740 @@
+// Package dataflow implements the static analyses at the core of the LFI
+// profiler (DSN'09 §3.1–3.2):
+//
+//   - reverse constant propagation: starting from the last write to the
+//     return location (R0, the eax analogue) in each exit basic block, it
+//     searches backwards through the CFG for the constants that can reach
+//     it. The search operates on the product graph G' = V × {locations}
+//     described in the paper, expanded on demand: a search state is a
+//     (basic block, abstract location) pair, and an edge exists when the
+//     predecessor block propagates the location's content.
+//
+//   - side-effect extraction: for each discovered constant origin, the
+//     representative path from the defining block to the exit is replayed
+//     forward with a small abstract evaluator that recognises writes to
+//     TLS locations (errno), PIC-addressed globals, and pointers loaded
+//     from positive frame-pointer offsets (output arguments).
+//
+// Calls to dependent functions are delegated to a Resolver so the profiler
+// can recurse across functions, libraries and the kernel image, exactly as
+// §3.1 prescribes ("for calls to dependent functions, we consider all of
+// the dependent function's return values to be propagated").
+package dataflow
+
+import (
+	"fmt"
+
+	"lfi/internal/cfg"
+	"lfi/internal/isa"
+	"lfi/internal/obj"
+)
+
+// CalleeKind classifies the target of a call discovered during analysis.
+type CalleeKind uint8
+
+// Callee kinds.
+const (
+	CalleeLocal    CalleeKind = iota + 1 // direct call within the module
+	CalleeImport                         // direct call to an imported symbol
+	CalleeSyscall                        // SYSCALL with a known number
+	CalleeIndirect                       // register-indirect call (unresolvable)
+)
+
+// CalleeRef identifies a dependent function.
+type CalleeRef struct {
+	Kind    CalleeKind
+	Off     int32  // CalleeLocal: text offset of the entry
+	Name    string // CalleeImport: imported symbol name
+	Syscall int32  // CalleeSyscall: syscall number
+}
+
+// String renders the callee reference for logs and tests.
+func (c CalleeRef) String() string {
+	switch c.Kind {
+	case CalleeLocal:
+		return fmt.Sprintf("local@%#x", c.Off)
+	case CalleeImport:
+		return "import:" + c.Name
+	case CalleeSyscall:
+		return fmt.Sprintf("syscall:%d", c.Syscall)
+	case CalleeIndirect:
+		return "indirect"
+	}
+	return "unknown"
+}
+
+// Resolver supplies the constant return values of dependent functions.
+// ok=false means the callee's returns are unknown (e.g. indirect call),
+// in which case the origin is recorded as non-constant.
+type Resolver interface {
+	ReturnConstants(ref CalleeRef) (values []int32, ok bool)
+}
+
+// Origin describes one way a value can reach the return location at a
+// function exit.
+type Origin struct {
+	// Known is false when the value is not a compile-time constant nor a
+	// dependent-function return (e.g. computed arithmetic, argument
+	// pass-through, indirect call result).
+	Known bool
+	// Value is the constant, valid when Known && !ViaCall.
+	Value int32
+	// ViaCall marks origins whose values are the dependent callee's
+	// return constants.
+	ViaCall bool
+	Callee  CalleeRef
+	// CalleeConsts are the callee's constant returns (ViaCall only).
+	CalleeConsts []int32
+	// Path is a representative chain of basic blocks from the defining
+	// block to the exit block (inclusive), used for side-effect
+	// extraction per §3.2.
+	Path []*cfg.Block
+	// DefIdx is the instruction index of the defining write within
+	// Path[0] (-1 when the definition is a callee return entering the
+	// block).
+	DefIdx int
+}
+
+// Values returns the concrete constants this origin contributes.
+func (o Origin) Values() []int32 {
+	if !o.Known {
+		return nil
+	}
+	if o.ViaCall {
+		return o.CalleeConsts
+	}
+	return []int32{o.Value}
+}
+
+// SideEffectKind classifies how error details are exposed (§3.2, Table 1).
+type SideEffectKind uint8
+
+// Side-effect kinds.
+const (
+	SideEffectTLS      SideEffectKind = iota + 1 // thread-local (errno)
+	SideEffectGlobal                             // PIC-addressed global
+	SideEffectArgument                           // write through pointer argument
+)
+
+// String names the side-effect kind as used in fault profiles.
+func (k SideEffectKind) String() string {
+	switch k {
+	case SideEffectTLS:
+		return "TLS"
+	case SideEffectGlobal:
+		return "global"
+	case SideEffectArgument:
+		return "argument"
+	}
+	return "unknown"
+}
+
+// StoredValue is the abstract value written by a side-effecting store.
+type StoredValue struct {
+	// FromCallee is true when the stored value derives from the
+	// dependent callee's return (the glibc errno = -eax pattern).
+	FromCallee bool
+	// Negated is true when the store negates the propagated value.
+	Negated bool
+	// Const is the literal stored value when !FromCallee.
+	Const int32
+	// Consts are the dependent callee's constant returns (FromCallee
+	// only); each expands to one profile side-effect entry.
+	Consts []int32
+}
+
+// SideEffect is one discovered error side channel.
+type SideEffect struct {
+	Kind   SideEffectKind
+	Off    int32 // TLS or data-section offset (TLS/global kinds)
+	ArgIdx int32 // argument index (argument kind)
+	Value  StoredValue
+}
+
+// Analysis runs the §3.1/§3.2 analyses over one function CFG.
+type Analysis struct {
+	Graph    *cfg.Graph
+	Resolver Resolver
+	// MaxStates bounds the on-demand product-graph expansion; zero means
+	// DefaultMaxStates.
+	MaxStates int
+	// stats
+	statesExpanded int
+	// feasStack is scratch state for PathFeasible's operand tracking.
+	feasStack []argVal
+}
+
+// DefaultMaxStates bounds the product-graph search per function.
+const DefaultMaxStates = 4096
+
+// StatesExpanded reports how many (block, location) product states the
+// last ReturnOrigins call expanded; used by the ablation benchmarks.
+func (a *Analysis) StatesExpanded() int { return a.statesExpanded }
+
+// Abstract locations tracked by the backward search: registers and
+// BP-relative frame slots (negative offsets = locals and spills; positive
+// offsets = incoming arguments).
+type locKind uint8
+
+const (
+	locReg locKind = iota + 1
+	locFrame
+)
+
+type loc struct {
+	kind locKind
+	reg  isa.Reg
+	off  int32
+}
+
+func regLoc(r isa.Reg) loc   { return loc{kind: locReg, reg: r} }
+func frameLoc(off int32) loc { return loc{kind: locFrame, off: off} }
+func (l loc) String() string {
+	if l.kind == locReg {
+		return l.reg.String()
+	}
+	return fmt.Sprintf("[bp%+d]", l.off)
+}
+
+type searchState struct {
+	block *cfg.Block
+	idx   int // instruction index to start scanning backwards from
+	loc   loc
+	path  []*cfg.Block // blocks from current to exit (current first)
+}
+
+// ReturnOrigins finds every origin of the function's return value across
+// all exit blocks — the paper's "reverse constant propagation".
+func (a *Analysis) ReturnOrigins() []Origin {
+	max := a.MaxStates
+	if max <= 0 {
+		max = DefaultMaxStates
+	}
+	a.statesExpanded = 0
+
+	var origins []Origin
+	type visitKey struct {
+		blockID int
+		l       loc
+	}
+	visited := make(map[visitKey]bool)
+
+	var stack []searchState
+	for _, exit := range a.Graph.ExitBlocks() {
+		if exit.Last().Op != isa.OpRet {
+			continue // halt does not return a value to a caller
+		}
+		stack = append(stack, searchState{
+			block: exit,
+			idx:   exit.NumInsts() - 2, // skip the ret itself
+			loc:   regLoc(isa.R0),
+			path:  []*cfg.Block{exit},
+		})
+	}
+
+	for len(stack) > 0 {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if a.statesExpanded >= max {
+			break
+		}
+		a.statesExpanded++
+
+		found := false
+		for i := st.idx; i >= 0 && !found; i-- {
+			in := st.block.Inst(i)
+			def, kind := defines(in, st.loc)
+			if !def {
+				continue
+			}
+			found = true
+			switch kind.sort {
+			case defConst:
+				origins = append(origins, Origin{
+					Known: true, Value: kind.imm,
+					Path: reversePath(st.path), DefIdx: i,
+				})
+			case defCopy:
+				// Continue searching for the source location from just
+				// above this instruction, same block.
+				stack = append(stack, searchState{
+					block: st.block, idx: i - 1, loc: kind.src, path: st.path,
+				})
+			case defCall:
+				ref := a.calleeAt(st.block, i)
+				consts, ok := a.resolve(ref)
+				origins = append(origins, Origin{
+					Known: ok, ViaCall: true, Callee: ref, CalleeConsts: consts,
+					Path: reversePath(st.path), DefIdx: i,
+				})
+			case defUnknown:
+				origins = append(origins, Origin{
+					Known: false,
+					Path:  reversePath(st.path), DefIdx: i,
+				})
+			}
+		}
+		if found {
+			continue
+		}
+		// Not defined in this block: expand product-graph edges into
+		// predecessors. Reaching the entry block means the location
+		// holds a caller-supplied value (argument/uninitialised) — a
+		// non-constant origin we simply drop, matching the paper (only
+		// constants are fault-profile candidates).
+		for _, pred := range st.block.Preds {
+			key := visitKey{pred.ID, st.loc}
+			if visited[key] {
+				continue
+			}
+			visited[key] = true
+			np := make([]*cfg.Block, len(st.path)+1)
+			np[0] = pred
+			copy(np[1:], st.path)
+			stack = append(stack, searchState{
+				block: pred, idx: pred.NumInsts() - 1, loc: st.loc, path: np,
+			})
+		}
+	}
+	return origins
+}
+
+type defSort uint8
+
+const (
+	defConst defSort = iota + 1
+	defCopy
+	defCall
+	defUnknown
+)
+
+type defInfo struct {
+	sort defSort
+	imm  int32
+	src  loc
+}
+
+// defines reports whether instruction in writes the given location, and if
+// so, how the written value is produced.
+func defines(in isa.Inst, l loc) (bool, defInfo) {
+	switch l.kind {
+	case locReg:
+		r := l.reg
+		switch in.Op {
+		case isa.OpMovRI:
+			if in.A == r {
+				return true, defInfo{sort: defConst, imm: in.Imm}
+			}
+		case isa.OpMovRR:
+			if in.A == r {
+				return true, defInfo{sort: defCopy, src: regLoc(in.B)}
+			}
+		case isa.OpLoad, isa.OpLoadB:
+			if in.A == r {
+				if in.B == isa.BP {
+					return true, defInfo{sort: defCopy, src: frameLoc(in.Imm)}
+				}
+				return true, defInfo{sort: defUnknown}
+			}
+		case isa.OpPopR:
+			if in.A == r {
+				return true, defInfo{sort: defUnknown}
+			}
+		case isa.OpAddRI, isa.OpSubRI, isa.OpAndRI, isa.OpOrRI, isa.OpXorRI,
+			isa.OpShlRI, isa.OpShrRI, isa.OpNeg, isa.OpNot:
+			if in.A == r {
+				return true, defInfo{sort: defUnknown}
+			}
+		case isa.OpAddRR, isa.OpSubRR, isa.OpMulRR, isa.OpDivRR, isa.OpModRR,
+			isa.OpAndRR, isa.OpOrRR, isa.OpXorRR:
+			if in.A == r {
+				return true, defInfo{sort: defUnknown}
+			}
+		case isa.OpLea, isa.OpTLSBase, isa.OpDlNext:
+			if in.A == r {
+				return true, defInfo{sort: defUnknown}
+			}
+		case isa.OpCall, isa.OpSyscall:
+			// Calls define the return register.
+			if r == isa.R0 {
+				return true, defInfo{sort: defCall}
+			}
+		case isa.OpCallR:
+			if r == isa.R0 {
+				return true, defInfo{sort: defCall}
+			}
+		}
+	case locFrame:
+		switch in.Op {
+		case isa.OpStoreR:
+			if in.A == isa.BP && in.Imm == l.off {
+				return true, defInfo{sort: defCopy, src: regLoc(in.B)}
+			}
+		case isa.OpStoreB:
+			if in.A == isa.BP && in.Imm == l.off {
+				return true, defInfo{sort: defUnknown}
+			}
+		case isa.OpStoreI:
+			if in.A == isa.BP && in.StoreIDisp() == l.off {
+				return true, defInfo{sort: defConst, imm: in.Imm}
+			}
+		}
+	}
+	return false, defInfo{}
+}
+
+// calleeAt identifies the callee of the call-class instruction at index
+// idx of block b, scanning backwards for the syscall number when needed.
+func (a *Analysis) calleeAt(b *cfg.Block, idx int) CalleeRef {
+	in := b.Inst(idx)
+	off := b.InstOff(idx)
+	switch in.Op {
+	case isa.OpCall:
+		local, imp, imported, ok := a.Graph.Prog.CallTarget(off)
+		if !ok {
+			return CalleeRef{Kind: CalleeIndirect}
+		}
+		if imported {
+			return CalleeRef{Kind: CalleeImport, Name: imp}
+		}
+		return CalleeRef{Kind: CalleeLocal, Off: local}
+	case isa.OpCallR:
+		return CalleeRef{Kind: CalleeIndirect}
+	case isa.OpSyscall:
+		// The MiniC syscall intrinsic materialises the number with
+		// `mov r0, N` shortly before the trap; mirror the paper's
+		// kernel-dependency discovery by scanning backwards for it.
+		for i := idx - 1; i >= 0; i-- {
+			prev := b.Inst(i)
+			if prev.Op == isa.OpMovRI && prev.A == isa.R0 {
+				return CalleeRef{Kind: CalleeSyscall, Syscall: prev.Imm}
+			}
+			if wr, _ := defines(prev, regLoc(isa.R0)); wr {
+				break
+			}
+		}
+		return CalleeRef{Kind: CalleeIndirect}
+	}
+	return CalleeRef{Kind: CalleeIndirect}
+}
+
+func (a *Analysis) resolve(ref CalleeRef) ([]int32, bool) {
+	if ref.Kind == CalleeIndirect || a.Resolver == nil {
+		return nil, false
+	}
+	return a.Resolver.ReturnConstants(ref)
+}
+
+func reversePath(p []*cfg.Block) []*cfg.Block {
+	out := make([]*cfg.Block, len(p))
+	copy(out, p)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Side-effect extraction (§3.2)
+// ---------------------------------------------------------------------------
+
+// absVal is the forward abstract value domain used during path replay.
+type absVal struct {
+	kind   absKind
+	c      int32   // absConst: the constant; absAddr*: accumulated offset
+	arg    int32   // absArgPtr: argument index
+	neg    bool    // absRet: negated callee return
+	consts []int32 // absRet: the callee's constant returns
+}
+
+type absKind uint8
+
+const (
+	absTop absKind = iota
+	absConst
+	absRet     // value of the origin's dependent call / origin constant
+	absAddrTLS // address within the module TLS block
+	absAddrGlb // address within the module data section
+	absArgPtr  // pointer loaded from a positive BP offset (argument)
+)
+
+// replayState carries the forward abstract machine state: registers,
+// tracked frame slots, and the expression-temporary stack (push/pop pairs
+// emitted by compilers for binary operations). Frame slots not written
+// during the replay are resolved lazily with a backward search (locals
+// often hold dependent-call results stored before the error branch).
+type replayState struct {
+	regs   [isa.NumRegs]absVal
+	frames map[int32]absVal
+	stack  []absVal
+}
+
+// SideEffects replays the origin's representative path and returns the
+// error side channels discovered along it.
+func (a *Analysis) SideEffects(o Origin) []SideEffect {
+	if len(o.Path) == 0 {
+		return nil
+	}
+	var out []SideEffect
+	st := &replayState{frames: make(map[int32]absVal)}
+
+	// If the path's first block is entered with the dependent callee's
+	// return value in R0 (the wrapper pattern: call; test; error block),
+	// model it as absRet carrying the callee's constants. When the origin
+	// itself is a call, R0 is seeded as the replay passes the call below.
+	if !o.ViaCall {
+		if ref, ok := a.blockEnteredWithCallReturn(o.Path[0]); ok {
+			consts, _ := a.resolve(ref)
+			st.regs[isa.R0] = absVal{kind: absRet, consts: consts}
+		}
+	}
+
+	seen := make(map[seKey]bool)
+	for _, b := range o.Path {
+		for i := 0; i < b.NumInsts(); i++ {
+			in := b.Inst(i)
+			a.step(st, b, i, in, &out, seen)
+		}
+	}
+	return out
+}
+
+// lookupBack resolves the abstract value of a location at (block b,
+// before instruction idx+1) by backward search — the same product-graph
+// walk as ReturnOrigins, reduced to a single representative answer.
+func (a *Analysis) lookupBack(b *cfg.Block, idx int, l loc,
+	visited map[lookupKey]bool, depth int) absVal {
+
+	if depth > 64 {
+		return absVal{}
+	}
+	for i := idx; i >= 0; i-- {
+		def, info := defines(b.Inst(i), l)
+		if !def {
+			continue
+		}
+		switch info.sort {
+		case defConst:
+			return absVal{kind: absConst, c: info.imm}
+		case defCopy:
+			return a.lookupBack(b, i-1, info.src, visited, depth+1)
+		case defCall:
+			consts, _ := a.resolve(a.calleeAt(b, i))
+			return absVal{kind: absRet, consts: consts}
+		default:
+			return absVal{}
+		}
+	}
+	for _, pred := range b.Preds {
+		key := lookupKey{pred.ID, l}
+		if visited[key] {
+			continue
+		}
+		visited[key] = true
+		if v := a.lookupBack(pred, pred.NumInsts()-1, l, visited, depth+1); v.kind != absTop {
+			return v
+		}
+	}
+	return absVal{}
+}
+
+type lookupKey struct {
+	blockID int
+	l       loc
+}
+
+// blockEnteredWithCallReturn probes whether R0 at the block's entry holds
+// a dependent-function return value, identifying the callee.
+func (a *Analysis) blockEnteredWithCallReturn(b *cfg.Block) (CalleeRef, bool) {
+	for _, pred := range b.Preds {
+		for i := pred.NumInsts() - 1; i >= 0; i-- {
+			in := pred.Inst(i)
+			if in.Op == isa.OpCall || in.Op == isa.OpSyscall || in.Op == isa.OpCallR {
+				return a.calleeAt(pred, i), true
+			}
+			if def, _ := defines(in, regLoc(isa.R0)); def {
+				break
+			}
+		}
+	}
+	return CalleeRef{}, false
+}
+
+// seKey identifies a side effect for deduplication (comparable subset of
+// SideEffect).
+type seKey struct {
+	kind       SideEffectKind
+	off        int32
+	argIdx     int32
+	fromCallee bool
+	negated    bool
+	constVal   int32
+}
+
+// step advances the abstract state over one instruction and records any
+// side-effecting store.
+func (a *Analysis) step(st *replayState, b *cfg.Block, i int, in isa.Inst,
+	out *[]SideEffect, seen map[seKey]bool) {
+
+	regs := &st.regs
+	off := b.InstOff(i)
+	set := func(r isa.Reg, v absVal) { regs[r] = v }
+
+	switch in.Op {
+	case isa.OpMovRI:
+		set(in.A, absVal{kind: absConst, c: in.Imm})
+	case isa.OpMovRR:
+		set(in.A, regs[in.B])
+	case isa.OpLea:
+		if r, ok := a.Graph.Prog.RelocAt(off); ok {
+			switch r.Kind {
+			case obj.RelocTLS:
+				set(in.A, absVal{kind: absAddrTLS, c: r.Index})
+				return
+			case obj.RelocData:
+				set(in.A, absVal{kind: absAddrGlb, c: r.Index})
+				return
+			}
+		}
+		set(in.A, absVal{kind: absTop})
+	case isa.OpTLSBase:
+		set(in.A, absVal{kind: absAddrTLS})
+	case isa.OpLoad, isa.OpLoadB:
+		if in.B == isa.BP && in.Imm >= 8 {
+			// Pointer (or value) loaded from an argument slot; treat as
+			// a potential output-argument base (§3.2's [ebp+??] rule).
+			set(in.A, absVal{kind: absArgPtr, arg: (in.Imm - 8) / 4})
+			return
+		}
+		if in.B == isa.BP {
+			if v, ok := st.frames[in.Imm]; ok {
+				set(in.A, v)
+				return
+			}
+			// Lazy backward resolution: locals commonly hold a
+			// dependent-call result stored before the error branch.
+			v := a.lookupBack(b, i-1, frameLoc(in.Imm), make(map[lookupKey]bool), 0)
+			set(in.A, v)
+			return
+		}
+		set(in.A, absVal{kind: absTop})
+	case isa.OpAddRI:
+		v := regs[in.A]
+		switch v.kind {
+		case absConst, absAddrTLS, absAddrGlb:
+			v.c += in.Imm
+			set(in.A, v)
+		default:
+			set(in.A, absVal{kind: absTop})
+		}
+	case isa.OpSubRI:
+		v := regs[in.A]
+		switch v.kind {
+		case absConst, absAddrTLS, absAddrGlb:
+			v.c -= in.Imm
+			set(in.A, v)
+		default:
+			set(in.A, absVal{kind: absTop})
+		}
+	case isa.OpNeg:
+		v := regs[in.A]
+		switch v.kind {
+		case absConst:
+			v.c = -v.c
+			set(in.A, v)
+		case absRet:
+			v.neg = !v.neg
+			set(in.A, v)
+		default:
+			set(in.A, absVal{kind: absTop})
+		}
+	case isa.OpXorRR:
+		if in.A == in.B {
+			set(in.A, absVal{kind: absConst, c: 0})
+			return
+		}
+		set(in.A, absVal{kind: absTop})
+	case isa.OpSubRR:
+		// The glibc pattern: xor edx,edx; sub edx,eax => edx = -eax.
+		va, vb := regs[in.A], regs[in.B]
+		if va.kind == absConst && va.c == 0 && vb.kind == absRet {
+			set(in.A, absVal{kind: absRet, neg: !vb.neg, consts: vb.consts})
+			return
+		}
+		if va.kind == absConst && vb.kind == absConst {
+			set(in.A, absVal{kind: absConst, c: va.c - vb.c})
+			return
+		}
+		set(in.A, absVal{kind: absTop})
+	case isa.OpAddRR, isa.OpMulRR, isa.OpDivRR, isa.OpModRR, isa.OpAndRR,
+		isa.OpOrRR, isa.OpAndRI, isa.OpOrRI, isa.OpXorRI, isa.OpShlRI,
+		isa.OpShrRI, isa.OpNot:
+		set(in.A, absVal{kind: absTop})
+	case isa.OpPushR:
+		st.stack = append(st.stack, regs[in.A])
+	case isa.OpPushI:
+		st.stack = append(st.stack, absVal{kind: absConst, c: in.Imm})
+	case isa.OpPopR:
+		if n := len(st.stack); n > 0 {
+			set(in.A, st.stack[n-1])
+			st.stack = st.stack[:n-1]
+		} else {
+			set(in.A, absVal{kind: absTop})
+		}
+	case isa.OpCall, isa.OpSyscall, isa.OpCallR:
+		// Conservatively clobber caller-saved registers; R0 becomes the
+		// callee return. Any dependent call return can feed errno
+		// stores, so model every call return as absRet with the
+		// callee's resolved constants attached. The expression stack is
+		// invalidated (arguments are popped by `add sp, n` which the
+		// abstract stack does not track).
+		consts, _ := a.resolve(a.calleeAt(b, i))
+		set(isa.R0, absVal{kind: absRet, consts: consts})
+		set(isa.R1, absVal{kind: absTop})
+		set(isa.R2, absVal{kind: absTop})
+		set(isa.R3, absVal{kind: absTop})
+		st.stack = st.stack[:0]
+	case isa.OpStoreR, isa.OpStoreB:
+		if in.A == isa.BP {
+			st.frames[in.Imm] = regs[in.B]
+			return
+		}
+		a.recordStore(regs[in.A], in.Imm, regs[in.B], out, seen)
+	case isa.OpStoreI:
+		if in.A == isa.BP {
+			st.frames[in.StoreIDisp()] = absVal{kind: absConst, c: in.Imm}
+			return
+		}
+		a.recordStore(regs[in.A], in.StoreIDisp(),
+			absVal{kind: absConst, c: in.Imm}, out, seen)
+	}
+}
+
+func (a *Analysis) recordStore(base absVal, disp int32, val absVal,
+	out *[]SideEffect, seen map[seKey]bool) {
+
+	var se SideEffect
+	switch base.kind {
+	case absAddrTLS:
+		se = SideEffect{Kind: SideEffectTLS, Off: base.c + disp}
+	case absAddrGlb:
+		se = SideEffect{Kind: SideEffectGlobal, Off: base.c + disp}
+	case absArgPtr:
+		se = SideEffect{Kind: SideEffectArgument, ArgIdx: base.arg, Off: disp}
+	default:
+		return
+	}
+	switch val.kind {
+	case absConst:
+		se.Value = StoredValue{Const: val.c}
+	case absRet:
+		se.Value = StoredValue{FromCallee: true, Negated: val.neg, Consts: val.consts}
+	default:
+		return // unknown stored value: not a usable fault side effect
+	}
+	key := seKey{
+		kind: se.Kind, off: se.Off, argIdx: se.ArgIdx,
+		fromCallee: se.Value.FromCallee, negated: se.Value.Negated, constVal: se.Value.Const,
+	}
+	if !seen[key] {
+		seen[key] = true
+		*out = append(*out, se)
+	}
+}

@@ -1,0 +1,409 @@
+package dataflow_test
+
+import (
+	"sort"
+	"testing"
+
+	"lfi/internal/asm"
+	"lfi/internal/cfg"
+	"lfi/internal/dataflow"
+	"lfi/internal/disasm"
+)
+
+// tableResolver serves canned constants for named callees.
+type tableResolver map[string][]int32
+
+func (r tableResolver) ReturnConstants(ref dataflow.CalleeRef) ([]int32, bool) {
+	var key string
+	switch ref.Kind {
+	case dataflow.CalleeImport:
+		key = ref.Name
+	case dataflow.CalleeSyscall:
+		key = "syscall"
+	default:
+		return nil, false
+	}
+	v, ok := r[key]
+	return v, ok
+}
+
+func analyse(t *testing.T, src, fn string, res dataflow.Resolver) *dataflow.Analysis {
+	t.Helper()
+	f, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	p, err := disasm.Disassemble(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, ok := f.Lookup(fn)
+	if !ok {
+		t.Fatalf("no symbol %s", fn)
+	}
+	g, err := cfg.Build(p, sym.Off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &dataflow.Analysis{Graph: g, Resolver: res}
+}
+
+func constants(origins []dataflow.Origin) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, o := range origins {
+		for _, v := range o.Values() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestDirectConstantReturn(t *testing.T) {
+	a := analyse(t, `
+.lib x
+.global f
+.func f
+  mov r0, -7
+  ret
+`, "f", nil)
+	got := constants(a.ReturnOrigins())
+	if len(got) != 1 || got[0] != -7 {
+		t.Errorf("constants = %v, want [-7]", got)
+	}
+}
+
+func TestConstantThroughRegisterCopy(t *testing.T) {
+	a := analyse(t, `
+.lib x
+.global f
+.func f
+  mov r1, -3
+  mov r0, r1
+  ret
+`, "f", nil)
+	got := constants(a.ReturnOrigins())
+	if len(got) != 1 || got[0] != -3 {
+		t.Errorf("constants = %v, want [-3]", got)
+	}
+}
+
+func TestConstantThroughFrameSlot(t *testing.T) {
+	a := analyse(t, `
+.lib x
+.global f
+.func f
+  push bp
+  mov bp, sp
+  sub sp, 4
+  mov r0, -5
+  store [bp-4], r0
+  mov r0, 0
+  load r0, [bp-4]
+  mov sp, bp
+  pop bp
+  ret
+`, "f", nil)
+	got := constants(a.ReturnOrigins())
+	if len(got) != 1 || got[0] != -5 {
+		t.Errorf("constants = %v, want [-5]", got)
+	}
+}
+
+func TestMultiPathConstants(t *testing.T) {
+	a := analyse(t, `
+.lib x
+.global f
+.func f
+  cmp r1, 0
+  je .z
+  cmp r1, 1
+  je .one
+  mov r0, -1
+  ret
+.z:
+  mov r0, 0
+  ret
+.one:
+  mov r0, 5
+  ret
+`, "f", nil)
+	got := constants(a.ReturnOrigins())
+	want := []int32{-1, 0, 5}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("constants = %v, want %v", got, want)
+	}
+}
+
+func TestDependentCallPropagation(t *testing.T) {
+	a := analyse(t, `
+.lib x
+.extern dep
+.global f
+.func f
+  call dep
+  ret
+`, "f", tableResolver{"dep": {-9, -5}})
+	got := constants(a.ReturnOrigins())
+	if len(got) != 2 || got[0] != -9 || got[1] != -5 {
+		t.Errorf("constants = %v, want [-9 -5]", got)
+	}
+}
+
+func TestIndirectCallYieldsUnknown(t *testing.T) {
+	a := analyse(t, `
+.lib x
+.global f
+.func f
+  callr r1
+  ret
+`, "f", tableResolver{})
+	origins := a.ReturnOrigins()
+	if len(origins) == 0 {
+		t.Fatal("no origins")
+	}
+	for _, o := range origins {
+		if o.Known {
+			t.Errorf("indirect call origin should be unknown: %+v", o)
+		}
+	}
+}
+
+func TestSyscallNumberDiscovery(t *testing.T) {
+	a := analyse(t, `
+.lib x
+.global f
+.func f
+  mov r1, 3
+  mov r0, 5
+  syscall
+  ret
+`, "f", tableResolver{"syscall": {-4}})
+	got := constants(a.ReturnOrigins())
+	if len(got) != 1 || got[0] != -4 {
+		t.Errorf("constants = %v, want [-4] via syscall resolver", got)
+	}
+}
+
+func TestArithmeticResultIsUnknown(t *testing.T) {
+	a := analyse(t, `
+.lib x
+.global f
+.func f
+  mov r0, 2
+  add r0, r1
+  ret
+`, "f", nil)
+	got := constants(a.ReturnOrigins())
+	if len(got) != 0 {
+		t.Errorf("computed values must not be constants: %v", got)
+	}
+}
+
+func TestArgumentPassThroughIsUnknown(t *testing.T) {
+	a := analyse(t, `
+.lib x
+.global f
+.func f
+  push bp
+  mov bp, sp
+  load r0, [bp+8]
+  mov sp, bp
+  pop bp
+  ret
+`, "f", nil)
+	if got := constants(a.ReturnOrigins()); len(got) != 0 {
+		t.Errorf("argument return must not be constant: %v", got)
+	}
+}
+
+// TestGlibcErrnoPattern reproduces the §3.2 listing: after a dependent
+// call, the error block computes errno = -result via the xor/sub idiom
+// and returns -1.
+func TestGlibcErrnoPattern(t *testing.T) {
+	a := analyse(t, `
+.lib x
+.extern kern
+.global f
+.tls errno 4
+.func f
+  call kern
+  cmp r0, 0
+  jge .ok
+  xor r2, r2
+  sub r2, r0
+  lea r1, errno
+  store [r1+0], r2
+  mov r0, -1
+  ret
+.ok:
+  ret
+`, "f", tableResolver{"kern": {-9, -5, -4, 0}})
+	origins := a.ReturnOrigins()
+	var minusOne *dataflow.Origin
+	for i := range origins {
+		if origins[i].Known && !origins[i].ViaCall && origins[i].Value == -1 {
+			minusOne = &origins[i]
+		}
+	}
+	if minusOne == nil {
+		t.Fatalf("no -1 origin: %+v", origins)
+	}
+	ses := a.SideEffects(*minusOne)
+	if len(ses) != 1 {
+		t.Fatalf("side effects = %+v, want 1 TLS entry", ses)
+	}
+	se := ses[0]
+	if se.Kind != dataflow.SideEffectTLS || se.Off != 0 {
+		t.Errorf("side effect = %+v", se)
+	}
+	if !se.Value.FromCallee || !se.Value.Negated {
+		t.Errorf("stored value = %+v, want negated callee return", se.Value)
+	}
+	if len(se.Value.Consts) != 4 {
+		t.Errorf("callee consts = %v", se.Value.Consts)
+	}
+}
+
+// TestNegPattern covers the MiniC-style errno = -r via OpNeg with the
+// value re-loaded from a frame slot.
+func TestNegPatternThroughFrame(t *testing.T) {
+	a := analyse(t, `
+.lib x
+.extern kern
+.global f
+.tls errno 4
+.func f
+  push bp
+  mov bp, sp
+  sub sp, 4
+  call kern
+  store [bp-4], r0
+  load r0, [bp-4]
+  cmp r0, 0
+  jge .ok
+  load r0, [bp-4]
+  neg r0
+  lea r1, errno
+  store [r1+0], r0
+  mov r0, -1
+  mov sp, bp
+  pop bp
+  ret
+.ok:
+  mov r0, 0
+  mov sp, bp
+  pop bp
+  ret
+`, "f", tableResolver{"kern": {-9}})
+	origins := a.ReturnOrigins()
+	found := false
+	for _, o := range origins {
+		if o.Known && o.Value == -1 {
+			ses := a.SideEffects(o)
+			for _, se := range ses {
+				if se.Kind == dataflow.SideEffectTLS && se.Value.FromCallee && se.Value.Negated {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("frame-mediated errno side effect not detected")
+	}
+}
+
+func TestGlobalSideEffect(t *testing.T) {
+	a := analyse(t, `
+.lib x
+.global f
+.dataw lasterr 0
+.func f
+  cmp r1, 0
+  jge .ok
+  lea r2, lasterr
+  store [r2+0], 22
+  mov r0, -1
+  ret
+.ok:
+  mov r0, 0
+  ret
+`, "f", nil)
+	for _, o := range a.ReturnOrigins() {
+		if o.Known && o.Value == -1 {
+			ses := a.SideEffects(o)
+			if len(ses) != 1 || ses[0].Kind != dataflow.SideEffectGlobal || ses[0].Value.Const != 22 {
+				t.Errorf("global side effect = %+v", ses)
+			}
+			return
+		}
+	}
+	t.Fatal("-1 origin not found")
+}
+
+func TestOutputArgumentSideEffect(t *testing.T) {
+	a := analyse(t, `
+.lib x
+.global f
+.func f
+  push bp
+  mov bp, sp
+  cmp r1, 0
+  jge .ok
+  load r2, [bp+12]
+  store [r2+0], 42
+  mov r0, -1
+  mov sp, bp
+  pop bp
+  ret
+.ok:
+  mov r0, 0
+  mov sp, bp
+  pop bp
+  ret
+`, "f", nil)
+	for _, o := range a.ReturnOrigins() {
+		if o.Known && o.Value == -1 {
+			ses := a.SideEffects(o)
+			if len(ses) != 1 || ses[0].Kind != dataflow.SideEffectArgument ||
+				ses[0].ArgIdx != 1 || ses[0].Value.Const != 42 {
+				t.Errorf("argument side effect = %+v", ses)
+			}
+			return
+		}
+	}
+	t.Fatal("-1 origin not found")
+}
+
+func TestMaxStatesBudget(t *testing.T) {
+	a := analyse(t, `
+.lib x
+.global f
+.func f
+  mov r0, -1
+  ret
+`, "f", nil)
+	a.MaxStates = 1
+	a.ReturnOrigins()
+	if a.StatesExpanded() > 1 {
+		t.Errorf("states expanded = %d with budget 1", a.StatesExpanded())
+	}
+}
+
+func TestCalleeRefString(t *testing.T) {
+	cases := map[string]dataflow.CalleeRef{
+		"local@0x10":  {Kind: dataflow.CalleeLocal, Off: 16},
+		"import:read": {Kind: dataflow.CalleeImport, Name: "read"},
+		"syscall:5":   {Kind: dataflow.CalleeSyscall, Syscall: 5},
+		"indirect":    {Kind: dataflow.CalleeIndirect},
+	}
+	for want, ref := range cases {
+		if got := ref.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package dataflow
+
+import (
+	"lfi/internal/cfg"
+	"lfi/internal/isa"
+)
+
+// PathFeasible checks whether the origin's representative path is
+// satisfiable under an interval abstraction of the function's arguments.
+//
+// This implements the extension the paper leaves as future work (§3.1:
+// "fault profiles may include false positives, i.e., return codes that
+// can be returned only when certain combinations of arguments are
+// provided. Inferring the relationship between arguments can be done
+// using symbolic execution, but the current LFI prototype does not
+// support this yet").
+//
+// The analysis walks the path's conditional branches; whenever a branch
+// compares an argument value against a constant, the implied constraint
+// narrows that argument's interval. A path that forces an empty interval
+// (e.g. the guard a0 > 95 && a0 < 5) is infeasible, and its constant can
+// be pruned from the fault profile. Like the paper's §3.1 heuristics the
+// pruning is unsound — a representative path may be infeasible while
+// another path reaches the same constant — so it is off by default.
+func (a *Analysis) PathFeasible(o Origin) bool {
+	if len(o.Path) == 0 {
+		return true
+	}
+	// The origin's recorded path runs from the defining block to the
+	// exit; the argument guards live on the way *to* the defining block.
+	// The definition is reachable iff some acyclic entry->def path is
+	// satisfiable (checking one arbitrary path would misreport dead code
+	// as live and vice versa).
+	target := o.Path[0]
+	entry := a.Graph.Entry
+	if entry == nil {
+		return true
+	}
+	found := false
+	budget := 128
+	var dfs func(b *cfg.Block, path []*cfg.Block, onPath map[int]bool)
+	dfs = func(b *cfg.Block, path []*cfg.Block, onPath map[int]bool) {
+		if found || budget <= 0 {
+			return
+		}
+		path = append(path, b)
+		if b == target {
+			budget--
+			full := append(append([]*cfg.Block(nil), path...), o.Path[1:]...)
+			if a.pathSatisfiable(full) {
+				found = true
+			}
+			return
+		}
+		onPath[b.ID] = true
+		for _, s := range b.Succs {
+			if !onPath[s.ID] {
+				dfs(s, path, onPath)
+			}
+		}
+		delete(onPath, b.ID)
+	}
+	dfs(entry, nil, make(map[int]bool))
+	return found || budget <= 0 // out of budget: assume feasible (sound-ish default)
+}
+
+// pathSatisfiable evaluates the branch constraints along one concrete
+// block sequence under the argument-interval abstraction.
+func (a *Analysis) pathSatisfiable(path []*cfg.Block) bool {
+	iv := newIntervals()
+	var regs [isa.NumRegs]argVal
+	a.feasStack = a.feasStack[:0]
+
+	for bi := 0; bi < len(path)-1; bi++ {
+		b := path[bi]
+		next := path[bi+1]
+
+		// Forward-track argument and constant values within the block,
+		// remembering the operands of the last comparison.
+		var cmpA, cmpB argVal
+		haveCmp := false
+		for i := 0; i < b.NumInsts(); i++ {
+			in := b.Inst(i)
+			switch in.Op {
+			case isa.OpMovRI:
+				regs[in.A] = argVal{kind: avConst, c: in.Imm}
+			case isa.OpMovRR:
+				regs[in.A] = regs[in.B]
+			case isa.OpLoad:
+				if in.B == isa.BP && in.Imm >= 8 {
+					regs[in.A] = argVal{kind: avArg, arg: (in.Imm - 8) / 4}
+				} else {
+					regs[in.A] = argVal{}
+				}
+			case isa.OpCmpRI:
+				cmpA, cmpB = regs[in.A], argVal{kind: avConst, c: in.Imm}
+				haveCmp = true
+			case isa.OpCmpRR:
+				cmpA, cmpB = regs[in.A], regs[in.B]
+				haveCmp = true
+			case isa.OpPushR, isa.OpPushI, isa.OpPopR:
+				// The expression stack shuttles operands; a pop yields
+				// an unknown unless we track it. Track one-deep: the
+				// common binary-op pattern is push L; ...; pop r0.
+				if in.Op == isa.OpPopR {
+					regs[in.A] = a.popTracked()
+				} else if in.Op == isa.OpPushR {
+					a.pushTracked(regs[in.A])
+				} else {
+					a.pushTracked(argVal{kind: avConst, c: in.Imm})
+				}
+			case isa.OpCall, isa.OpCallR, isa.OpSyscall:
+				regs[isa.R0] = argVal{}
+				regs[isa.R1] = argVal{}
+				regs[isa.R2] = argVal{}
+				regs[isa.R3] = argVal{}
+				a.feasStack = a.feasStack[:0]
+			default:
+				// Writes from arithmetic etc. lose precision.
+				if def, _ := defines(in, regLoc(isa.R0)); def && in.A == isa.R0 {
+					switch in.Op {
+					case isa.OpMovRI, isa.OpMovRR, isa.OpLoad:
+					default:
+						regs[isa.R0] = argVal{}
+					}
+				}
+			}
+		}
+
+		last := b.Last()
+		if !last.Op.IsCondBranch() || !haveCmp {
+			continue
+		}
+		taken := branchTakenTo(a, b, next)
+		if !applyConstraint(iv, cmpA, cmpB, last.Op, taken) {
+			return false
+		}
+	}
+	return true
+}
+
+// feasStack is the one-deep operand tracking used by PathFeasible.
+func (a *Analysis) pushTracked(v argVal) {
+	a.feasStack = append(a.feasStack, v)
+	if len(a.feasStack) > 8 {
+		a.feasStack = a.feasStack[1:]
+	}
+}
+
+func (a *Analysis) popTracked() argVal {
+	if n := len(a.feasStack); n > 0 {
+		v := a.feasStack[n-1]
+		a.feasStack = a.feasStack[:n-1]
+		return v
+	}
+	return argVal{}
+}
+
+type argVal struct {
+	kind avKind
+	c    int32
+	arg  int32
+}
+
+type avKind uint8
+
+const (
+	avTop avKind = iota
+	avConst
+	avArg
+)
+
+// branchTakenTo reports whether the path edge from b to next follows the
+// branch target (true) or the fall-through (false).
+func branchTakenTo(a *Analysis, b, next *cfg.Block) bool {
+	lastOff := b.End - isa.Size
+	tgt := b.Last().Imm
+	if r, ok := a.Graph.Prog.RelocAt(lastOff); ok {
+		tgt = r.Index
+	}
+	return next.Start == tgt && next.Start != b.End
+}
+
+// interval is a closed signed range.
+type interval struct {
+	lo, hi int64
+}
+
+func fullInterval() interval { return interval{lo: -1 << 33, hi: 1 << 33} }
+
+func (iv interval) empty() bool { return iv.lo > iv.hi }
+
+type intervals map[int32]interval
+
+func newIntervals() intervals { return make(intervals) }
+
+func (m intervals) get(arg int32) interval {
+	if iv, ok := m[arg]; ok {
+		return iv
+	}
+	return fullInterval()
+}
+
+// applyConstraint narrows the intervals with "A op B" (or its negation
+// when the branch is not taken); it returns false when an argument's
+// interval becomes empty.
+func applyConstraint(m intervals, a, b argVal, op isa.Op, taken bool) bool {
+	// Constant-vs-constant comparisons decide the branch outright: a
+	// path taking the impossible side (e.g. a boolean-materialisation
+	// merge requiring 0 != 0) is unsatisfiable. This is what rules out
+	// the bogus routes through compiled short-circuit (&&/||) code.
+	if a.kind == avConst && b.kind == avConst {
+		rel := relationOf(op, taken)
+		if rel == relNone {
+			return true
+		}
+		return constRelHolds(rel, a.c, b.c)
+	}
+	// Normalise to arg-on-the-left.
+	if a.kind != avArg && b.kind == avArg && a.kind == avConst {
+		a, b = b, a
+		op = mirrorCmp(op)
+	}
+	if a.kind != avArg || b.kind != avConst {
+		return true // not an argument-vs-constant comparison
+	}
+	rel := relationOf(op, taken)
+	if rel == relNone {
+		return true
+	}
+	iv := m.get(a.arg)
+	c := int64(b.c)
+	switch rel {
+	case relEQ:
+		if c > iv.lo {
+			iv.lo = c
+		}
+		if c < iv.hi {
+			iv.hi = c
+		}
+	case relLT:
+		if c-1 < iv.hi {
+			iv.hi = c - 1
+		}
+	case relLE:
+		if c < iv.hi {
+			iv.hi = c
+		}
+	case relGT:
+		if c+1 > iv.lo {
+			iv.lo = c + 1
+		}
+	case relGE:
+		if c > iv.lo {
+			iv.lo = c
+		}
+	case relNE:
+		// Intervals cannot express holes; skip.
+		return true
+	}
+	if iv.empty() {
+		return false
+	}
+	m[a.arg] = iv
+	return true
+}
+
+// constRelHolds evaluates a relation between two known constants.
+func constRelHolds(rel relation, a, b int32) bool {
+	switch rel {
+	case relEQ:
+		return a == b
+	case relNE:
+		return a != b
+	case relLT:
+		return a < b
+	case relLE:
+		return a <= b
+	case relGT:
+		return a > b
+	case relGE:
+		return a >= b
+	}
+	return true
+}
+
+type relation uint8
+
+const (
+	relNone relation = iota
+	relEQ
+	relNE
+	relLT
+	relLE
+	relGT
+	relGE
+)
+
+// relationOf maps a conditional branch (and whether it was taken) to the
+// relation that must hold between the compared operands.
+func relationOf(op isa.Op, taken bool) relation {
+	var rel relation
+	switch op {
+	case isa.OpJe:
+		rel = relEQ
+	case isa.OpJne:
+		rel = relNE
+	case isa.OpJl:
+		rel = relLT
+	case isa.OpJle:
+		rel = relLE
+	case isa.OpJg:
+		rel = relGT
+	case isa.OpJge:
+		rel = relGE
+	default:
+		return relNone
+	}
+	if !taken {
+		rel = negateRel(rel)
+	}
+	return rel
+}
+
+func negateRel(r relation) relation {
+	switch r {
+	case relEQ:
+		return relNE
+	case relNE:
+		return relEQ
+	case relLT:
+		return relGE
+	case relLE:
+		return relGT
+	case relGT:
+		return relLE
+	case relGE:
+		return relLT
+	}
+	return relNone
+}
+
+// mirrorCmp swaps comparison operands: a OP b <=> b mirror(OP) a.
+func mirrorCmp(op isa.Op) isa.Op {
+	switch op {
+	case isa.OpJl:
+		return isa.OpJg
+	case isa.OpJle:
+		return isa.OpJge
+	case isa.OpJg:
+		return isa.OpJl
+	case isa.OpJge:
+		return isa.OpJle
+	}
+	return op // je/jne are symmetric
+}

@@ -1,0 +1,167 @@
+package dataflow_test
+
+import (
+	"testing"
+)
+
+// feasOrigins returns each known-constant origin with its feasibility.
+func feasOrigins(t *testing.T, src string) map[int32]bool {
+	t.Helper()
+	a := analyse(t, src, "f", nil)
+	out := make(map[int32]bool)
+	for _, o := range a.ReturnOrigins() {
+		if !o.Known || o.ViaCall {
+			continue
+		}
+		out[o.Value] = a.PathFeasible(o)
+	}
+	return out
+}
+
+// TestContradictoryGuardInfeasible: the corpus phantom pattern — a path
+// requiring a0 > 95 and a0 < 5 simultaneously.
+func TestContradictoryGuardInfeasible(t *testing.T) {
+	got := feasOrigins(t, `
+.lib x
+.global f
+.func f
+  push bp
+  mov bp, sp
+  load r0, [bp+8]
+  cmp r0, 95
+  jle .out
+  load r0, [bp+8]
+  cmp r0, 5
+  jge .out
+  mov r0, -3
+  mov sp, bp
+  pop bp
+  ret
+.out:
+  mov r0, 0
+  mov sp, bp
+  pop bp
+  ret
+`)
+	if feas, ok := got[-3]; !ok || feas {
+		t.Errorf("phantom -3 feasibility = %v (present=%v), want infeasible", feas, ok)
+	}
+	if feas, ok := got[0]; !ok || !feas {
+		t.Errorf("success 0 feasibility = %v, want feasible", feas)
+	}
+}
+
+// TestConsistentGuardFeasible: a0 > 5 && a0 < 95 is satisfiable.
+func TestConsistentGuardFeasible(t *testing.T) {
+	got := feasOrigins(t, `
+.lib x
+.global f
+.func f
+  push bp
+  mov bp, sp
+  load r0, [bp+8]
+  cmp r0, 5
+  jle .out
+  load r0, [bp+8]
+  cmp r0, 95
+  jge .out
+  mov r0, -3
+  mov sp, bp
+  pop bp
+  ret
+.out:
+  mov r0, 0
+  mov sp, bp
+  pop bp
+  ret
+`)
+	if feas := got[-3]; !feas {
+		t.Error("satisfiable guard marked infeasible")
+	}
+}
+
+// TestEqualityPinning: a0 == 3 then a0 == 4 on one path is impossible.
+func TestEqualityPinning(t *testing.T) {
+	got := feasOrigins(t, `
+.lib x
+.global f
+.func f
+  push bp
+  mov bp, sp
+  load r0, [bp+8]
+  cmp r0, 3
+  jne .out
+  load r0, [bp+8]
+  cmp r0, 4
+  jne .out
+  mov r0, -8
+  mov sp, bp
+  pop bp
+  ret
+.out:
+  mov r0, 0
+  mov sp, bp
+  pop bp
+  ret
+`)
+	if feas := got[-8]; feas {
+		t.Error("a0==3 && a0==4 should be infeasible")
+	}
+}
+
+// TestMirroredComparison: constant on the left (cmp const-reg, arg-reg).
+func TestMirroredComparison(t *testing.T) {
+	got := feasOrigins(t, `
+.lib x
+.global f
+.func f
+  push bp
+  mov bp, sp
+  load r1, [bp+8]
+  mov r0, 10
+  cmp r0, r1
+  jl .next        ; 10 < a0  =>  a0 > 10
+  jmp .out
+.next:
+  load r0, [bp+8]
+  cmp r0, 4
+  jge .out        ; requires a0 < 4: contradiction
+  mov r0, -6
+  mov sp, bp
+  pop bp
+  ret
+.out:
+  mov r0, 0
+  mov sp, bp
+  pop bp
+  ret
+`)
+	if feas := got[-6]; feas {
+		t.Error("mirrored contradiction not detected")
+	}
+}
+
+// TestUnknownOperandsStayFeasible: comparisons not involving arguments
+// must not constrain anything.
+func TestUnknownOperandsStayFeasible(t *testing.T) {
+	got := feasOrigins(t, `
+.lib x
+.extern g
+.global f
+.func f
+  call g
+  cmp r0, 100
+  jle .out
+  call g
+  cmp r0, 0
+  jge .out
+  mov r0, -2
+  ret
+.out:
+  mov r0, 0
+  ret
+`)
+	if feas, ok := got[-2]; ok && !feas {
+		t.Error("call results are unconstrained; path must stay feasible")
+	}
+}

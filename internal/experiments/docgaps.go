@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lfi/internal/kernel"
+	"lfi/internal/libc"
+	"lfi/internal/mandoc"
+	"lfi/internal/minic"
+	"lfi/internal/obj"
+	"lfi/internal/profile"
+	"lfi/internal/profiler"
+)
+
+// DocGap is one discrepancy between documentation and binary analysis.
+type DocGap struct {
+	Library  string
+	Function string
+	// Found lists error codes the profiler recovered from the binary.
+	Found []string
+	// Documented lists what the man page claims.
+	Documented []string
+	// Missing is Found minus Documented — the paper's point.
+	Missing []string
+}
+
+// DocGapsResult reproduces the §3.1/§3.3 documentation-inconsistency
+// findings:
+//
+//   - close(2): "on BSD systems the man page states that close can only
+//     set errno to EBADF or EINTR. On Linux, EIO is also possible" — we
+//     write the BSD-style page and show the profiler finds EIO too;
+//   - modify_ldt(2): "the man page claims three possible return values
+//     (EFAULT, EINVAL and ENOSYS), yet the LFI profiler found a fourth
+//     one (ENOMEM)".
+type DocGapsResult struct {
+	Gaps []DocGap
+}
+
+// DocGaps runs both discrepancy demonstrations.
+func DocGaps(e *Env) (*DocGapsResult, error) {
+	res := &DocGapsResult{}
+
+	// close(): BSD-style man page vs Linux-libc binary analysis.
+	bsdClose := &mandoc.Page{
+		Library: libc.Name, Function: "close",
+		Synopsis: "int close(int fd)",
+		Retvals:  []int32{-1},
+		Errnos:   []string{"EBADF", "EINTR"}, // the BSD page omits EIO
+		Prose:    "close a file descriptor",
+	}
+	closeGap, err := gapFor(e, bsdClose, "close")
+	if err != nil {
+		return nil, err
+	}
+	res.Gaps = append(res.Gaps, closeGap)
+
+	// modify_ldt(): documentation lists EFAULT/EINVAL/ENOSYS; the binary
+	// also returns ENOMEM.
+	src := fmt.Sprintf(`
+tls int errno;
+int modify_ldt(int func, int *ptr, int bytecount) {
+  if (func < 0) { errno = %d; return -1; }            // EINVAL
+  if (bytecount < 0) { errno = %d; return -1; }       // EFAULT
+  if (func > 16) { errno = %d; return -1; }           // ENOSYS
+  if (bytecount > 65536) { errno = %d; return -1; }   // ENOMEM (undocumented)
+  return 0;
+}`, kernel.EINVAL, kernel.EFAULT, kernel.ENOSYS, kernel.ENOMEM)
+	ldtLib, err := minic.Compile("libldt.so", src, obj.Library)
+	if err != nil {
+		return nil, err
+	}
+	ldtPage := &mandoc.Page{
+		Library: "libldt.so", Function: "modify_ldt",
+		Synopsis: "int modify_ldt(int func, int *ptr, int bytecount)",
+		Retvals:  []int32{-1},
+		Errnos:   []string{"EFAULT", "EINVAL", "ENOSYS"},
+		Prose:    "get or set a per-process LDT entry",
+	}
+	pr := profiler.New(profiler.Options{DropZeroReturns: true})
+	if err := pr.AddLibrary(ldtLib); err != nil {
+		return nil, err
+	}
+	p, err := pr.ProfileLibrary("libldt.so")
+	if err != nil {
+		return nil, err
+	}
+	ldtGap := diffPage(p, ldtPage)
+	res.Gaps = append(res.Gaps, ldtGap)
+	return res, nil
+}
+
+func gapFor(e *Env, page *mandoc.Page, fn string) (DocGap, error) {
+	return diffPage(e.LibcProfiles[libc.Name], page), nil
+}
+
+func diffPage(p *profile.Profile, page *mandoc.Page) DocGap {
+	gap := DocGap{Library: page.Library, Function: page.Function}
+	found := map[string]bool{}
+	if f, ok := p.Lookup(page.Function); ok {
+		for _, ec := range f.ErrorCodes {
+			for _, se := range ec.SideEffects {
+				if n := kernel.ErrnoName(se.Applied()); n != "" {
+					if !found[n] {
+						found[n] = true
+						gap.Found = append(gap.Found, n)
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(gap.Found)
+	doc := map[string]bool{}
+	for _, n := range page.Errnos {
+		doc[n] = true
+		gap.Documented = append(gap.Documented, n)
+	}
+	for _, n := range gap.Found {
+		if !doc[n] {
+			gap.Missing = append(gap.Missing, n)
+		}
+	}
+	return gap
+}
+
+// Render prints each discrepancy.
+func (r *DocGapsResult) Render() string {
+	var b strings.Builder
+	b.WriteString("§3.1/§3.3 — documentation vs binary analysis\n")
+	for _, g := range r.Gaps {
+		fmt.Fprintf(&b, "%s %s: documented {%s}, binary analysis found {%s}",
+			g.Library, g.Function,
+			strings.Join(g.Documented, ","), strings.Join(g.Found, ","))
+		if len(g.Missing) > 0 {
+			fmt.Fprintf(&b, " -> undocumented: {%s}", strings.Join(g.Missing, ","))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lfi/internal/corpus"
+	"lfi/internal/profiler"
+)
+
+// EfficiencyPoint is one library of the §6.2 profiling-time series.
+type EfficiencyPoint struct {
+	Library    string
+	Functions  int
+	CodeKB     int
+	WallTime   time.Duration
+	States     int
+	Dependents int
+	PaperSecs  float64 // 0 when the paper gives no number for this size
+}
+
+// EfficiencyResult reproduces §6.2: profiling time as a function of
+// library size, from libdmx (18 functions, 8 KB, 0.2 s in the paper) to
+// libxml2 (1612 functions, 897 KB, 20 s). Absolute times differ from the
+// 2009 testbed; the shape — profiling time roughly linear in code size,
+// seconds even for the largest library — is the reproduced claim.
+type EfficiencyResult struct {
+	Points []EfficiencyPoint
+}
+
+// Efficiency generates and profiles the size series.
+func Efficiency() (*EfficiencyResult, error) {
+	res := &EfficiencyResult{}
+	for _, spec := range corpus.EfficiencySpecs() {
+		lib, err := corpus.Generate(spec.Traits)
+		if err != nil {
+			return nil, err
+		}
+		pr := profiler.New(profiler.Options{DropZeroReturns: true, DropPredicates: true})
+		if err := pr.AddLibrary(lib.Object); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := pr.ProfileLibrary(spec.Traits.Name); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		st := pr.Stats()
+		res.Points = append(res.Points, EfficiencyPoint{
+			Library:    spec.Traits.Name,
+			Functions:  spec.ExportedFn,
+			CodeKB:     len(lib.Object.Text) / 1024,
+			WallTime:   elapsed,
+			States:     st.StatesExpanded,
+			Dependents: st.DependentsAnalyzed,
+			PaperSecs:  spec.PaperSecs,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the series.
+func (r *EfficiencyResult) Render() string {
+	var b strings.Builder
+	b.WriteString("§6.2 — profiling time vs library size\n")
+	b.WriteString("Library          Funcs  CodeKB  Time        States   Paper\n")
+	for _, p := range r.Points {
+		paper := "-"
+		if p.PaperSecs > 0 {
+			paper = fmt.Sprintf("%.1fs", p.PaperSecs)
+		}
+		fmt.Fprintf(&b, "%-16s %5d  %6d  %-10s  %7d  %s\n",
+			p.Library, p.Functions, p.CodeKB, p.WallTime.Round(time.Millisecond), p.States, paper)
+	}
+	return b.String()
+}
+
+// RoughlyLinear reports whether time grows sub-quadratically with code
+// size across the series (the §6.2 claim: "profiling time is mainly
+// influenced by code size").
+func (r *EfficiencyResult) RoughlyLinear() bool {
+	if len(r.Points) < 2 {
+		return true
+	}
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	if first.CodeKB == 0 || first.WallTime <= 0 {
+		return true
+	}
+	sizeRatio := float64(last.CodeKB) / float64(first.CodeKB)
+	timeRatio := float64(last.WallTime) / float64(first.WallTime)
+	return timeRatio < sizeRatio*sizeRatio
+}

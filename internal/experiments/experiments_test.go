@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var envCache *Env
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	if envCache == nil {
+		e, err := NewEnv()
+		if err != nil {
+			t.Fatalf("environment: %v", err)
+		}
+		envCache = e
+	}
+	return envCache
+}
+
+func TestTable1Shape(t *testing.T) {
+	r, err := Table1(1500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total < 1500 {
+		t.Errorf("analysed %d functions, want >= 1500", r.Total)
+	}
+	// Headline claim: >90% of functions expose no side channel.
+	if f := r.NoSideEffectFraction(); f < 0.88 {
+		t.Errorf("no-side-effect fraction = %.3f, want ~0.91", f)
+	}
+	// Cell shape: scalar/none dominates; void functions have no channel.
+	if r.Cells["scalar"]["none"] < 0.4 {
+		t.Errorf("scalar/none = %.3f, want ~0.57", r.Cells["scalar"]["none"])
+	}
+	if r.Cells["void"]["global"] != 0 || r.Cells["void"]["argument"] != 0 {
+		t.Errorf("void rows must have no channels: %+v", r.Cells["void"])
+	}
+	if !strings.Contains(r.Render(), "Table 1") {
+		t.Error("render missing header")
+	}
+}
+
+func TestTable2SmallRows(t *testing.T) {
+	// Full Table 2 runs in the bench/CLI; here check two small rows end
+	// to end plus the pcre baseline path.
+	r, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 18 {
+		t.Fatalf("rows = %d, want 18", len(r.Rows))
+	}
+	mean := r.MeanAccuracy()
+	if mean < 0.70 || mean > 0.98 {
+		t.Errorf("mean accuracy = %.2f, paper reports ~80-90%%", mean)
+	}
+	for _, row := range r.Rows {
+		acc := row.Score.Accuracy()
+		if acc < 0.55 || row.Score.TP == 0 {
+			t.Errorf("%s/%s: degenerate score %+v", row.Library, row.Platform, row.Score)
+		}
+		// Shape: each row lands within 15 points of the paper's value.
+		if diff := acc - row.PaperAcc; diff > 0.15 || diff < -0.15 {
+			t.Errorf("%s/%s: accuracy %.2f vs paper %.2f", row.Library, row.Platform, acc, row.PaperAcc)
+		}
+	}
+	pacc := r.Pcre.Score.Accuracy()
+	if pacc < 0.70 || pacc > 0.95 {
+		t.Errorf("pcre accuracy = %.2f, paper 0.84", pacc)
+	}
+	t.Logf("\n%s", r.Render())
+}
+
+func TestEfficiencySeries(t *testing.T) {
+	r, err := Efficiency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) < 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	if !r.RoughlyLinear() {
+		t.Errorf("profiling time grows super-quadratically:\n%s", r.Render())
+	}
+	// Largest library must still profile in seconds, not minutes.
+	last := r.Points[len(r.Points)-1]
+	if last.WallTime.Seconds() > 60 {
+		t.Errorf("libxml2-size profiling took %v", last.WallTime)
+	}
+	t.Logf("\n%s", r.Render())
+}
+
+func TestTable3OverheadShape(t *testing.T) {
+	e := testEnv(t)
+	r, err := Table3(e, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(TriggerCounts) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	base := r.Rows[0]
+	// PHP must be substantially more expensive than static (paper: 10x).
+	if base.PHPSecs < 3*base.StaticSecs {
+		t.Errorf("php/static ratio = %.1f, want >= 3", base.PHPSecs/base.StaticSecs)
+	}
+	// Overhead monotonicity-ish and negligible: < 10% worst case.
+	if ov := r.MaxOverhead(); ov > 0.10 {
+		t.Errorf("max overhead = %.1f%%, paper reports negligible (<6%%)", 100*ov)
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if last.StaticSecs < base.StaticSecs || last.PHPSecs < base.PHPSecs {
+		t.Errorf("1000 triggers faster than baseline: %+v vs %+v", last, base)
+	}
+	t.Logf("\n%s", r.Render())
+}
+
+func TestTable4OverheadShape(t *testing.T) {
+	e := testEnv(t)
+	r, err := Table4(e, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := r.Rows[0]
+	// Read-only throughput exceeds read/write (paper: 465 vs 113).
+	if base.ReadOnly <= base.ReadWrite {
+		t.Errorf("read-only TPS %.1f <= read/write TPS %.1f", base.ReadOnly, base.ReadWrite)
+	}
+	if loss := r.MaxThroughputLoss(); loss > 0.10 {
+		t.Errorf("max throughput loss = %.1f%%, paper reports ~1-2%%", 100*loss)
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if last.ReadOnly > base.ReadOnly {
+		t.Errorf("1000 triggers faster than baseline")
+	}
+	t.Logf("\n%s", r.Render())
+}
+
+func TestPidginBugFoundAndReplayed(t *testing.T) {
+	e := testEnv(t)
+	r, err := PidginBug(e, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Signal != "SIGABRT" {
+		t.Errorf("crash signal = %s, want SIGABRT", r.Signal)
+	}
+	if r.ReplaySignal != "SIGABRT" {
+		t.Errorf("replay signal = %s, want SIGABRT", r.ReplaySignal)
+	}
+	if r.Injections == 0 {
+		t.Error("no injections recorded")
+	}
+	if r.CleanExitCode != 12 {
+		t.Errorf("clean run resolved %d, want 12", r.CleanExitCode)
+	}
+	t.Logf("\n%s", r.Render())
+}
+
+func TestDBCoverageImproves(t *testing.T) {
+	e := testEnv(t)
+	r, err := DBCoverage(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Baseline < 0.60 || r.Baseline > 0.85 {
+		t.Errorf("baseline coverage = %s, want ~73%%", pct(r.Baseline))
+	}
+	if r.WithLFI <= r.Baseline {
+		t.Errorf("coverage did not improve: %s -> %s", pct(r.Baseline), pct(r.WithLFI))
+	}
+	mod, delta := r.BestModuleDelta()
+	if delta < 5 {
+		t.Errorf("best module delta = %.1f points (%s), want a wal-style jump", delta, mod)
+	}
+	if r.Injections == 0 {
+		t.Error("no injections during coverage run")
+	}
+	t.Logf("\n%s", r.Render())
+}
+
+func TestDocGapsFound(t *testing.T) {
+	e := testEnv(t)
+	r, err := DocGaps(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Gaps) != 2 {
+		t.Fatalf("gaps = %d", len(r.Gaps))
+	}
+	closeGap := r.Gaps[0]
+	if !contains(closeGap.Missing, "EIO") {
+		t.Errorf("close: EIO not flagged as undocumented: %+v", closeGap)
+	}
+	ldtGap := r.Gaps[1]
+	if !contains(ldtGap.Missing, "ENOMEM") {
+		t.Errorf("modify_ldt: ENOMEM not flagged: %+v", ldtGap)
+	}
+	t.Logf("\n%s", r.Render())
+}
+
+func TestFigure2CFG(t *testing.T) {
+	r, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Blocks < 4 {
+		t.Errorf("blocks = %d, want a branching CFG", r.Blocks)
+	}
+	if r.Exits < 1 {
+		t.Error("no exit blocks")
+	}
+	if !strings.Contains(r.Dot, "digraph") {
+		t.Error("dot output malformed")
+	}
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,529 @@
+package kernel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Open flags understood by the synthetic kernel (Linux-flavoured).
+const (
+	ORdonly int32 = 0
+	OWronly int32 = 1
+	ORdwr   int32 = 2
+	OCreat  int32 = 64
+	OTrunc  int32 = 512
+	OAppend int32 = 1024
+)
+
+// MaxFDs is the per-process file-descriptor table size (EMFILE beyond it).
+const MaxFDs = 64
+
+// pipeCap is the pipe buffer capacity in bytes.
+const pipeCap = 4096
+
+// Kernel implements the resource side of the synthetic OS: an in-memory
+// file system, pipes, and loopback sockets reachable from host-side
+// workload drivers. Process control (spawn/wait/exit/brk) lives in the VM,
+// which owns address spaces and scheduling.
+//
+// All operations are deterministic; the kernel injects no spontaneous
+// faults of its own — faults come from the LFI controller at the library
+// boundary, as in the paper.
+type Kernel struct {
+	mu        sync.Mutex
+	fs        map[string]*inode
+	tables    map[int]*fdTable // pid -> descriptors
+	listeners map[int32]*listener
+}
+
+type inode struct {
+	data []byte
+}
+
+// file is an open-file description, possibly shared between processes
+// (pipe ends passed to spawned children).
+type file struct {
+	kind   fileKind
+	node   *inode // regular files
+	pos    int32
+	flags  int32
+	pipe   *pipe // pipe ends
+	rdEnd  bool  // true when this is the read end of a pipe
+	sock   *sock // connected sockets
+	mirror bool  // true for the connecting end of a VM-to-VM socket
+	lst    *listener
+}
+
+type fileKind uint8
+
+const (
+	fileRegular fileKind = iota + 1
+	filePipe
+	fileSocket
+	fileListener
+)
+
+type pipe struct {
+	buf     []byte
+	readers int
+	writers int
+}
+
+type listener struct {
+	port    int32
+	backlog []*sock
+	closed  bool
+}
+
+// sock is a bidirectional loopback byte stream. The "a" side is the VM
+// process; the "b" side is either another VM socket or a host Conn.
+type sock struct {
+	a2b, b2a []byte
+	aOpen    bool
+	bOpen    bool
+}
+
+type fdTable struct {
+	files map[int32]*file
+	next  int32
+}
+
+// New creates an empty kernel.
+func New() *Kernel {
+	return &Kernel{
+		fs:        make(map[string]*inode),
+		tables:    make(map[int]*fdTable),
+		listeners: make(map[int32]*listener),
+	}
+}
+
+// AddFile installs a file into the in-memory file system.
+func (k *Kernel) AddFile(path string, data []byte) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.fs[path] = &inode{data: append([]byte(nil), data...)}
+}
+
+// FileData returns a copy of the named file's current contents.
+func (k *Kernel) FileData(path string) ([]byte, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	n, ok := k.fs[path]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), n.data...), true
+}
+
+// NewProcess allocates a descriptor table for a process.
+func (k *Kernel) NewProcess(pid int) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.tables[pid] = &fdTable{files: make(map[int32]*file), next: 3}
+}
+
+// ReleaseProcess closes all descriptors of an exiting process.
+func (k *Kernel) ReleaseProcess(pid int) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	t := k.tables[pid]
+	if t == nil {
+		return
+	}
+	for fd := range t.files {
+		k.closeLocked(t, fd)
+	}
+	delete(k.tables, pid)
+}
+
+func (k *Kernel) table(pid int) *fdTable {
+	t := k.tables[pid]
+	if t == nil {
+		t = &fdTable{files: make(map[int32]*file), next: 3}
+		k.tables[pid] = t
+	}
+	return t
+}
+
+func (t *fdTable) install(f *file) int32 {
+	if len(t.files) >= MaxFDs {
+		return -EMFILE
+	}
+	fd := t.next
+	for t.files[fd] != nil {
+		fd++
+	}
+	t.next = fd + 1
+	t.files[fd] = f
+	return fd
+}
+
+// InstallAt force-installs a shared open file at a specific descriptor in
+// a (child) process — the fd-inheritance half of spawn.
+func (k *Kernel) InstallAt(pid int, fd int32, from int, fromFD int32) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	src := k.table(from).files[fromFD]
+	if src == nil {
+		return false
+	}
+	if src.kind == filePipe {
+		if src.rdEnd {
+			src.pipe.readers++
+		} else {
+			src.pipe.writers++
+		}
+	}
+	k.table(pid).files[fd] = src
+	return true
+}
+
+// Open implements sys_open. Returns fd or -errno.
+func (k *Kernel) Open(pid int, path string, flags int32) int32 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	node, exists := k.fs[path]
+	if !exists {
+		if flags&OCreat == 0 {
+			return -ENOENT
+		}
+		node = &inode{}
+		k.fs[path] = node
+	}
+	if flags&OTrunc != 0 {
+		node.data = nil
+	}
+	f := &file{kind: fileRegular, node: node, flags: flags}
+	if flags&OAppend != 0 {
+		f.pos = int32(len(node.data))
+	}
+	return k.table(pid).install(f)
+}
+
+// Unlink implements sys_unlink.
+func (k *Kernel) Unlink(pid int, path string) int32 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, ok := k.fs[path]; !ok {
+		return -ENOENT
+	}
+	delete(k.fs, path)
+	return 0
+}
+
+// Close implements sys_close.
+func (k *Kernel) Close(pid int, fd int32) int32 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	t := k.table(pid)
+	if t.files[fd] == nil {
+		return -EBADF
+	}
+	k.closeLocked(t, fd)
+	return 0
+}
+
+func (k *Kernel) closeLocked(t *fdTable, fd int32) {
+	f := t.files[fd]
+	delete(t.files, fd)
+	switch f.kind {
+	case filePipe:
+		if f.rdEnd {
+			f.pipe.readers--
+		} else {
+			f.pipe.writers--
+		}
+	case fileSocket:
+		if f.mirror {
+			f.sock.bOpen = false
+		} else {
+			f.sock.aOpen = false
+		}
+	case fileListener:
+		f.lst.closed = true
+		delete(k.listeners, f.lst.port)
+	}
+}
+
+// Read implements sys_read. blocked=true means the caller must retry (the
+// VM keeps the process on the syscall instruction).
+func (k *Kernel) Read(pid int, fd int32, n int32) (data []byte, ret int32, blocked bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	f := k.table(pid).files[fd]
+	if f == nil || n < 0 {
+		if f == nil {
+			return nil, -EBADF, false
+		}
+		return nil, -EINVAL, false
+	}
+	switch f.kind {
+	case fileRegular:
+		if f.flags&3 == OWronly {
+			return nil, -EBADF, false
+		}
+		avail := int32(len(f.node.data)) - f.pos
+		if avail <= 0 {
+			return nil, 0, false // EOF
+		}
+		if n > avail {
+			n = avail
+		}
+		out := f.node.data[f.pos : f.pos+n]
+		f.pos += n
+		return out, n, false
+	case filePipe:
+		if !f.rdEnd {
+			return nil, -EBADF, false
+		}
+		if len(f.pipe.buf) == 0 {
+			if f.pipe.writers == 0 {
+				return nil, 0, false // EOF
+			}
+			return nil, 0, true // block until data or writer close
+		}
+		if int(n) > len(f.pipe.buf) {
+			n = int32(len(f.pipe.buf))
+		}
+		out := append([]byte(nil), f.pipe.buf[:n]...)
+		f.pipe.buf = f.pipe.buf[n:]
+		return out, n, false
+	case fileSocket:
+		return k.sockRecvLocked(f, n)
+	}
+	return nil, -EINVAL, false
+}
+
+// Write implements sys_write.
+func (k *Kernel) Write(pid int, fd int32, data []byte) (ret int32, blocked bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	f := k.table(pid).files[fd]
+	if f == nil {
+		return -EBADF, false
+	}
+	switch f.kind {
+	case fileRegular:
+		if f.flags&3 == ORdonly {
+			return -EBADF, false
+		}
+		end := int(f.pos) + len(data)
+		if end > len(f.node.data) {
+			grown := make([]byte, end)
+			copy(grown, f.node.data)
+			f.node.data = grown
+		}
+		copy(f.node.data[f.pos:], data)
+		f.pos += int32(len(data))
+		return int32(len(data)), false
+	case filePipe:
+		if f.rdEnd {
+			return -EBADF, false
+		}
+		if f.pipe.readers == 0 {
+			return -EPIPE, false
+		}
+		space := pipeCap - len(f.pipe.buf)
+		if space == 0 {
+			return 0, true // block until the reader drains
+		}
+		n := len(data)
+		if n > space {
+			n = space // partial write, as POSIX pipes allow
+		}
+		f.pipe.buf = append(f.pipe.buf, data[:n]...)
+		return int32(n), false
+	case fileSocket:
+		return k.sockSendLocked(f, data)
+	}
+	return -EINVAL, false
+}
+
+// Pipe implements sys_pipe, returning the read and write descriptors.
+func (k *Kernel) Pipe(pid int) (rfd, wfd, errno int32) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	t := k.table(pid)
+	if len(t.files)+2 > MaxFDs {
+		return 0, 0, EMFILE
+	}
+	p := &pipe{readers: 1, writers: 1}
+	rfd = t.install(&file{kind: filePipe, pipe: p, rdEnd: true})
+	wfd = t.install(&file{kind: filePipe, pipe: p})
+	return rfd, wfd, 0
+}
+
+// Socket implements sys_socket.
+func (k *Kernel) Socket(pid int) int32 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.table(pid).install(&file{kind: fileSocket, sock: &sock{aOpen: true, bOpen: false}})
+}
+
+// Listen implements sys_listen: binds the descriptor to a port and makes
+// it a listener.
+func (k *Kernel) Listen(pid int, fd, port int32) int32 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	f := k.table(pid).files[fd]
+	if f == nil {
+		return -EBADF
+	}
+	if f.kind != fileSocket {
+		return -EINVAL
+	}
+	if _, busy := k.listeners[port]; busy {
+		return -EINVAL
+	}
+	l := &listener{port: port}
+	f.kind = fileListener
+	f.lst = l
+	k.listeners[port] = l
+	return 0
+}
+
+// Accept implements sys_accept.
+func (k *Kernel) Accept(pid int, fd int32) (ret int32, blocked bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	f := k.table(pid).files[fd]
+	if f == nil {
+		return -EBADF, false
+	}
+	if f.kind != fileListener {
+		return -EINVAL, false
+	}
+	if len(f.lst.backlog) == 0 {
+		return 0, true
+	}
+	s := f.lst.backlog[0]
+	f.lst.backlog = f.lst.backlog[1:]
+	return k.table(pid).install(&file{kind: fileSocket, sock: s}), false
+}
+
+// Connect implements sys_connect: connects a VM socket to a VM listener
+// on the loopback "network".
+func (k *Kernel) Connect(pid int, fd, port int32) int32 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	f := k.table(pid).files[fd]
+	if f == nil {
+		return -EBADF
+	}
+	if f.kind != fileSocket {
+		return -EINVAL
+	}
+	l, ok := k.listeners[port]
+	if !ok || l.closed {
+		return -ECONNREFUSED
+	}
+	// One shared stream pair: the acceptor holds the "a" view, the
+	// connector the mirrored "b" view (send and recv buffers swapped).
+	s := &sock{aOpen: true, bOpen: true}
+	f.sock = s
+	f.mirror = true
+	l.backlog = append(l.backlog, s)
+	return 0
+}
+
+func (k *Kernel) sockSendLocked(f *file, data []byte) (int32, bool) {
+	s := f.sock
+	peerOpen := s.bOpen
+	if f.mirror {
+		peerOpen = s.aOpen
+	}
+	if !peerOpen {
+		return -EPIPE, false
+	}
+	if f.mirror {
+		s.b2a = append(s.b2a, data...)
+	} else {
+		s.a2b = append(s.a2b, data...)
+	}
+	return int32(len(data)), false
+}
+
+func (k *Kernel) sockRecvLocked(f *file, n int32) ([]byte, int32, bool) {
+	s := f.sock
+	buf := &s.b2a
+	peerOpen := s.bOpen
+	if f.mirror {
+		buf = &s.a2b
+		peerOpen = s.aOpen
+	}
+	if len(*buf) == 0 {
+		if !peerOpen {
+			return nil, 0, false // peer closed: EOF
+		}
+		return nil, 0, true
+	}
+	if int(n) > len(*buf) {
+		n = int32(len(*buf))
+	}
+	out := append([]byte(nil), (*buf)[:n]...)
+	*buf = (*buf)[n:]
+	return out, n, false
+}
+
+// ---------------------------------------------------------------------------
+// Host-side (workload driver) endpoints
+// ---------------------------------------------------------------------------
+
+// Conn is a host-side connection to a VM listener, used by workload
+// drivers (the AB and SysBench analogues) to exercise servers running in
+// the VM.
+type Conn struct {
+	k *Kernel
+	s *sock
+}
+
+// Dial connects the host side to a VM listener port. It fails with
+// ECONNREFUSED semantics if nothing is listening.
+func (k *Kernel) Dial(port int32) (*Conn, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	l, ok := k.listeners[port]
+	if !ok || l.closed {
+		return nil, fmt.Errorf("kernel: dial port %d: connection refused", port)
+	}
+	s := &sock{aOpen: true, bOpen: true}
+	l.backlog = append(l.backlog, s)
+	return &Conn{k: k, s: s}, nil
+}
+
+// Send enqueues bytes for the VM side to recv.
+func (c *Conn) Send(data []byte) {
+	c.k.mu.Lock()
+	defer c.k.mu.Unlock()
+	c.s.b2a = append(c.s.b2a, data...)
+}
+
+// Recv drains whatever the VM side has sent so far.
+func (c *Conn) Recv() []byte {
+	c.k.mu.Lock()
+	defer c.k.mu.Unlock()
+	out := c.s.a2b
+	c.s.a2b = nil
+	return out
+}
+
+// PeerClosed reports whether the VM side has closed the connection.
+func (c *Conn) PeerClosed() bool {
+	c.k.mu.Lock()
+	defer c.k.mu.Unlock()
+	return !c.s.aOpen
+}
+
+// Pending reports whether unread VM->host bytes are buffered.
+func (c *Conn) Pending() bool {
+	c.k.mu.Lock()
+	defer c.k.mu.Unlock()
+	return len(c.s.a2b) > 0
+}
+
+// Close closes the host side of the connection.
+func (c *Conn) Close() {
+	c.k.mu.Lock()
+	defer c.k.mu.Unlock()
+	c.s.bOpen = false
+}

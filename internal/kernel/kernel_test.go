@@ -1,0 +1,315 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestErrnoNames(t *testing.T) {
+	cases := map[int32]string{
+		EBADF: "EBADF", EIO: "EIO", EINTR: "EINTR", ENOMEM: "ENOMEM",
+		ENOLINK: "ENOLINK", ENOSPC: "ENOSPC",
+	}
+	for v, name := range cases {
+		if got := ErrnoName(v); got != name {
+			t.Errorf("ErrnoName(%d) = %q, want %q", v, got, name)
+		}
+		if back, ok := ErrnoByName(name); !ok || back != v {
+			t.Errorf("ErrnoByName(%q) = %d, %v", name, back, ok)
+		}
+	}
+	if ErrnoName(9999) != "" {
+		t.Error("unknown errno should yield empty name")
+	}
+	// EWOULDBLOCK aliases EAGAIN, as on Linux.
+	if v, ok := ErrnoByName("EWOULDBLOCK"); !ok || v != EAGAIN {
+		t.Error("EWOULDBLOCK alias broken")
+	}
+}
+
+func TestSpecConsistency(t *testing.T) {
+	seenNum := map[int32]bool{}
+	seenHandler := map[string]bool{}
+	for _, s := range Spec {
+		if seenNum[s.Num] {
+			t.Errorf("duplicate syscall number %d", s.Num)
+		}
+		seenNum[s.Num] = true
+		if seenHandler[s.Handler] {
+			t.Errorf("duplicate handler %s", s.Handler)
+		}
+		seenHandler[s.Handler] = true
+		if s.Arity < 0 || s.Arity > 3 {
+			t.Errorf("%s: arity %d out of range", s.Name, s.Arity)
+		}
+		for _, e := range s.Errnos {
+			if ErrnoName(e) == "" {
+				t.Errorf("%s: unnamed errno %d", s.Name, e)
+			}
+		}
+		if h, ok := HandlerSymbol(s.Num); !ok || h != s.Handler {
+			t.Errorf("HandlerSymbol(%d) = %q, %v", s.Num, h, ok)
+		}
+	}
+	if _, ok := SpecByNum(999); ok {
+		t.Error("unknown syscall should not resolve")
+	}
+}
+
+func TestImageSourceCoversSpec(t *testing.T) {
+	src := ImageSource()
+	for _, s := range Spec {
+		if !strings.Contains(src, s.Handler) {
+			t.Errorf("image source missing handler %s", s.Handler)
+		}
+	}
+}
+
+func TestImageCompilesWithAllErrnos(t *testing.T) {
+	img, err := Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Name != ImageName {
+		t.Errorf("image name = %q", img.Name)
+	}
+	for _, s := range Spec {
+		if _, ok := img.LookupExport(s.Handler); !ok {
+			t.Errorf("image missing exported handler %s", s.Handler)
+		}
+	}
+}
+
+func TestFileLifecycle(t *testing.T) {
+	k := New()
+	k.NewProcess(1)
+	fd := k.Open(1, "/a", OCreat|OWronly)
+	if fd < 0 {
+		t.Fatalf("open: %d", fd)
+	}
+	if n, blocked := k.Write(1, fd, []byte("hello")); n != 5 || blocked {
+		t.Fatalf("write: %d %v", n, blocked)
+	}
+	if ret := k.Close(1, fd); ret != 0 {
+		t.Fatalf("close: %d", ret)
+	}
+	fd = k.Open(1, "/a", ORdonly)
+	data, n, _ := k.Read(1, fd, 16)
+	if n != 5 || string(data) != "hello" {
+		t.Errorf("read: %q %d", data, n)
+	}
+	// EOF.
+	if _, n, _ := k.Read(1, fd, 16); n != 0 {
+		t.Errorf("expected EOF, got %d", n)
+	}
+	if got, ok := k.FileData("/a"); !ok || string(got) != "hello" {
+		t.Errorf("FileData = %q, %v", got, ok)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	k := New()
+	k.NewProcess(1)
+	if fd := k.Open(1, "/missing", ORdonly); fd != -ENOENT {
+		t.Errorf("open missing = %d, want -ENOENT", fd)
+	}
+	if ret := k.Close(1, 99); ret != -EBADF {
+		t.Errorf("close bad fd = %d, want -EBADF", ret)
+	}
+	if _, n, _ := k.Read(1, 42, 4); n != -EBADF {
+		t.Errorf("read bad fd = %d", n)
+	}
+	if ret := k.Unlink(1, "/missing"); ret != -ENOENT {
+		t.Errorf("unlink = %d", ret)
+	}
+}
+
+func TestFDExhaustion(t *testing.T) {
+	k := New()
+	k.NewProcess(1)
+	k.AddFile("/x", nil)
+	last := int32(0)
+	for i := 0; i < MaxFDs+4; i++ {
+		last = k.Open(1, "/x", ORdonly)
+	}
+	if last != -EMFILE {
+		t.Errorf("open beyond MaxFDs = %d, want -EMFILE", last)
+	}
+}
+
+func TestPipeSemantics(t *testing.T) {
+	k := New()
+	k.NewProcess(1)
+	rfd, wfd, errno := k.Pipe(1)
+	if errno != 0 {
+		t.Fatal(errno)
+	}
+	// Empty pipe with writer open: block.
+	if _, _, blocked := k.Read(1, rfd, 4); !blocked {
+		t.Error("read from empty pipe should block")
+	}
+	if n, _ := k.Write(1, wfd, []byte("ab")); n != 2 {
+		t.Errorf("write = %d", n)
+	}
+	data, n, _ := k.Read(1, rfd, 1)
+	if n != 1 || data[0] != 'a' {
+		t.Errorf("read = %q", data)
+	}
+	// Close writer: drain then EOF.
+	k.Close(1, wfd)
+	if _, n, _ := k.Read(1, rfd, 4); n != 1 {
+		t.Errorf("drain = %d", n)
+	}
+	if _, n, blocked := k.Read(1, rfd, 4); n != 0 || blocked {
+		t.Errorf("EOF expected: n=%d blocked=%v", n, blocked)
+	}
+}
+
+func TestPipeEPIPEWithoutReader(t *testing.T) {
+	k := New()
+	k.NewProcess(1)
+	rfd, wfd, _ := k.Pipe(1)
+	k.Close(1, rfd)
+	if n, _ := k.Write(1, wfd, []byte("x")); n != -EPIPE {
+		t.Errorf("write without reader = %d, want -EPIPE", n)
+	}
+}
+
+func TestPipePartialWriteWhenFull(t *testing.T) {
+	k := New()
+	k.NewProcess(1)
+	_, wfd, _ := k.Pipe(1)
+	big := make([]byte, 5000)
+	n, blocked := k.Write(1, wfd, big)
+	if blocked || n != 4096 {
+		t.Errorf("first write = %d (blocked=%v), want partial 4096", n, blocked)
+	}
+	// Now full: blocks.
+	if _, blocked := k.Write(1, wfd, []byte("x")); !blocked {
+		t.Error("write to full pipe should block")
+	}
+}
+
+func TestPipeSharingAcrossProcesses(t *testing.T) {
+	k := New()
+	k.NewProcess(1)
+	k.NewProcess(2)
+	rfd, wfd, _ := k.Pipe(1)
+	if !k.InstallAt(2, 0, 1, rfd) {
+		t.Fatal("InstallAt failed")
+	}
+	k.Write(1, wfd, []byte("z"))
+	data, n, _ := k.Read(2, 0, 4)
+	if n != 1 || data[0] != 'z' {
+		t.Errorf("child read = %q", data)
+	}
+	// Parent closing its read end must not EOF the child (child holds a
+	// reference).
+	k.Close(1, rfd)
+	if n, _ := k.Write(1, wfd, []byte("y")); n != 1 {
+		t.Errorf("write after parent close = %d", n)
+	}
+}
+
+func TestListenerAndHostConn(t *testing.T) {
+	k := New()
+	k.NewProcess(1)
+	lfd := k.Socket(1)
+	if ret := k.Listen(1, lfd, 80); ret != 0 {
+		t.Fatal(ret)
+	}
+	// Accept with empty backlog blocks.
+	if _, blocked := k.Accept(1, lfd); !blocked {
+		t.Error("accept should block on empty backlog")
+	}
+	conn, err := k.Dial(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfd, blocked := k.Accept(1, lfd)
+	if blocked || cfd < 0 {
+		t.Fatalf("accept = %d %v", cfd, blocked)
+	}
+	conn.Send([]byte("req"))
+	data, n, _ := k.Read(1, cfd, 16)
+	if n != 3 || string(data) != "req" {
+		t.Errorf("server read = %q", data)
+	}
+	k.Write(1, cfd, []byte("resp"))
+	if got := conn.Recv(); string(got) != "resp" {
+		t.Errorf("client recv = %q", got)
+	}
+	if conn.PeerClosed() {
+		t.Error("peer should be open")
+	}
+	k.Close(1, cfd)
+	if !conn.PeerClosed() {
+		t.Error("peer close not visible")
+	}
+}
+
+func TestDialWithoutListener(t *testing.T) {
+	k := New()
+	if _, err := k.Dial(9999); err == nil {
+		t.Error("dial without listener must fail")
+	}
+}
+
+func TestListenPortConflict(t *testing.T) {
+	k := New()
+	k.NewProcess(1)
+	a := k.Socket(1)
+	b := k.Socket(1)
+	if ret := k.Listen(1, a, 80); ret != 0 {
+		t.Fatal(ret)
+	}
+	if ret := k.Listen(1, b, 80); ret != -EINVAL {
+		t.Errorf("second listen = %d, want -EINVAL", ret)
+	}
+}
+
+func TestVMToVMSocketPair(t *testing.T) {
+	k := New()
+	k.NewProcess(1)
+	k.NewProcess(2)
+	lfd := k.Socket(1)
+	k.Listen(1, lfd, 7000)
+	cfd := k.Socket(2)
+	if ret := k.Connect(2, cfd, 7000); ret != 0 {
+		t.Fatalf("connect = %d", ret)
+	}
+	sfd, blocked := k.Accept(1, lfd)
+	if blocked {
+		t.Fatal("accept blocked after connect")
+	}
+	// Client -> server.
+	k.Write(2, cfd, []byte("ping"))
+	data, n, _ := k.Read(1, sfd, 16)
+	if n != 4 || string(data) != "ping" {
+		t.Errorf("server got %q", data)
+	}
+	// Server -> client.
+	k.Write(1, sfd, []byte("pong"))
+	data, n, _ = k.Read(2, cfd, 16)
+	if n != 4 || string(data) != "pong" {
+		t.Errorf("client got %q", data)
+	}
+	if ret := k.Connect(2, k.Socket(2), 9999); ret != -ECONNREFUSED {
+		t.Errorf("connect to closed port = %d", ret)
+	}
+}
+
+func TestReleaseProcessClosesEverything(t *testing.T) {
+	k := New()
+	k.NewProcess(1)
+	rfd, wfd, _ := k.Pipe(1)
+	_ = rfd
+	k.NewProcess(2)
+	k.InstallAt(2, 0, 1, rfd)
+	k.ReleaseProcess(1)
+	// Child still reads EOF-able pipe; writer is gone.
+	if _, n, blocked := k.Read(2, 0, 4); n != 0 || blocked {
+		t.Errorf("read after writer release: n=%d blocked=%v, want EOF", n, blocked)
+	}
+	_ = wfd
+}

@@ -1,0 +1,141 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+
+	"lfi/internal/minic"
+	"lfi/internal/obj"
+)
+
+// Syscall numbers.
+const (
+	SysExit int32 = iota + 1
+	SysRead
+	SysWrite
+	SysOpen
+	SysClose
+	SysPipe
+	SysBrk
+	SysSpawn
+	SysWait
+	SysSocket
+	SysConnect
+	SysAccept
+	SysSend
+	SysRecv
+	SysAbort
+	SysGetpid
+	SysYield
+	SysUnlink
+	SysListen
+	numSyscalls = iota + 1
+)
+
+// SyscallSpec describes one system call: its runtime identity and the
+// errno constants its handler can return. The MiniC kernel image and the
+// Go runtime are both generated/validated from this single table.
+type SyscallSpec struct {
+	Num     int32
+	Name    string  // user-facing name ("read")
+	Handler string  // kernel image symbol ("sys_read")
+	Arity   int     // number of arguments (0..3)
+	Errnos  []int32 // error codes the handler can produce
+}
+
+// Spec is the syscall table of the synthetic kernel.
+var Spec = []SyscallSpec{
+	{SysExit, "exit", "sys_exit", 1, nil},
+	{SysRead, "read", "sys_read", 3, []int32{EBADF, EIO, EINTR, EAGAIN, EFAULT}},
+	{SysWrite, "write", "sys_write", 3, []int32{EBADF, EIO, EINTR, EPIPE, ENOSPC, EFAULT}},
+	{SysOpen, "open", "sys_open", 3, []int32{ENOENT, EACCES, EMFILE, ENFILE, EISDIR, ENOSPC}},
+	{SysClose, "close", "sys_close", 1, []int32{EBADF, EIO, EINTR}},
+	{SysPipe, "pipe", "sys_pipe", 1, []int32{EFAULT, EMFILE, ENFILE}},
+	{SysBrk, "brk", "sys_brk", 1, []int32{ENOMEM}},
+	{SysSpawn, "spawn", "sys_spawn", 3, []int32{ENOENT, ENOMEM, EAGAIN, EFAULT}},
+	{SysWait, "wait", "sys_wait", 2, []int32{ECHILD, EINTR, EFAULT}},
+	{SysSocket, "socket", "sys_socket", 1, []int32{EMFILE, ENFILE, EINVAL}},
+	{SysConnect, "connect", "sys_connect", 2, []int32{EBADF, ECONNREFUSED, EINTR, EINVAL}},
+	{SysAccept, "accept", "sys_accept", 1, []int32{EBADF, EAGAIN, EINTR, EMFILE, EINVAL}},
+	{SysSend, "send", "sys_send", 3, []int32{EBADF, EPIPE, EINTR, EAGAIN, EFAULT}},
+	{SysRecv, "recv", "sys_recv", 3, []int32{EBADF, EINTR, EAGAIN, EFAULT, EINVAL}},
+	{SysAbort, "abort", "sys_abort", 0, nil},
+	{SysGetpid, "getpid", "sys_getpid", 0, nil},
+	{SysYield, "yield", "sys_yield", 0, nil},
+	{SysUnlink, "unlink", "sys_unlink", 1, []int32{ENOENT, EACCES, EBUSY, EFAULT}},
+	{SysListen, "listen", "sys_listen", 2, []int32{EBADF, EINVAL, EMFILE}},
+}
+
+// SpecByNum returns the spec entry for a syscall number.
+func SpecByNum(num int32) (SyscallSpec, bool) {
+	for _, s := range Spec {
+		if s.Num == num {
+			return s, true
+		}
+	}
+	return SyscallSpec{}, false
+}
+
+// HandlerSymbol maps a syscall number to its kernel-image handler symbol,
+// which is how the profiler resolves libc's SYSCALL "dependent functions"
+// into the kernel image (§3.1).
+func HandlerSymbol(num int32) (string, bool) {
+	s, ok := SpecByNum(num)
+	if !ok {
+		return "", false
+	}
+	return s.Handler, true
+}
+
+// ImageName is the module name of the analysable kernel image.
+const ImageName = "kernel.img"
+
+// ImageSource generates the MiniC source of the kernel image. Each
+// handler contains the real control structure of a kernel entry point —
+// argument validation, state checks, then the work — returning the
+// -errno constants from the Spec table on its failure paths.
+//
+// The image exists so the LFI profiler can extract kernel-originated
+// error codes by static analysis, exactly as the paper does for Linux.
+func ImageSource() string {
+	var b strings.Builder
+	b.WriteString("// Synthetic kernel image, generated from kernel.Spec.\n")
+	b.WriteString("int __kstate;\n")
+	for _, s := range Spec {
+		fmt.Fprintf(&b, "int %s(", s.Handler)
+		for i := 0; i < s.Arity; i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "int a%d", i)
+		}
+		if s.Arity == 0 {
+			b.WriteString("void")
+		}
+		b.WriteString(") {\n")
+		for i, e := range s.Errnos {
+			// Each failure path checks a distinct condition; the guard
+			// reads kernel state and arguments so the branch is not
+			// trivially dead.
+			cond := fmt.Sprintf("__kstate == %d", i+1)
+			if s.Arity > 0 {
+				cond = fmt.Sprintf("a0 < 0 && __kstate == %d", i+1)
+				if i%2 == 1 {
+					cond = fmt.Sprintf("a%d == 0 - %d", i%s.Arity, i+1)
+				}
+			}
+			fmt.Fprintf(&b, "  if (%s) { return -%d; }\n", cond, e)
+		}
+		b.WriteString("  return 0;\n}\n")
+	}
+	return b.String()
+}
+
+// Image compiles the analysable kernel image.
+func Image() (*obj.File, error) {
+	f, err := minic.Compile(ImageName, ImageSource(), obj.Library)
+	if err != nil {
+		return nil, fmt.Errorf("kernel: compiling image: %w", err)
+	}
+	return f, nil
+}

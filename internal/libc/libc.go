@@ -1,0 +1,272 @@
+// Package libc provides the synthetic C library: MiniC syscall wrappers
+// around the synthetic kernel, plus memory and string utilities.
+//
+// The wrappers follow the glibc idiom the paper analyses in §3.2: on a
+// negative kernel return they store the negated value into the errno TLS
+// variable and return -1 (or NULL). The LFI profiler therefore recovers,
+// for example, close() -> retval -1 with TLS side effects -EBADF/-EIO/
+// -EINTR, reproducing the paper's §3.3 example profile.
+package libc
+
+import (
+	"fmt"
+	"strings"
+
+	"lfi/internal/kernel"
+	"lfi/internal/minic"
+	"lfi/internal/obj"
+)
+
+// Name is the library's module name.
+const Name = "libc.so"
+
+// Source returns the MiniC source of the synthetic libc. Syscall numbers
+// are injected from the kernel spec so the two cannot drift apart.
+func Source() string {
+	var b strings.Builder
+	b.WriteString("// Synthetic libc: thin wrappers over the synthetic kernel.\n")
+	b.WriteString("tls int errno;\n\n")
+
+	n := func(num int32) int32 { return num }
+	fmt.Fprintf(&b, `
+int open(byte *path, int flags, int mode) {
+  int r;
+  r = __syscall3(%d, path, flags, mode);
+  if (r < 0) { errno = -r; return -1; }
+  return r;
+}
+
+int close(int fd) {
+  int r;
+  r = __syscall1(%d, fd);
+  if (r < 0) { errno = -r; return -1; }
+  return 0;
+}
+
+int read(int fd, byte *buf, int n) {
+  int r;
+  r = __syscall3(%d, fd, buf, n);
+  if (r < 0) { errno = -r; return -1; }
+  return r;
+}
+
+int write(int fd, byte *buf, int n) {
+  int r;
+  r = __syscall3(%d, fd, buf, n);
+  if (r < 0) { errno = -r; return -1; }
+  return r;
+}
+
+int pipe(int *fds) {
+  int r;
+  r = __syscall1(%d, fds);
+  if (r < 0) { errno = -r; return -1; }
+  return 0;
+}
+
+int unlink(byte *path) {
+  int r;
+  r = __syscall1(%d, path);
+  if (r < 0) { errno = -r; return -1; }
+  return 0;
+}
+`, n(kernel.SysOpen), n(kernel.SysClose), n(kernel.SysRead), n(kernel.SysWrite),
+		n(kernel.SysPipe), n(kernel.SysUnlink))
+
+	fmt.Fprintf(&b, `
+int socket(int domain) {
+  int r;
+  r = __syscall1(%d, domain);
+  if (r < 0) { errno = -r; return -1; }
+  return r;
+}
+
+int listen(int fd, int port) {
+  int r;
+  r = __syscall2(%d, fd, port);
+  if (r < 0) { errno = -r; return -1; }
+  return 0;
+}
+
+int accept(int fd) {
+  int r;
+  r = __syscall1(%d, fd);
+  if (r < 0) { errno = -r; return -1; }
+  return r;
+}
+
+int connect(int fd, int port) {
+  int r;
+  r = __syscall2(%d, fd, port);
+  if (r < 0) { errno = -r; return -1; }
+  return 0;
+}
+
+int send(int fd, byte *buf, int n) {
+  int r;
+  r = __syscall3(%d, fd, buf, n);
+  if (r < 0) { errno = -r; return -1; }
+  return r;
+}
+
+int recv(int fd, byte *buf, int n) {
+  int r;
+  r = __syscall3(%d, fd, buf, n);
+  if (r < 0) { errno = -r; return -1; }
+  return r;
+}
+`, n(kernel.SysSocket), n(kernel.SysListen), n(kernel.SysAccept),
+		n(kernel.SysConnect), n(kernel.SysSend), n(kernel.SysRecv))
+
+	fmt.Fprintf(&b, `
+void exit(int code) {
+  int r;
+  r = __syscall1(%d, code);
+}
+
+void abort(void) {
+  int r;
+  r = __syscall0(%d);
+}
+
+int getpid(void) {
+  return __syscall0(%d);
+}
+
+int yield(void) {
+  return __syscall0(%d);
+}
+
+int spawn(byte *prog, int fdin, int fdout) {
+  int r;
+  r = __syscall3(%d, prog, fdin, fdout);
+  if (r < 0) { errno = -r; return -1; }
+  return r;
+}
+
+int waitpid(int pid, int *status) {
+  int r;
+  r = __syscall2(%d, pid, status);
+  if (r < 0) { errno = -r; return -1; }
+  return r;
+}
+`, n(kernel.SysExit), n(kernel.SysAbort), n(kernel.SysGetpid),
+		n(kernel.SysYield), n(kernel.SysSpawn), n(kernel.SysWait))
+
+	fmt.Fprintf(&b, `
+int __heap_end = 0;
+
+byte *malloc(int n) {
+  int cur;
+  int want;
+  if (n <= 0) { errno = %d; return 0; }
+  if (__heap_end == 0) {
+    cur = __syscall1(%d, 0);
+    __heap_end = cur;
+  }
+  want = __heap_end + n + 3;
+  want = want - (want %% 4);
+  cur = __syscall1(%d, want);
+  if (cur < 0) { errno = %d; return 0; }
+  cur = __heap_end;
+  __heap_end = want;
+  return cur;
+}
+
+void free(byte *p) {
+  // Bump allocator: free is a no-op, like many embedded mallocs.
+}
+`, kernel.EINVAL, n(kernel.SysBrk), n(kernel.SysBrk), kernel.ENOMEM)
+
+	b.WriteString(`
+int strlen(byte *s) {
+  int n;
+  n = 0;
+  while (s[n] != 0) { n = n + 1; }
+  return n;
+}
+
+int strcmp(byte *a, byte *b) {
+  int i;
+  i = 0;
+  while (a[i] != 0 && a[i] == b[i]) { i = i + 1; }
+  if (a[i] < b[i]) { return -1; }
+  if (a[i] > b[i]) { return 1; }
+  return 0;
+}
+
+int strncmp(byte *a, byte *b, int n) {
+  int i;
+  i = 0;
+  while (i < n && a[i] != 0 && a[i] == b[i]) { i = i + 1; }
+  if (i == n) { return 0; }
+  if (a[i] < b[i]) { return -1; }
+  if (a[i] > b[i]) { return 1; }
+  return 0;
+}
+
+void strcpy(byte *dst, byte *src) {
+  int i;
+  i = 0;
+  while (src[i] != 0) { dst[i] = src[i]; i = i + 1; }
+  dst[i] = 0;
+}
+
+void memcpy(byte *dst, byte *src, int n) {
+  int i;
+  i = 0;
+  while (i < n) { dst[i] = src[i]; i = i + 1; }
+}
+
+void memset(byte *p, int v, int n) {
+  int i;
+  i = 0;
+  while (i < n) { p[i] = v; i = i + 1; }
+}
+
+int atoi(byte *s) {
+  int v;
+  int i;
+  int sign;
+  v = 0;
+  i = 0;
+  sign = 1;
+  if (s[0] == '-') { sign = -1; i = 1; }
+  while (s[i] >= '0' && s[i] <= '9') {
+    v = v * 10 + (s[i] - '0');
+    i = i + 1;
+  }
+  return v * sign;
+}
+
+int itoa(int v, byte *out) {
+  int i;
+  int j;
+  int n;
+  byte tmp[16];
+  i = 0;
+  n = 0;
+  if (v < 0) { out[n] = '-'; n = 1; v = -v; }
+  if (v == 0) { out[n] = '0'; out[n+1] = 0; return n + 1; }
+  while (v > 0) { tmp[i] = '0' + (v % 10); v = v / 10; i = i + 1; }
+  j = i - 1;
+  while (j >= 0) { out[n] = tmp[j]; n = n + 1; j = j - 1; }
+  out[n] = 0;
+  return n;
+}
+
+int puts_fd(int fd, byte *s) {
+  return write(fd, s, strlen(s));
+}
+`)
+	return b.String()
+}
+
+// Compile builds the libc object.
+func Compile() (*obj.File, error) {
+	f, err := minic.Compile(Name, Source(), obj.Library)
+	if err != nil {
+		return nil, fmt.Errorf("libc: %w", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,146 @@
+package libc_test
+
+import (
+	"strings"
+	"testing"
+
+	"lfi/internal/kernel"
+	"lfi/internal/libc"
+	"lfi/internal/minic"
+	"lfi/internal/obj"
+	"lfi/internal/vm"
+)
+
+func TestSourceMentionsEverySyscallWrapper(t *testing.T) {
+	src := libc.Source()
+	for _, fn := range []string{
+		"int open(", "int close(", "int read(", "int write(", "int pipe(",
+		"int socket(", "int listen(", "int accept(", "int connect(",
+		"int send(", "int recv(", "void exit(", "void abort(", "int getpid(",
+		"int spawn(", "int waitpid(", "byte *malloc(", "void free(",
+		"int strlen(", "int strcmp(", "void memcpy(", "int itoa(", "int atoi(",
+	} {
+		if !strings.Contains(src, fn) {
+			t.Errorf("libc source missing %q", fn)
+		}
+	}
+}
+
+func TestWrapperPatternIsCanonical(t *testing.T) {
+	// Every syscall wrapper must use the errno = -r idiom the profiler's
+	// side-effect analysis targets.
+	src := libc.Source()
+	if strings.Count(src, "errno = -r") < 10 {
+		t.Error("wrappers do not follow the glibc errno idiom")
+	}
+}
+
+func TestCompileExportsAll(t *testing.T) {
+	f, err := libc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != obj.Library || f.Name != libc.Name {
+		t.Errorf("identity = %v %q", f.Kind, f.Name)
+	}
+	for _, name := range []string{
+		"open", "close", "read", "write", "pipe", "unlink", "socket",
+		"listen", "accept", "connect", "send", "recv", "exit", "abort",
+		"getpid", "yield", "spawn", "waitpid", "malloc", "free",
+		"strlen", "strcmp", "strncmp", "strcpy", "memcpy", "memset",
+		"atoi", "itoa", "puts_fd", "errno",
+	} {
+		if _, ok := f.LookupExport(name); !ok {
+			t.Errorf("missing export %q", name)
+		}
+	}
+	if f.TLSSize < 4 {
+		t.Errorf("TLS size = %d, errno missing", f.TLSSize)
+	}
+}
+
+// TestErrnoVisibleAcrossFailures exercises errno through several distinct
+// failure classes end to end.
+func TestErrnoVisibleAcrossFailures(t *testing.T) {
+	lc, err := libc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := minic.Compile("a", `
+needs "libc.so";
+extern int open(byte *path, int flags, int mode);
+extern int close(int fd);
+extern int read(int fd, byte *buf, int n);
+extern byte *malloc(int n);
+extern tls int errno;
+int main(void) {
+  byte buf[4];
+  byte *p;
+  if (open("/nope", 0, 0) != -1) { return 1; }
+  if (errno != 2) { return 2; }          // ENOENT
+  if (close(55) != -1) { return 3; }
+  if (errno != 9) { return 4; }          // EBADF
+  if (read(55, buf, 4) != -1) { return 5; }
+  if (errno != 9) { return 6; }          // EBADF
+  p = malloc(-1);
+  if (p != 0) { return 7; }
+  if (errno != 22) { return 8; }         // EINVAL
+  return 0;
+}`, obj.Executable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(lc)
+	sys.Register(app)
+	p, err := sys.Spawn("a", vm.SpawnConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Status.Code != 0 || p.Status.Signal != 0 {
+		t.Errorf("status = %+v", p.Status)
+	}
+	_ = kernel.ENOENT
+}
+
+func TestMallocAlignmentAndReuse(t *testing.T) {
+	lc, err := libc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := minic.Compile("a", `
+needs "libc.so";
+extern byte *malloc(int n);
+int main(void) {
+  byte *a;
+  byte *b;
+  a = malloc(5);
+  b = malloc(5);
+  if (a == 0 || b == 0) { return 1; }
+  if (b <= a) { return 2; }          // bump allocator grows upward
+  if ((b - a) % 4 != 0) { return 3; } // word alignment
+  a[4] = 7;
+  b[4] = 9;
+  if (a[4] != 7 || b[4] != 9) { return 4; }
+  return 0;
+}`, obj.Executable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(lc)
+	sys.Register(app)
+	p, err := sys.Spawn("a", vm.SpawnConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Status.Code != 0 {
+		t.Errorf("status = %+v", p.Status)
+	}
+}

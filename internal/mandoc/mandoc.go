@@ -1,0 +1,200 @@
+// Package mandoc implements the man-page-like documentation format used
+// as evaluation ground truth.
+//
+// §6.3 of the LFI paper measures profiler accuracy against library
+// documentation ("we wrote documentation parsers for each of the measured
+// libraries... While this evaluation is inexact, it is the only practical
+// method of comparison"). This package provides both halves: a writer the
+// corpus generator uses to emit per-function pages, and the parser the
+// Table 2 experiment uses to extract documented error return values and
+// errno codes.
+//
+// The format is a small roff-like subset:
+//
+//	.TH XML_PARSE 3 "libxml2"
+//	.SH SYNOPSIS
+//	int xml_parse(int handle, int flags);
+//	.SH RETURN VALUE
+//	On error, -1 is returned. On success, 0 is returned.
+//	.SH ERRORS
+//	.B EBADF
+//	The handle is not valid.
+//
+// Like real man pages, the prose can be incomplete or wrong; the corpus
+// generator injects exactly the kinds of discrepancies the paper found
+// (modify_ldt's undocumented ENOMEM, htmlParseDocument's undocumented 1).
+package mandoc
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Page is one function's man page.
+type Page struct {
+	Library  string
+	Function string
+	Synopsis string // C prototype
+	// Retvals are the documented error return values.
+	Retvals []int32
+	// Errnos are the documented errno names.
+	Errnos []string
+	// Prose is free-text description (not machine-meaningful).
+	Prose string
+}
+
+// Render emits the page in the roff-like format.
+func (p *Page) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".TH %s 3 \"%s\"\n", strings.ToUpper(p.Function), p.Library)
+	b.WriteString(".SH NAME\n")
+	fmt.Fprintf(&b, "%s \\- %s\n", p.Function, firstLine(p.Prose))
+	b.WriteString(".SH SYNOPSIS\n")
+	fmt.Fprintf(&b, "%s;\n", p.Synopsis)
+	b.WriteString(".SH RETURN VALUE\n")
+	if len(p.Retvals) == 0 {
+		b.WriteString("No return value.\n")
+	} else {
+		for _, v := range p.Retvals {
+			fmt.Fprintf(&b, "On error, %d is returned.\n", v)
+		}
+	}
+	if len(p.Errnos) > 0 {
+		b.WriteString(".SH ERRORS\n")
+		for _, e := range p.Errnos {
+			fmt.Fprintf(&b, ".B %s\n", e)
+			b.WriteString("See above.\n")
+		}
+	}
+	return b.String()
+}
+
+var (
+	reTH     = regexp.MustCompile(`^\.TH\s+(\S+)\s+\d+\s+"([^"]*)"`)
+	reRetval = regexp.MustCompile(`On error, (-?\d+) is returned`)
+	reErrno  = regexp.MustCompile(`^\.B\s+([A-Z][A-Z0-9]+)\s*$`)
+)
+
+// Parse extracts the machine-readable content from a rendered page.
+func Parse(text string) (*Page, error) {
+	p := &Page{}
+	section := ""
+	for _, line := range strings.Split(text, "\n") {
+		switch {
+		case strings.HasPrefix(line, ".TH"):
+			m := reTH.FindStringSubmatch(line)
+			if m == nil {
+				return nil, fmt.Errorf("mandoc: bad .TH line %q", line)
+			}
+			p.Function = strings.ToLower(m[1])
+			p.Library = m[2]
+		case strings.HasPrefix(line, ".SH"):
+			section = strings.TrimSpace(strings.TrimPrefix(line, ".SH"))
+		case section == "SYNOPSIS" && strings.TrimSpace(line) != "":
+			if p.Synopsis == "" {
+				p.Synopsis = strings.TrimSuffix(strings.TrimSpace(line), ";")
+			}
+		case section == "NAME":
+			if i := strings.Index(line, "\\- "); i >= 0 && p.Function == "" {
+				p.Function = strings.TrimSpace(line[:i])
+			}
+		case section == "RETURN VALUE":
+			for _, m := range reRetval.FindAllStringSubmatch(line, -1) {
+				v, err := strconv.ParseInt(m[1], 10, 32)
+				if err == nil {
+					p.Retvals = append(p.Retvals, int32(v))
+				}
+			}
+		case section == "ERRORS":
+			if m := reErrno.FindStringSubmatch(line); m != nil {
+				p.Errnos = append(p.Errnos, m[1])
+			}
+		}
+	}
+	if p.Function == "" {
+		return nil, fmt.Errorf("mandoc: page has no function name")
+	}
+	return p, nil
+}
+
+// ReturnType extracts the return type from the synopsis ("int", "void",
+// "int*", "byte*") — the header-analysis half of the paper's Table 1
+// methodology (ELSA on development headers).
+func (p *Page) ReturnType() string {
+	s := strings.TrimSpace(p.Synopsis)
+	i := strings.IndexByte(s, ' ')
+	if i < 0 {
+		return ""
+	}
+	typ := s[:i]
+	rest := strings.TrimSpace(s[i:])
+	if strings.HasPrefix(rest, "*") {
+		typ += "*"
+	}
+	return typ
+}
+
+// Set is a library's documentation: one page per function.
+type Set struct {
+	Library string
+	Pages   map[string]*Page
+}
+
+// NewSet creates an empty documentation set.
+func NewSet(library string) *Set {
+	return &Set{Library: library, Pages: make(map[string]*Page)}
+}
+
+// Add installs a page.
+func (s *Set) Add(p *Page) { s.Pages[p.Function] = p }
+
+// Render emits all pages concatenated (as a doc bundle file).
+func (s *Set) Render() string {
+	var names []string
+	for n := range s.Pages {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	var b strings.Builder
+	for _, n := range names {
+		b.WriteString(s.Pages[n].Render())
+		b.WriteString(".\\\" ----\n")
+	}
+	return b.String()
+}
+
+// ParseSet splits a doc bundle back into pages.
+func ParseSet(library, text string) (*Set, error) {
+	s := NewSet(library)
+	for _, chunk := range strings.Split(text, ".\\\" ----\n") {
+		if strings.TrimSpace(chunk) == "" {
+			continue
+		}
+		p, err := Parse(chunk)
+		if err != nil {
+			return nil, err
+		}
+		s.Add(p)
+	}
+	return s, nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	if s == "" {
+		return "library routine"
+	}
+	return s
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package mandoc
+
+import (
+	"strings"
+	"testing"
+)
+
+func samplePage() *Page {
+	return &Page{
+		Library:  "libxml2.so",
+		Function: "xml_parse",
+		Synopsis: "int xml_parse(int handle, int flags)",
+		Retvals:  []int32{-1, 0},
+		Errnos:   []string{"EBADF", "EINVAL"},
+		Prose:    "parse a document",
+	}
+}
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	p := samplePage()
+	text := p.Render()
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Function != "xml_parse" || q.Library != "libxml2.so" {
+		t.Errorf("identity = %q / %q", q.Function, q.Library)
+	}
+	if len(q.Retvals) != 2 || q.Retvals[0] != -1 || q.Retvals[1] != 0 {
+		t.Errorf("retvals = %v", q.Retvals)
+	}
+	if len(q.Errnos) != 2 || q.Errnos[0] != "EBADF" {
+		t.Errorf("errnos = %v", q.Errnos)
+	}
+	if q.Synopsis != p.Synopsis {
+		t.Errorf("synopsis = %q", q.Synopsis)
+	}
+}
+
+func TestReturnTypeExtraction(t *testing.T) {
+	cases := map[string]string{
+		"int f(int a)":   "int",
+		"void g(int a)":  "void",
+		"byte *h(int a)": "byte*",
+		"int *p(void)":   "int*",
+		"":               "",
+	}
+	for syn, want := range cases {
+		p := &Page{Synopsis: syn}
+		if got := p.ReturnType(); got != want {
+			t.Errorf("ReturnType(%q) = %q, want %q", syn, got, want)
+		}
+	}
+}
+
+func TestVoidPageHasNoRetvals(t *testing.T) {
+	p := &Page{Library: "l", Function: "f", Synopsis: "void f(int a)"}
+	q, err := Parse(p.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Retvals) != 0 || len(q.Errnos) != 0 {
+		t.Errorf("void page parsed retvals=%v errnos=%v", q.Retvals, q.Errnos)
+	}
+}
+
+func TestSetRoundTrip(t *testing.T) {
+	s := NewSet("libxml2.so")
+	s.Add(samplePage())
+	s.Add(&Page{Library: "libxml2.so", Function: "xml_free", Synopsis: "void xml_free(byte *p)"})
+	text := s.Render()
+	back, err := ParseSet("libxml2.so", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Pages) != 2 {
+		t.Fatalf("pages = %d", len(back.Pages))
+	}
+	if _, ok := back.Pages["xml_parse"]; !ok {
+		t.Error("xml_parse lost")
+	}
+	if _, ok := back.Pages["xml_free"]; !ok {
+		t.Error("xml_free lost")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse("no roff here"); err == nil {
+		t.Error("pageless text should fail")
+	}
+	if _, err := Parse(".TH ???"); err == nil {
+		t.Error("bad .TH should fail")
+	}
+}
+
+func TestRenderStable(t *testing.T) {
+	s := NewSet("l")
+	s.Add(&Page{Library: "l", Function: "b", Synopsis: "int b(void)"})
+	s.Add(&Page{Library: "l", Function: "a", Synopsis: "int a(void)"})
+	r1 := s.Render()
+	r2 := s.Render()
+	if r1 != r2 {
+		t.Error("render not deterministic")
+	}
+	if strings.Index(r1, "\"l\"") < 0 {
+		t.Error("library attribution missing")
+	}
+	// Alphabetical page order.
+	if strings.Index(r1, ".TH A ") > strings.Index(r1, ".TH B ") {
+		t.Error("pages not sorted")
+	}
+}

@@ -1,0 +1,766 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lfi/internal/asm"
+	"lfi/internal/obj"
+)
+
+// Compile compiles MiniC source into a SLEF object of the given kind. The
+// name becomes the module name (e.g. "libc.so", "pidgin").
+func Compile(name, src string, kind obj.FileKind) (*obj.File, error) {
+	text, err := CompileToAsm(name, src, kind)
+	if err != nil {
+		return nil, err
+	}
+	f, err := asm.Assemble(name+".s", text)
+	if err != nil {
+		return nil, fmt.Errorf("minic: assembling %s: %w", name, err)
+	}
+	return f, nil
+}
+
+// CompileToAsm compiles MiniC source to SIA-32 assembly text.
+func CompileToAsm(name, src string, kind obj.FileKind) (string, error) {
+	u, err := Parse(name, src)
+	if err != nil {
+		return "", err
+	}
+	g := newCodegen(u, kind)
+	return g.generate()
+}
+
+// symClass classifies a unit-level or local name during code generation.
+type symClass uint8
+
+const (
+	symLocal symClass = iota + 1 // frame slot (scalar)
+	symLocalArray
+	symParam
+	symGlobal
+	symGlobalArray
+	symTLS
+	symFunc
+	symExtern    // imported function
+	symExternVar // imported variable (e.g. libc's errno)
+)
+
+type symInfo struct {
+	class symClass
+	typ   Type
+	off   int32 // frame offset (locals/params)
+	name  string
+}
+
+type codegen struct {
+	unit *Unit
+	kind obj.FileKind
+
+	out     strings.Builder
+	globals map[string]symInfo
+	externs map[string]*ExternDecl
+	strs    []string // string literal pool
+	strIdx  map[string]int
+
+	// per-function state
+	fn        *FuncDecl
+	scopes    []map[string]symInfo
+	frameSize int32
+	labelN    int
+	breakLbl  []string
+	contLbl   []string
+	err       error
+}
+
+func newCodegen(u *Unit, kind obj.FileKind) *codegen {
+	g := &codegen{
+		unit:    u,
+		kind:    kind,
+		globals: make(map[string]symInfo),
+		externs: make(map[string]*ExternDecl),
+		strIdx:  make(map[string]int),
+	}
+	for _, e := range u.Externs {
+		g.externs[e.Name] = e
+	}
+	for _, d := range u.Globals {
+		class := symGlobal
+		if d.ArrayLen > 0 {
+			class = symGlobalArray
+		}
+		g.globals[d.Name] = symInfo{class: class, typ: d.Type, name: d.Name}
+	}
+	for _, d := range u.TLS {
+		g.globals[d.Name] = symInfo{class: symTLS, typ: d.Type, name: d.Name}
+	}
+	for _, f := range u.Funcs {
+		g.globals[f.Name] = symInfo{class: symFunc, typ: f.Ret, name: f.Name}
+	}
+	return g
+}
+
+func (g *codegen) fail(line int, format string, args ...interface{}) {
+	if g.err == nil {
+		g.err = &CompileError{Unit: g.unit.Name, Line: line, Msg: fmt.Sprintf(format, args...)}
+	}
+}
+
+func (g *codegen) emit(format string, args ...interface{}) {
+	fmt.Fprintf(&g.out, format, args...)
+	g.out.WriteByte('\n')
+}
+
+func (g *codegen) label(prefix string) string {
+	g.labelN++
+	return fmt.Sprintf(".%s%d", prefix, g.labelN)
+}
+
+func (g *codegen) generate() (string, error) {
+	if g.kind == obj.Executable {
+		g.emit(".exe %s", g.unit.Name)
+	} else {
+		g.emit(".lib %s", g.unit.Name)
+	}
+	for _, n := range g.unit.Needed {
+		g.emit(".needs %s", n)
+	}
+	for _, e := range g.unit.Externs {
+		g.emit(".extern %s", e.Name)
+	}
+	// Exports: non-static functions, globals, TLS variables.
+	for _, f := range g.unit.Funcs {
+		if !f.Static {
+			g.emit(".global %s", f.Name)
+		}
+	}
+	for _, d := range g.unit.Globals {
+		g.emit(".global %s", d.Name)
+	}
+	for _, d := range g.unit.TLS {
+		g.emit(".global %s", d.Name)
+	}
+	for _, d := range g.unit.TLS {
+		g.emit(".tls %s 4", d.Name)
+	}
+	for _, d := range g.unit.Globals {
+		switch {
+		case d.ArrayLen > 0:
+			size := d.ArrayLen * 4
+			if d.Type == TypeByte || d.Type == TypeBytePtr {
+				size = (d.ArrayLen + 3) / 4 * 4
+			}
+			g.emit(".data %s %d", d.Name, size)
+		default:
+			g.emit(".dataw %s %d", d.Name, d.Init)
+		}
+	}
+
+	// Two phases so that string literals discovered during function
+	// generation land in the data section: generate functions into a
+	// temporary buffer, then splice the string pool in front.
+	var fnsOut strings.Builder
+	saved := g.out
+	g.out = strings.Builder{}
+	for _, f := range g.unit.Funcs {
+		g.genFunc(f)
+	}
+	fnsOut = g.out
+	g.out = saved
+	if g.err != nil {
+		return "", g.err
+	}
+	for i, s := range g.strs {
+		g.emit(".datab __str%d %s", i, strconv.Quote(s))
+	}
+	g.out.WriteString(fnsOut.String())
+	return g.out.String(), nil
+}
+
+func (g *codegen) genFunc(f *FuncDecl) {
+	g.fn = f
+	g.scopes = []map[string]symInfo{make(map[string]symInfo, len(f.Params))}
+	g.frameSize = 0
+	g.breakLbl = nil
+	g.contLbl = nil
+	for i, prm := range f.Params {
+		g.scopes[0][prm.Name] = symInfo{
+			class: symParam, typ: prm.Type, off: int32(8 + 4*i), name: prm.Name,
+		}
+	}
+
+	// Pre-scan the body to compute the frame size, so the prologue can
+	// reserve it up front (locals are assigned offsets during genBlock;
+	// the prologue uses a placeholder patched by emitting `sub sp, N`
+	// after the scan).
+	size := g.measureFrame(f.Body)
+
+	g.emit(".func %s", f.Name)
+	g.emit("  push bp")
+	g.emit("  mov bp, sp")
+	if size > 0 {
+		g.emit("  sub sp, %d", size)
+	}
+	g.genBlock(f.Body)
+	// Fall-off-the-end epilogue (void functions, or safety net).
+	g.emitEpilogue()
+	g.emit(".endfunc")
+	g.fn = nil
+}
+
+func (g *codegen) emitEpilogue() {
+	g.emit("  mov sp, bp")
+	g.emit("  pop bp")
+	g.emit("  ret")
+}
+
+// measureFrame computes the total stack frame size of all locals declared
+// anywhere in the function body. All locals get distinct slots (no reuse
+// across sibling scopes — simple and predictable for the profiler).
+func (g *codegen) measureFrame(s Stmt) int32 {
+	var total int32
+	var walk func(Stmt)
+	walk = func(s Stmt) {
+		switch st := s.(type) {
+		case *BlockStmt:
+			for _, sub := range st.Stmts {
+				walk(sub)
+			}
+		case *IfStmt:
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *WhileStmt:
+			walk(st.Body)
+		case *ForStmt:
+			walk(st.Body)
+		case *DeclStmt:
+			total += declSize(st.Decl)
+		}
+	}
+	walk(s)
+	return total
+}
+
+func declSize(d *VarDecl) int32 {
+	if d.ArrayLen > 0 {
+		if d.Type == TypeByte {
+			return (d.ArrayLen + 3) / 4 * 4
+		}
+		return d.ArrayLen * 4
+	}
+	return 4
+}
+
+func (g *codegen) pushScope() { g.scopes = append(g.scopes, make(map[string]symInfo)) }
+func (g *codegen) popScope()  { g.scopes = g.scopes[:len(g.scopes)-1] }
+
+func (g *codegen) lookup(name string) (symInfo, bool) {
+	for i := len(g.scopes) - 1; i >= 0; i-- {
+		if si, ok := g.scopes[i][name]; ok {
+			return si, true
+		}
+	}
+	if si, ok := g.globals[name]; ok {
+		return si, true
+	}
+	if e, ok := g.externs[name]; ok {
+		if e.IsVar {
+			return symInfo{class: symExternVar, typ: e.Ret, name: name}, true
+		}
+		return symInfo{class: symExtern, typ: e.Ret, name: name}, true
+	}
+	return symInfo{}, false
+}
+
+func (g *codegen) genBlock(b *BlockStmt) {
+	g.pushScope()
+	for _, s := range b.Stmts {
+		g.genStmt(s)
+	}
+	g.popScope()
+}
+
+func (g *codegen) genStmt(s Stmt) {
+	if g.err != nil {
+		return
+	}
+	switch st := s.(type) {
+	case *BlockStmt:
+		g.genBlock(st)
+
+	case *DeclStmt:
+		d := st.Decl
+		g.frameSize += declSize(d)
+		off := -g.frameSize
+		class := symLocal
+		if d.ArrayLen > 0 {
+			class = symLocalArray
+		}
+		g.scopes[len(g.scopes)-1][d.Name] = symInfo{
+			class: class, typ: d.Type, off: off, name: d.Name,
+		}
+		if st.Init != nil {
+			g.genExpr(st.Init)
+			g.emit("  store [bp%+d], r0", off)
+		}
+
+	case *ExprStmt:
+		g.genExpr(st.X)
+
+	case *ReturnStmt:
+		if st.Value != nil {
+			g.genExpr(st.Value)
+		}
+		g.emitEpilogue()
+
+	case *IfStmt:
+		elseL := g.label("else")
+		endL := g.label("endif")
+		g.genCondJumpFalse(st.Cond, elseL)
+		g.genStmt(st.Then)
+		if st.Else != nil {
+			g.emit("  jmp %s", endL)
+			g.emit("%s:", elseL)
+			g.genStmt(st.Else)
+			g.emit("%s:", endL)
+		} else {
+			g.emit("%s:", elseL)
+		}
+
+	case *WhileStmt:
+		headL := g.label("while")
+		endL := g.label("endw")
+		g.breakLbl = append(g.breakLbl, endL)
+		g.contLbl = append(g.contLbl, headL)
+		g.emit("%s:", headL)
+		g.genCondJumpFalse(st.Cond, endL)
+		g.genStmt(st.Body)
+		g.emit("  jmp %s", headL)
+		g.emit("%s:", endL)
+		g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+		g.contLbl = g.contLbl[:len(g.contLbl)-1]
+
+	case *ForStmt:
+		headL := g.label("for")
+		postL := g.label("forpost")
+		endL := g.label("endfor")
+		if st.Init != nil {
+			g.genExpr(st.Init)
+		}
+		g.breakLbl = append(g.breakLbl, endL)
+		g.contLbl = append(g.contLbl, postL)
+		g.emit("%s:", headL)
+		if st.Cond != nil {
+			g.genCondJumpFalse(st.Cond, endL)
+		}
+		g.genStmt(st.Body)
+		g.emit("%s:", postL)
+		if st.Post != nil {
+			g.genExpr(st.Post)
+		}
+		g.emit("  jmp %s", headL)
+		g.emit("%s:", endL)
+		g.breakLbl = g.breakLbl[:len(g.breakLbl)-1]
+		g.contLbl = g.contLbl[:len(g.contLbl)-1]
+
+	case *BreakStmt:
+		if len(g.breakLbl) == 0 {
+			g.fail(st.Line, "break outside loop")
+			return
+		}
+		g.emit("  jmp %s", g.breakLbl[len(g.breakLbl)-1])
+
+	case *ContinueStmt:
+		if len(g.contLbl) == 0 {
+			g.fail(st.Line, "continue outside loop")
+			return
+		}
+		g.emit("  jmp %s", g.contLbl[len(g.contLbl)-1])
+
+	default:
+		g.fail(0, "unhandled statement %T", s)
+	}
+}
+
+// genCondJumpFalse evaluates cond and jumps to target when it is zero.
+func (g *codegen) genCondJumpFalse(cond Expr, target string) {
+	g.genExpr(cond)
+	g.emit("  cmp r0, 0")
+	g.emit("  je %s", target)
+}
+
+// genExpr generates code leaving the expression value in r0.
+func (g *codegen) genExpr(e Expr) Type {
+	if g.err != nil {
+		return TypeInt
+	}
+	switch x := e.(type) {
+	case *NumLit:
+		g.emit("  mov r0, %d", x.Value)
+		return TypeInt
+
+	case *StrLit:
+		idx, ok := g.strIdx[x.Value]
+		if !ok {
+			idx = len(g.strs)
+			g.strIdx[x.Value] = idx
+			g.strs = append(g.strs, x.Value)
+		}
+		g.emit("  lea r0, __str%d", idx)
+		return TypeBytePtr
+
+	case *Ident:
+		si, ok := g.lookup(x.Name)
+		if !ok {
+			g.fail(x.Line, "undefined identifier %q", x.Name)
+			return TypeInt
+		}
+		switch si.class {
+		case symLocal, symParam:
+			g.emit("  load r0, [bp%+d]", si.off)
+		case symLocalArray:
+			g.emit("  mov r0, bp")
+			g.emit("  add r0, %d", si.off)
+			return ptrTo(si.typ)
+		case symGlobal:
+			g.emit("  lea r1, %s", si.name)
+			g.emit("  load r0, [r1+0]")
+		case symGlobalArray:
+			g.emit("  lea r0, %s", si.name)
+			return ptrTo(si.typ)
+		case symTLS, symExternVar:
+			g.emit("  lea r1, %s", si.name)
+			g.emit("  load r0, [r1+0]")
+		case symFunc, symExtern:
+			g.emit("  lea r0, %s", si.name)
+		}
+		return si.typ
+
+	case *Unary:
+		return g.genUnary(x)
+
+	case *Binary:
+		return g.genBinary(x)
+
+	case *Assign:
+		return g.genAssign(x)
+
+	case *Index:
+		bt := g.genAddrOfIndex(x)
+		if bt == TypeBytePtr {
+			g.emit("  loadb r0, [r0+0]")
+			return TypeByte
+		}
+		g.emit("  load r0, [r0+0]")
+		return TypeInt
+
+	case *Call:
+		return g.genCall(x)
+	}
+	g.fail(0, "unhandled expression %T", e)
+	return TypeInt
+}
+
+func ptrTo(t Type) Type {
+	if t == TypeByte || t == TypeBytePtr {
+		return TypeBytePtr
+	}
+	return TypeIntPtr
+}
+
+func (g *codegen) genUnary(x *Unary) Type {
+	switch x.Op {
+	case "-":
+		g.genExpr(x.X)
+		g.emit("  neg r0")
+		return TypeInt
+	case "~":
+		g.genExpr(x.X)
+		g.emit("  not r0")
+		return TypeInt
+	case "!":
+		g.genExpr(x.X)
+		t := g.label("t")
+		g.emit("  cmp r0, 0")
+		g.emit("  mov r0, 1")
+		g.emit("  je %s", t)
+		g.emit("  mov r0, 0")
+		g.emit("%s:", t)
+		return TypeInt
+	case "*":
+		pt := g.genExpr(x.X)
+		if pt == TypeBytePtr {
+			g.emit("  loadb r0, [r0+0]")
+			return TypeByte
+		}
+		g.emit("  load r0, [r0+0]")
+		return TypeInt
+	case "&":
+		return g.genAddr(x.X)
+	}
+	g.fail(0, "unhandled unary operator %q", x.Op)
+	return TypeInt
+}
+
+// genAddr leaves the address of the lvalue in r0 and returns the pointer
+// type.
+func (g *codegen) genAddr(e Expr) Type {
+	switch x := e.(type) {
+	case *Ident:
+		si, ok := g.lookup(x.Name)
+		if !ok {
+			g.fail(x.Line, "undefined identifier %q", x.Name)
+			return TypeIntPtr
+		}
+		switch si.class {
+		case symLocal, symParam:
+			g.emit("  mov r0, bp")
+			g.emit("  add r0, %d", si.off)
+		case symLocalArray:
+			g.emit("  mov r0, bp")
+			g.emit("  add r0, %d", si.off)
+		case symGlobal, symGlobalArray, symTLS, symExternVar:
+			g.emit("  lea r0, %s", si.name)
+		case symFunc, symExtern:
+			g.emit("  lea r0, %s", si.name)
+			return TypeInt // code address used for indirect calls
+		}
+		return ptrTo(si.typ)
+	case *Unary:
+		if x.Op == "*" {
+			return g.genExpr(x.X)
+		}
+	case *Index:
+		return ptrTo(elemType(g.genAddrOfIndex(x)))
+	}
+	g.fail(0, "cannot take address of expression %T", e)
+	return TypeIntPtr
+}
+
+func elemType(pt Type) Type {
+	if pt == TypeBytePtr {
+		return TypeByte
+	}
+	return TypeInt
+}
+
+// genAddrOfIndex computes &base[idx] into r0 and returns the base pointer
+// type (TypeIntPtr or TypeBytePtr) to pick load/store width.
+func (g *codegen) genAddrOfIndex(x *Index) Type {
+	bt := g.genExpr(x.Base)
+	if !bt.IsPtr() {
+		bt = TypeIntPtr // int used as address — permissive, C-style
+	}
+	g.emit("  push r0")
+	g.genExpr(x.Idx)
+	if bt.ElemSize() == 4 {
+		g.emit("  shl r0, 2")
+	}
+	g.emit("  pop r1")
+	g.emit("  add r0, r1")
+	return bt
+}
+
+func (g *codegen) genAssign(x *Assign) Type {
+	// Fast path: direct scalar local/param/global/TLS targets use frame
+	// or symbol addressing so the profiler can track them.
+	if id, ok := x.L.(*Ident); ok {
+		si, found := g.lookup(id.Name)
+		if !found {
+			g.fail(id.Line, "undefined identifier %q", id.Name)
+			return TypeInt
+		}
+		switch si.class {
+		case symLocal, symParam:
+			g.genExpr(x.R)
+			g.emit("  store [bp%+d], r0", si.off)
+			return si.typ
+		case symGlobal, symTLS, symExternVar:
+			g.genExpr(x.R)
+			g.emit("  lea r1, %s", si.name)
+			g.emit("  store [r1+0], r0")
+			return si.typ
+		default:
+			g.fail(id.Line, "cannot assign to %q", id.Name)
+			return TypeInt
+		}
+	}
+	// General path: compute address, then value.
+	var width Type
+	switch lv := x.L.(type) {
+	case *Unary:
+		if lv.Op != "*" {
+			g.fail(x.Line, "invalid assignment target")
+			return TypeInt
+		}
+		pt := g.genExpr(lv.X)
+		width = elemType(pt)
+	case *Index:
+		width = elemType(g.genAddrOfIndex(lv))
+	default:
+		g.fail(x.Line, "invalid assignment target")
+		return TypeInt
+	}
+	g.emit("  push r0")
+	g.genExpr(x.R)
+	g.emit("  pop r1")
+	if width == TypeByte {
+		g.emit("  storeb [r1+0], r0")
+	} else {
+		g.emit("  store [r1+0], r0")
+	}
+	return width
+}
+
+func (g *codegen) genBinary(x *Binary) Type {
+	switch x.Op {
+	case "&&":
+		falseL := g.label("and0")
+		endL := g.label("and1")
+		g.genExpr(x.L)
+		g.emit("  cmp r0, 0")
+		g.emit("  je %s", falseL)
+		g.genExpr(x.R)
+		g.emit("  cmp r0, 0")
+		g.emit("  je %s", falseL)
+		g.emit("  mov r0, 1")
+		g.emit("  jmp %s", endL)
+		g.emit("%s:", falseL)
+		g.emit("  mov r0, 0")
+		g.emit("%s:", endL)
+		return TypeInt
+	case "||":
+		trueL := g.label("or1")
+		endL := g.label("or0")
+		g.genExpr(x.L)
+		g.emit("  cmp r0, 0")
+		g.emit("  jne %s", trueL)
+		g.genExpr(x.R)
+		g.emit("  cmp r0, 0")
+		g.emit("  jne %s", trueL)
+		g.emit("  mov r0, 0")
+		g.emit("  jmp %s", endL)
+		g.emit("%s:", trueL)
+		g.emit("  mov r0, 1")
+		g.emit("%s:", endL)
+		return TypeInt
+	case "<<", ">>":
+		n, ok := x.R.(*NumLit)
+		if !ok {
+			g.fail(0, "shift amount must be a constant")
+			return TypeInt
+		}
+		g.genExpr(x.L)
+		if x.Op == "<<" {
+			g.emit("  shl r0, %d", n.Value)
+		} else {
+			g.emit("  shr r0, %d", n.Value)
+		}
+		return TypeInt
+	}
+
+	lt := g.genExpr(x.L)
+	g.emit("  push r0")
+	g.genExpr(x.R)
+	g.emit("  mov r1, r0")
+	g.emit("  pop r0")
+	switch x.Op {
+	case "+":
+		g.emit("  add r0, r1")
+		return lt
+	case "-":
+		g.emit("  sub r0, r1")
+		return lt
+	case "*":
+		g.emit("  mul r0, r1")
+	case "/":
+		g.emit("  div r0, r1")
+	case "%":
+		g.emit("  mod r0, r1")
+	case "&":
+		g.emit("  and r0, r1")
+	case "|":
+		g.emit("  or r0, r1")
+	case "^":
+		g.emit("  xor r0, r1")
+	case "==", "!=", "<", "<=", ">", ">=":
+		jcc := map[string]string{
+			"==": "je", "!=": "jne", "<": "jl", "<=": "jle", ">": "jg", ">=": "jge",
+		}[x.Op]
+		t := g.label("t")
+		g.emit("  cmp r0, r1")
+		g.emit("  mov r0, 1")
+		g.emit("  %s %s", jcc, t)
+		g.emit("  mov r0, 0")
+		g.emit("%s:", t)
+	default:
+		g.fail(0, "unhandled binary operator %q", x.Op)
+	}
+	return TypeInt
+}
+
+func (g *codegen) genCall(x *Call) Type {
+	if arity, ok := IsSyscallIntrinsic(x.Name); ok {
+		return g.genSyscall(x, arity)
+	}
+	si, found := g.lookup(x.Name)
+	if !found {
+		g.fail(x.Line, "call to undefined function %q", x.Name)
+		return TypeInt
+	}
+	// Push arguments right-to-left (cdecl).
+	for i := len(x.Args) - 1; i >= 0; i-- {
+		g.genExpr(x.Args[i])
+		g.emit("  push r0")
+	}
+	var ret Type
+	switch si.class {
+	case symFunc, symExtern:
+		g.emit("  call %s", x.Name)
+		ret = si.typ
+		if e, ok := g.externs[x.Name]; ok {
+			ret = e.Ret
+		}
+	case symLocal, symParam, symGlobal:
+		// Indirect call through a variable holding a code address.
+		g.genExpr(&Ident{Name: x.Name, Line: x.Line})
+		g.emit("  callr r0")
+		ret = TypeInt
+	default:
+		g.fail(x.Line, "%q is not callable", x.Name)
+		return TypeInt
+	}
+	if len(x.Args) > 0 {
+		g.emit("  add sp, %d", 4*len(x.Args))
+	}
+	return ret
+}
+
+// genSyscall lowers __syscallN(num, a1..aN). The syscall number must be a
+// literal so that static analysis can map the trap to its kernel handler,
+// mirroring how the LFI profiler resolves libc's syscall wrappers (§3.1).
+func (g *codegen) genSyscall(x *Call, arity int) Type {
+	if len(x.Args) != arity+1 {
+		g.fail(x.Line, "%s expects %d arguments", x.Name, arity+1)
+		return TypeInt
+	}
+	num, ok := x.Args[0].(*NumLit)
+	if !ok {
+		g.fail(x.Line, "%s: syscall number must be a literal", x.Name)
+		return TypeInt
+	}
+	for i := 1; i <= arity; i++ {
+		g.genExpr(x.Args[i])
+		g.emit("  push r0")
+	}
+	for i := arity; i >= 1; i-- {
+		g.emit("  pop r%d", i)
+	}
+	g.emit("  mov r0, %d", num.Value)
+	g.emit("  syscall")
+	return TypeInt
+}

@@ -1,0 +1,249 @@
+package minic_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lfi/internal/libc"
+	"lfi/internal/minic"
+	"lfi/internal/obj"
+	"lfi/internal/vm"
+)
+
+// expr is a randomly generated arithmetic expression with a Go-side
+// evaluator, used for differential testing of the compiler + VM against
+// int32 semantics.
+type expr struct {
+	text string
+	eval func(a, b int32) int32
+}
+
+func genExpr(rng *rand.Rand, depth int) expr {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			c := int32(rng.Intn(201) - 100)
+			return expr{fmt.Sprint(c), func(a, b int32) int32 { return c }}
+		case 1:
+			return expr{"a", func(a, b int32) int32 { return a }}
+		default:
+			return expr{"b", func(a, b int32) int32 { return b }}
+		}
+	}
+	l := genExpr(rng, depth-1)
+	r := genExpr(rng, depth-1)
+	switch rng.Intn(9) {
+	case 0:
+		return expr{"(" + l.text + " + " + r.text + ")",
+			func(a, b int32) int32 { return l.eval(a, b) + r.eval(a, b) }}
+	case 1:
+		return expr{"(" + l.text + " - " + r.text + ")",
+			func(a, b int32) int32 { return l.eval(a, b) - r.eval(a, b) }}
+	case 2:
+		return expr{"(" + l.text + " * " + r.text + ")",
+			func(a, b int32) int32 { return l.eval(a, b) * r.eval(a, b) }}
+	case 3:
+		return expr{"(" + l.text + " & " + r.text + ")",
+			func(a, b int32) int32 { return l.eval(a, b) & r.eval(a, b) }}
+	case 4:
+		return expr{"(" + l.text + " | " + r.text + ")",
+			func(a, b int32) int32 { return l.eval(a, b) | r.eval(a, b) }}
+	case 5:
+		return expr{"(" + l.text + " ^ " + r.text + ")",
+			func(a, b int32) int32 { return l.eval(a, b) ^ r.eval(a, b) }}
+	case 6:
+		return expr{"(" + l.text + " < " + r.text + ")",
+			func(a, b int32) int32 {
+				if l.eval(a, b) < r.eval(a, b) {
+					return 1
+				}
+				return 0
+			}}
+	case 7:
+		return expr{"(" + l.text + " == " + r.text + ")",
+			func(a, b int32) int32 {
+				if l.eval(a, b) == r.eval(a, b) {
+					return 1
+				}
+				return 0
+			}}
+	default:
+		return expr{"(-" + l.text + ")",
+			func(a, b int32) int32 { return -l.eval(a, b) }}
+	}
+}
+
+// TestDifferentialExpressions compiles random expressions and compares
+// the VM result with direct Go evaluation over several argument pairs.
+func TestDifferentialExpressions(t *testing.T) {
+	lc, err := libc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(20090625)) // DSN'09 conference date
+	for i := 0; i < 40; i++ {
+		e := genExpr(rng, 3)
+		a := int32(rng.Intn(41) - 20)
+		b := int32(rng.Intn(41) - 20)
+		src := fmt.Sprintf(`
+needs "libc.so";
+static int f(int a, int b) { return %s; }
+int main(void) { return f(%d, %d) & 255; }
+`, e.text, a, b)
+		exe, err := minic.Compile("diff", src, obj.Executable)
+		if err != nil {
+			t.Fatalf("expr %q: compile: %v", e.text, err)
+		}
+		sys := vm.NewSystem(vm.Options{})
+		sys.Register(lc)
+		sys.Register(exe)
+		p, err := sys.Spawn("diff", vm.SpawnConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Run(5_000_000); err != nil {
+			t.Fatalf("expr %q: run: %v", e.text, err)
+		}
+		want := e.eval(a, b) & 255
+		if p.Status.Signal != 0 || p.Status.Code != want {
+			t.Errorf("expr %q with a=%d b=%d: VM=%d, Go=%d",
+				e.text, a, b, p.Status.Code, want)
+		}
+	}
+}
+
+// TestDifferentialShortCircuit verifies && and || side-effect ordering
+// against C semantics.
+func TestDifferentialShortCircuit(t *testing.T) {
+	st := runMain(t, header+`
+int calls = 0;
+static int bump(int v) { calls = calls + 1; return v; }
+int main(void) {
+  calls = 0;
+  if (bump(0) && bump(1)) { return 1; }
+  if (calls != 1) { return 2; }     // RHS must not evaluate
+  calls = 0;
+  if (bump(1) || bump(1)) { calls = calls + 0; }
+  if (calls != 1) { return 3; }     // RHS must not evaluate
+  calls = 0;
+  if (bump(1) && bump(0)) { return 4; }
+  if (calls != 2) { return 5; }     // both evaluate
+  return 0;
+}`)
+	if st.Code != 0 || st.Signal != 0 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+// TestScopingAndShadowing: inner declarations shadow outer ones and die
+// with their block.
+func TestScopingAndShadowing(t *testing.T) {
+	st := runMain(t, header+`
+int main(void) {
+  int x;
+  int sum;
+  x = 1;
+  sum = 0;
+  if (x == 1) {
+    int x;
+    x = 50;
+    sum = sum + x;
+  }
+  sum = sum + x;   // outer x again
+  if (sum != 51) { return 1; }
+  return 0;
+}`)
+	if st.Code != 0 || st.Signal != 0 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+// TestCommentsAndLiterals: comment styles, hex literals, char escapes.
+func TestCommentsAndLiterals(t *testing.T) {
+	st := runMain(t, header+`
+// line comment
+/* block
+   comment */
+int main(void) {
+  byte s[8];
+  if (0x10 != 16) { return 1; }
+  if ('A' != 65) { return 2; }
+  if ('\n' != 10) { return 3; }
+  strcpy(s, "a\tb");
+  if (s[1] != 9) { return 4; }
+  return 0; // trailing comment
+}`)
+	if st.Code != 0 || st.Signal != 0 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+// TestDeepRecursionGrowsAndReturns: recursion to a depth well past one
+// stack page still unwinds correctly.
+func TestDeepRecursionGrowsAndReturns(t *testing.T) {
+	st := runMain(t, header+`
+static int down(int n) {
+  if (n == 0) { return 0; }
+  return down(n - 1) + 1;
+}
+int main(void) {
+  if (down(5000) != 5000) { return 1; }
+  return 0;
+}`)
+	if st.Code != 0 || st.Signal != 0 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+// TestStackOverflowIsSEGV: unbounded recursion hits the guard.
+func TestStackOverflowIsSEGV(t *testing.T) {
+	st := runMain(t, header+`
+static int down(int n) { return down(n + 1); }
+int main(void) { return down(0); }`)
+	if st.Signal != vm.SigSEGV {
+		t.Errorf("status = %+v, want SIGSEGV", st)
+	}
+}
+
+// TestForLoopVariants: empty init/cond/post combinations.
+func TestForLoopVariants(t *testing.T) {
+	st := runMain(t, header+`
+int main(void) {
+  int i;
+  int n;
+  n = 0;
+  i = 0;
+  for (; i < 5; i = i + 1) { n = n + 1; }
+  for (i = 0; ; i = i + 1) {
+    if (i >= 5) { break; }
+    n = n + 1;
+  }
+  for (i = 0; i < 5; ) { i = i + 1; n = n + 1; }
+  if (n != 15) { return n; }
+  return 0;
+}`)
+	if st.Code != 0 || st.Signal != 0 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestLargeProgramCompiles(t *testing.T) {
+	// A synthetic 300-function unit exercises assembler scale.
+	var b strings.Builder
+	b.WriteString(`needs "libc.so";` + "\n")
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&b, "static int f%d(int x) { return x + %d; }\n", i, i)
+	}
+	b.WriteString("int main(void) { int s; s = 0;\n")
+	for i := 0; i < 300; i += 50 {
+		fmt.Fprintf(&b, "  s = s + f%d(1);\n", i)
+	}
+	b.WriteString("  return s; }\n")
+	st := runMain(t, b.String())
+	// s = sum over i in {0,50,...,250} of (1+i) = 6 + (0+50+...+250) = 756
+	if st.Code != 756 {
+		t.Errorf("code = %d, want 756", st.Code)
+	}
+}

@@ -1,0 +1,219 @@
+// Package minic implements a small C-like language and its compiler to
+// SIA-32 assembly.
+//
+// MiniC is the reproduction's stand-in for the C toolchains that produced
+// the libraries LFI profiles: the synthetic libc, the evaluation corpus
+// (libxml2, libssl, ... analogues), the kernel image, and the workload
+// applications (httpd, minidb, pidgin) are all written in MiniC and
+// compiled to SLEF objects. Because the compiler materialises constant
+// error returns, errno side effects and output-argument writes with the
+// same instruction idioms the paper describes for gcc-produced IA32 code,
+// profiler results on MiniC output are directly comparable to the paper's.
+//
+// Language summary:
+//
+//	extern int write(int fd, byte *buf, int n);   // import
+//	tls int errno;                                // thread-local (exported)
+//	int g_count = 3;                              // global (exported)
+//	static int helper(int x) { ... }              // local function
+//	int open(byte *path, int flags) { ... }       // exported function
+//
+// Statements: if/else, while, for, return, break, continue, blocks,
+// declarations and expressions. Expressions: integer/char/string literals,
+// unary -~!*&, binary arithmetic/bitwise/comparison/logical with
+// short-circuit && and ||, assignment, array indexing, function calls
+// (direct, or indirect through integer variables holding a function
+// address taken with &f), and the __syscallN(num, ...) intrinsics.
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota + 1
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int32
+	line int
+}
+
+var keywords = map[string]bool{
+	"int": true, "byte": true, "void": true, "if": true, "else": true,
+	"while": true, "for": true, "return": true, "break": true,
+	"continue": true, "extern": true, "tls": true, "static": true,
+	"needs": true,
+}
+
+// CompileError reports a compilation failure with source position.
+type CompileError struct {
+	Unit string
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.Unit, e.Line, e.Msg)
+}
+
+type lexer struct {
+	unit string
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(unit, src string) ([]token, error) {
+	l := &lexer{unit: unit, src: src, line: 1}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return &CompileError{Unit: l.unit, Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		k := tokIdent
+		if keywords[text] {
+			k = tokKeyword
+		}
+		return token{kind: k, text: text, line: l.line}, nil
+
+	case c >= '0' && c <= '9':
+		start := l.pos
+		for l.pos < len(l.src) && (isIdentChar(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return token{}, l.errf("bad number %q", text)
+		}
+		return token{kind: tokNumber, text: text, num: int32(v), line: l.line}, nil
+
+	case c == '\'':
+		// Character literal.
+		end := l.pos + 1
+		for end < len(l.src) && l.src[end] != '\'' {
+			if l.src[end] == '\\' {
+				end++
+			}
+			end++
+		}
+		if end >= len(l.src) {
+			return token{}, l.errf("unterminated character literal")
+		}
+		lit := l.src[l.pos : end+1]
+		l.pos = end + 1
+		v, _, _, err := strconv.UnquoteChar(lit[1:len(lit)-1], '\'')
+		if err != nil {
+			return token{}, l.errf("bad character literal %s", lit)
+		}
+		return token{kind: tokNumber, text: lit, num: int32(v), line: l.line}, nil
+
+	case c == '"':
+		end := l.pos + 1
+		for end < len(l.src) && l.src[end] != '"' {
+			if l.src[end] == '\\' {
+				end++
+			}
+			if l.src[end] == '\n' {
+				return token{}, l.errf("newline in string literal")
+			}
+			end++
+		}
+		if end >= len(l.src) {
+			return token{}, l.errf("unterminated string literal")
+		}
+		raw := l.src[l.pos : end+1]
+		l.pos = end + 1
+		s, err := strconv.Unquote(raw)
+		if err != nil {
+			return token{}, l.errf("bad string literal: %v", err)
+		}
+		return token{kind: tokString, text: s, line: l.line}, nil
+	}
+
+	// Punctuation: longest match first.
+	for _, p := range []string{
+		"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+		"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "=",
+		"<", ">", "(", ")", "{", "}", "[", "]", ";", ",",
+	} {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.pos += len(p)
+			return token{kind: tokPunct, text: p, line: l.line}, nil
+		}
+	}
+	return token{}, l.errf("unexpected character %q", string(c))
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+				return
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == 'x' || c == 'X'
+}

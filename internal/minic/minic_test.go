@@ -1,0 +1,314 @@
+package minic_test
+
+import (
+	"strings"
+	"testing"
+
+	"lfi/internal/libc"
+	"lfi/internal/minic"
+	"lfi/internal/obj"
+	"lfi/internal/vm"
+)
+
+// runMain compiles src as an executable (linked against the synthetic
+// libc), runs it to completion and returns the exit status.
+func runMain(t *testing.T, src string) vm.ExitStatus {
+	t.Helper()
+	exe, err := minic.Compile("test.exe", src, obj.Executable)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	lc, err := libc.Compile()
+	if err != nil {
+		t.Fatalf("libc: %v", err)
+	}
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(lc)
+	sys.Register(exe)
+	p, err := sys.Spawn("test.exe", vm.SpawnConfig{})
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if err := sys.Run(50_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return p.Status
+}
+
+const header = `
+needs "libc.so";
+extern byte *malloc(int n);
+extern void free(byte *p);
+extern int strlen(byte *s);
+extern int strcmp(byte *a, byte *b);
+extern void strcpy(byte *dst, byte *src);
+extern void memset(byte *p, int v, int n);
+extern int atoi(byte *s);
+extern int itoa(int v, byte *out);
+extern int open(byte *path, int flags, int mode);
+extern int close(int fd);
+extern int read(int fd, byte *buf, int n);
+extern int write(int fd, byte *buf, int n);
+extern int getpid(void);
+extern tls int errno;
+`
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	st := runMain(t, header+`
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main(void) {
+  int x;
+  x = fib(10);
+  if (x != 55) { return 1; }
+  return x;
+}`)
+	if st.Signal != 0 || st.Code != 55 {
+		t.Errorf("status = %+v, want code 55", st)
+	}
+}
+
+func TestLoopsAndArrays(t *testing.T) {
+	st := runMain(t, header+`
+int main(void) {
+  int a[10];
+  int i;
+  int sum;
+  for (i = 0; i < 10; i = i + 1) { a[i] = i * i; }
+  sum = 0;
+  i = 0;
+  while (i < 10) {
+    sum = sum + a[i];
+    i = i + 1;
+  }
+  if (sum != 285) { return 1; }
+  return 0;
+}`)
+	if st.Code != 0 || st.Signal != 0 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestBreakContinueAndLogicalOps(t *testing.T) {
+	st := runMain(t, header+`
+int main(void) {
+  int i;
+  int hits;
+  hits = 0;
+  for (i = 0; i < 100; i = i + 1) {
+    if (i % 2 == 0) { continue; }
+    if (i > 20) { break; }
+    if (i > 3 && i < 9 || i == 15) { hits = hits + 1; }
+  }
+  // odd i in (3,9): 5,7 -> 2 hits; i==15 -> 1 hit
+  if (hits != 3) { return hits + 40; }
+  if (!(1 && 0) != 1) { return 2; }
+  if ((7 & 3) != 3) { return 3; }
+  if ((4 | 1) != 5) { return 4; }
+  if ((5 ^ 1) != 4) { return 5; }
+  if ((1 << 4) != 16) { return 6; }
+  if ((32 >> 2) != 8) { return 7; }
+  if (~0 != -1) { return 8; }
+  return 0;
+}`)
+	if st.Code != 0 || st.Signal != 0 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestPointersAndStrings(t *testing.T) {
+	st := runMain(t, header+`
+int main(void) {
+  byte buf[32];
+  byte *p;
+  int v;
+  strcpy(buf, "hello");
+  if (strlen(buf) != 5) { return 1; }
+  if (strcmp(buf, "hello") != 0) { return 2; }
+  if (strcmp(buf, "hellp") >= 0) { return 3; }
+  p = malloc(64);
+  if (p == 0) { return 4; }
+  memset(p, 'x', 8);
+  p[8] = 0;
+  if (strlen(p) != 8) { return 5; }
+  v = atoi("-123");
+  if (v != -123) { return 6; }
+  itoa(4095, buf);
+  if (strcmp(buf, "4095") != 0) { return 7; }
+  if (atoi(buf) != 4095) { return 8; }
+  return 0;
+}`)
+	if st.Code != 0 || st.Signal != 0 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestAddressOfAndDeref(t *testing.T) {
+	st := runMain(t, header+`
+static void bump(int *p) { *p = *p + 7; }
+int g = 10;
+int main(void) {
+  int x;
+  int *px;
+  x = 1;
+  px = &x;
+  *px = 5;
+  bump(&x);
+  if (x != 12) { return 1; }
+  bump(&g);
+  if (g != 17) { return 2; }
+  return 0;
+}`)
+	if st.Code != 0 || st.Signal != 0 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestGlobalsAndTLS(t *testing.T) {
+	st := runMain(t, header+`
+int counter = 3;
+tls int mytls;
+int main(void) {
+  counter = counter + 1;
+  mytls = 9;
+  errno = 0;
+  if (counter != 4) { return 1; }
+  if (mytls != 9) { return 2; }
+  return 0;
+}`)
+	if st.Code != 0 || st.Signal != 0 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestFileIOThroughLibc(t *testing.T) {
+	st := runMain(t, header+`
+int main(void) {
+  int fd;
+  int n;
+  byte buf[64];
+  fd = open("/tmp/x", 64 | 1, 0);   // O_CREAT|O_WRONLY
+  if (fd < 0) { return 1; }
+  n = write(fd, "payload", 7);
+  if (n != 7) { return 2; }
+  if (close(fd) != 0) { return 3; }
+  fd = open("/tmp/x", 0, 0);
+  if (fd < 0) { return 4; }
+  n = read(fd, buf, 64);
+  if (n != 7) { return 5; }
+  close(fd);
+  fd = open("/does/not/exist", 0, 0);
+  if (fd != -1) { return 6; }
+  if (errno != 2) { return 7; }     // ENOENT
+  return 0;
+}`)
+	if st.Code != 0 || st.Signal != 0 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestMallocFailureSetsErrno(t *testing.T) {
+	st := runMain(t, header+`
+int main(void) {
+  byte *p;
+  p = malloc(32 * 1024 * 1024);   // beyond the 1 MiB heap limit
+  if (p != 0) { return 1; }
+  if (errno != 12) { return 2; }  // ENOMEM
+  p = malloc(128);
+  if (p == 0) { return 3; }
+  return 0;
+}`)
+	if st.Code != 0 || st.Signal != 0 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestIndirectCallThroughVariable(t *testing.T) {
+	st := runMain(t, header+`
+static int twice(int x) { return x * 2; }
+static int thrice(int x) { return x * 3; }
+int main(void) {
+  int fp;
+  fp = &twice;
+  if (fp(21) != 42) { return 1; }
+  fp = &thrice;
+  if (fp(5) != 15) { return 2; }
+  return 0;
+}`)
+	if st.Code != 0 || st.Signal != 0 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestDivByZeroRaisesSIGFPE(t *testing.T) {
+	st := runMain(t, header+`
+int main(void) {
+  int zero;
+  zero = 0;
+  return 7 / zero;
+}`)
+	if st.Signal != vm.SigFPE {
+		t.Errorf("status = %+v, want SIGFPE", st)
+	}
+}
+
+func TestBadPointerRaisesSIGSEGV(t *testing.T) {
+	st := runMain(t, header+`
+int main(void) {
+  int *p;
+  p = 12345;      // unmapped
+  return *p;
+}`)
+	if st.Signal != vm.SigSEGV {
+		t.Errorf("status = %+v, want SIGSEGV", st)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined var":    `int main(void) { return x; }`,
+		"undefined func":   `int main(void) { return f(); }`,
+		"break outside":    `int main(void) { break; return 0; }`,
+		"bad assign":       `int main(void) { 3 = 4; return 0; }`,
+		"variable shift":   `int main(void) { int n; n = 2; return 1 << n; }`,
+		"syscall non-lit":  `int main(void) { int n; n = 3; return __syscall1(n, 0); }`,
+		"unterminated str": `int main(void) { byte *s; s = "abc`,
+		"bad token":        `int main(void) { return 0; } $`,
+	}
+	for name, src := range cases {
+		if _, err := minic.Compile("bad", src, obj.Executable); err == nil {
+			t.Errorf("%s: expected compile error", name)
+		}
+	}
+}
+
+func TestCompileToAsmShape(t *testing.T) {
+	asmText, err := minic.CompileToAsm("demo.so", `
+tls int errno;
+int f(int x) {
+  if (x < 0) { errno = 22; return -1; }
+  return 0;
+}`, obj.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{".lib demo.so", ".tls errno 4", ".func f", "push bp", "lea r1, errno"} {
+		if !strings.Contains(asmText, want) {
+			t.Errorf("assembly missing %q:\n%s", want, asmText)
+		}
+	}
+}
+
+func TestLibcCompiles(t *testing.T) {
+	f, err := libc.Compile()
+	if err != nil {
+		t.Fatalf("libc does not compile: %v", err)
+	}
+	for _, name := range []string{"open", "close", "read", "write", "malloc", "strlen", "errno"} {
+		if _, ok := f.LookupExport(name); !ok {
+			t.Errorf("libc missing export %q", name)
+		}
+	}
+}

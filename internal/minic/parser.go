@@ -1,0 +1,789 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a MiniC type.
+type Type uint8
+
+// MiniC types. Pointers are 32-bit; byte is a storage-only 8-bit type that
+// widens to int in expressions.
+const (
+	TypeVoid Type = iota + 1
+	TypeInt
+	TypeByte
+	TypeIntPtr
+	TypeBytePtr
+)
+
+// String returns C-like syntax for the type.
+func (t Type) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeInt:
+		return "int"
+	case TypeByte:
+		return "byte"
+	case TypeIntPtr:
+		return "int*"
+	case TypeBytePtr:
+		return "byte*"
+	}
+	return "?"
+}
+
+// IsPtr reports whether t is a pointer type.
+func (t Type) IsPtr() bool { return t == TypeIntPtr || t == TypeBytePtr }
+
+// ElemSize returns the pointee size for pointer arithmetic and indexing.
+func (t Type) ElemSize() int32 {
+	if t == TypeBytePtr {
+		return 1
+	}
+	return 4
+}
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+// Unit is a parsed MiniC translation unit.
+type Unit struct {
+	Name    string
+	Needed  []string // shared libraries this unit links against
+	Externs []*ExternDecl
+	TLS     []*VarDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// ExternDecl declares an imported function or variable. Variables
+// (IsVar) resolve at load time to the exporting module's data or TLS
+// slot — this is how applications reference libc's errno.
+type ExternDecl struct {
+	Name   string
+	Ret    Type
+	Params []Param
+	IsVar  bool
+	Line   int
+}
+
+// VarDecl declares a global, TLS or local variable.
+type VarDecl struct {
+	Name     string
+	Type     Type
+	ArrayLen int32 // 0 for scalars
+	Init     int32 // initial value (globals) — scalars only
+	HasInit  bool
+	Line     int
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    Type
+	Params []Param
+	Body   *BlockStmt
+	Static bool
+	Line   int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct{ Stmts []Stmt }
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a C-style for loop.
+type ForStmt struct {
+	Init Expr // may be nil (or a DeclStmt lowered by the parser)
+	Cond Expr // may be nil (true)
+	Post Expr // may be nil
+	Body Stmt
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Value Expr // nil for void returns
+	Line  int
+}
+
+// BreakStmt breaks the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Line int }
+
+// DeclStmt declares a local variable.
+type DeclStmt struct {
+	Decl *VarDecl
+	Init Expr // optional initialiser
+}
+
+// ExprStmt evaluates an expression for side effects.
+type ExprStmt struct{ X Expr }
+
+func (*BlockStmt) stmtNode()    {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// NumLit is an integer or character literal.
+type NumLit struct{ Value int32 }
+
+// StrLit is a string literal (lowered to a data symbol).
+type StrLit struct{ Value string }
+
+// Ident references a variable or function by name.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Unary is a prefix operator expression: - ! ~ * &.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is an infix operator expression.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Assign stores R into the lvalue L.
+type Assign struct {
+	L, R Expr
+	Line int
+}
+
+// Index is L[I].
+type Index struct {
+	Base Expr
+	Idx  Expr
+	Line int
+}
+
+// Call invokes a function: direct (named function/extern), indirect
+// (through a variable holding a code address) or a __syscallN intrinsic.
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*NumLit) exprNode() {}
+func (*StrLit) exprNode() {}
+func (*Ident) exprNode()  {}
+func (*Unary) exprNode()  {}
+func (*Binary) exprNode() {}
+func (*Assign) exprNode() {}
+func (*Index) exprNode()  {}
+func (*Call) exprNode()   {}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+type parser struct {
+	unit string
+	toks []token
+	pos  int
+}
+
+// Parse parses MiniC source into a Unit. unitName is used in diagnostics.
+func Parse(unitName, src string) (*Unit, error) {
+	toks, err := lex(unitName, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{unit: unitName, toks: toks}
+	u := &Unit{Name: unitName}
+	for !p.at(tokEOF, "") {
+		if err := p.topDecl(u); err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text string) (token, error) {
+	if p.at(k, text) {
+		return p.next(), nil
+	}
+	t := p.cur()
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", k)
+	}
+	return t, p.errf(t.line, "expected %q, got %q", want, t.text)
+}
+
+func (p *parser) errf(line int, format string, args ...interface{}) error {
+	return &CompileError{Unit: p.unit, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseType() (Type, error) {
+	t := p.cur()
+	var base Type
+	switch {
+	case p.accept(tokKeyword, "int"):
+		base = TypeInt
+	case p.accept(tokKeyword, "byte"):
+		base = TypeByte
+	case p.accept(tokKeyword, "void"):
+		base = TypeVoid
+	default:
+		return 0, p.errf(t.line, "expected type, got %q", t.text)
+	}
+	if p.accept(tokPunct, "*") {
+		switch base {
+		case TypeInt:
+			return TypeIntPtr, nil
+		case TypeByte:
+			return TypeBytePtr, nil
+		default:
+			return 0, p.errf(t.line, "cannot form pointer to %s", base)
+		}
+	}
+	return base, nil
+}
+
+func (p *parser) topDecl(u *Unit) error {
+	line := p.cur().line
+	switch {
+	case p.accept(tokKeyword, "needs"):
+		lib, err := p.expect(tokString, "")
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return err
+		}
+		u.Needed = append(u.Needed, lib.text)
+		return nil
+
+	case p.accept(tokKeyword, "extern"):
+		isTLS := p.accept(tokKeyword, "tls")
+		ret, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return err
+		}
+		if isTLS || p.at(tokPunct, ";") {
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return err
+			}
+			u.Externs = append(u.Externs, &ExternDecl{Name: name.text, Ret: ret, IsVar: true, Line: line})
+			return nil
+		}
+		params, err := p.params()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return err
+		}
+		u.Externs = append(u.Externs, &ExternDecl{Name: name.text, Ret: ret, Params: params, Line: line})
+		return nil
+
+	case p.accept(tokKeyword, "tls"):
+		typ, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return err
+		}
+		u.TLS = append(u.TLS, &VarDecl{Name: name.text, Type: typ, Line: line})
+		return nil
+	}
+
+	static := p.accept(tokKeyword, "static")
+	typ, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return err
+	}
+	if p.at(tokPunct, "(") {
+		params, err := p.params()
+		if err != nil {
+			return err
+		}
+		body, err := p.block()
+		if err != nil {
+			return err
+		}
+		u.Funcs = append(u.Funcs, &FuncDecl{
+			Name: name.text, Ret: typ, Params: params, Body: body,
+			Static: static, Line: line,
+		})
+		return nil
+	}
+	if static {
+		return p.errf(line, "static globals are not supported")
+	}
+	d := &VarDecl{Name: name.text, Type: typ, Line: line}
+	if p.accept(tokPunct, "[") {
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return err
+		}
+		d.ArrayLen = n.num
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return err
+		}
+	} else if p.accept(tokPunct, "=") {
+		neg := p.accept(tokPunct, "-")
+		n, err := p.expect(tokNumber, "")
+		if err != nil {
+			return err
+		}
+		d.Init = n.num
+		if neg {
+			d.Init = -d.Init
+		}
+		d.HasInit = true
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return err
+	}
+	u.Globals = append(u.Globals, d)
+	return nil
+}
+
+func (p *parser) params() ([]Param, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var out []Param
+	if p.accept(tokPunct, ")") {
+		return out, nil
+	}
+	if p.at(tokKeyword, "void") && p.toks[p.pos+1].text == ")" {
+		p.next()
+		p.next()
+		return out, nil
+	}
+	for {
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Param{Name: name.text, Type: typ})
+		if p.accept(tokPunct, ")") {
+			return out, nil
+		}
+		if _, err := p.expect(tokPunct, ","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for !p.accept(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errf(p.cur().line, "unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at(tokPunct, "{"):
+		return p.block()
+
+	case p.accept(tokKeyword, "if"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &IfStmt{Cond: cond, Then: then}
+		if p.accept(tokKeyword, "else") {
+			if s.Else, err = p.stmt(); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+
+	case p.accept(tokKeyword, "while"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+
+	case p.accept(tokKeyword, "for"):
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		s := &ForStmt{}
+		var err error
+		if !p.at(tokPunct, ";") {
+			if s.Init, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.at(tokPunct, ";") {
+			if s.Cond, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		if !p.at(tokPunct, ")") {
+			if s.Post, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if s.Body, err = p.stmt(); err != nil {
+			return nil, err
+		}
+		return s, nil
+
+	case p.accept(tokKeyword, "return"):
+		s := &ReturnStmt{Line: t.line}
+		if !p.at(tokPunct, ";") {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Value = v
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+
+	case p.accept(tokKeyword, "break"):
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.line}, nil
+
+	case p.accept(tokKeyword, "continue"):
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.line}, nil
+
+	case p.at(tokKeyword, "int") || p.at(tokKeyword, "byte"):
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		d := &DeclStmt{Decl: &VarDecl{Name: name.text, Type: typ, Line: t.line}}
+		if p.accept(tokPunct, "[") {
+			n, err := p.expect(tokNumber, "")
+			if err != nil {
+				return nil, err
+			}
+			d.Decl.ArrayLen = n.num
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+		} else if p.accept(tokPunct, "=") {
+			if d.Init, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x}, nil
+}
+
+// Operator precedence for binary expressions, loosest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) expr() (Expr, error) { return p.assignExpr() }
+
+func (p *parser) assignExpr() (Expr, error) {
+	line := p.cur().line
+	l, err := p.binExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokPunct, "=") {
+		r, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		switch l.(type) {
+		case *Ident, *Unary, *Index:
+			return &Assign{L: l, R: r, Line: line}, nil
+		}
+		return nil, p.errf(line, "invalid assignment target")
+	}
+	return l, nil
+}
+
+func (p *parser) binExpr(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.unaryExpr()
+	}
+	l, err := p.binExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precLevels[level] {
+			if p.at(tokPunct, op) {
+				// '&' as a binary operator must not swallow unary '&x'.
+				p.next()
+				r, err := p.binExpr(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				l = &Binary{Op: op, L: l, R: r}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.cur()
+	for _, op := range []string{"-", "!", "~", "*", "&"} {
+		if p.accept(tokPunct, op) {
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			if op == "-" {
+				if n, ok := x.(*NumLit); ok {
+					return &NumLit{Value: -n.Value}, nil
+				}
+			}
+			return &Unary{Op: op, X: x}, nil
+		}
+	}
+	_ = t
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch {
+		case p.accept(tokPunct, "["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			x = &Index{Base: x, Idx: idx, Line: t.line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch {
+	case p.accept(tokPunct, "("):
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case t.kind == tokNumber:
+		p.next()
+		return &NumLit{Value: t.num}, nil
+	case t.kind == tokString:
+		p.next()
+		return &StrLit{Value: t.text}, nil
+	case t.kind == tokIdent:
+		p.next()
+		if p.at(tokPunct, "(") {
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{Name: t.text, Args: args, Line: t.line}, nil
+		}
+		return &Ident{Name: t.text, Line: t.line}, nil
+	}
+	return nil, p.errf(t.line, "unexpected token %q in expression", t.text)
+}
+
+func (p *parser) args() ([]Expr, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var out []Expr
+	if p.accept(tokPunct, ")") {
+		return out, nil
+	}
+	for {
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+		if p.accept(tokPunct, ")") {
+			return out, nil
+		}
+		if _, err := p.expect(tokPunct, ","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// IsSyscallIntrinsic reports whether name is one of the __syscallN
+// intrinsics and returns its argument count (excluding the number).
+func IsSyscallIntrinsic(name string) (arity int, ok bool) {
+	if !strings.HasPrefix(name, "__syscall") {
+		return 0, false
+	}
+	switch name {
+	case "__syscall0":
+		return 0, true
+	case "__syscall1":
+		return 1, true
+	case "__syscall2":
+		return 2, true
+	case "__syscall3":
+		return 3, true
+	}
+	return 0, false
+}

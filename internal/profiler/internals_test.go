@@ -1,0 +1,160 @@
+package profiler_test
+
+import (
+	"testing"
+
+	"lfi/internal/minic"
+	"lfi/internal/obj"
+	"lfi/internal/profiler"
+)
+
+// TestRecursionDepthBound: dependent-function recursion stops at
+// MaxDepth; deep chains beyond it contribute no constants instead of
+// looping.
+func TestRecursionDepthBound(t *testing.T) {
+	src := `
+static int d0(void) { return -77; }
+static int d1(void) { return d0(); }
+static int d2(void) { return d1(); }
+static int d3(void) { return d2(); }
+static int d4(void) { return d3(); }
+int deep(int x) {
+  if (x < 0) { return d4(); }
+  return 0;
+}`
+	lib, err := minic.Compile("deep.so", src, obj.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth 8 (default) reaches d0's constant through five frames.
+	pr := profiler.New(profiler.Options{})
+	if err := pr.AddLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+	p, err := pr.ProfileLibrary("deep.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := p.Lookup("deep")
+	found := false
+	for _, v := range fn.Retvals() {
+		if v == -77 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("deep chain constant not found at default depth: %v", fn.Retvals())
+	}
+
+	// Depth 2 cannot reach it.
+	pr2 := profiler.New(profiler.Options{MaxDepth: 2})
+	if err := pr2.AddLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := pr2.ProfileLibrary("deep.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn2, _ := p2.Lookup("deep")
+	for _, v := range fn2.Retvals() {
+		if v == -77 {
+			t.Errorf("depth-2 analysis should not reach d0: %v", fn2.Retvals())
+		}
+	}
+}
+
+// TestMutualRecursionTerminates: cycles between dependent functions are
+// cut by the memo table's in-progress guard.
+func TestMutualRecursionTerminates(t *testing.T) {
+	src := `
+int ping(int x);
+int pong(int x) {
+  if (x == 0) { return -5; }
+  return ping(x - 1);
+}
+int ping(int x) {
+  if (x == 0) { return -6; }
+  return pong(x - 1);
+}`
+	// MiniC has no forward declarations; restructure with one direction.
+	src = `
+static int base(int x) { if (x == 0) { return -5; } return x; }
+int pong(int x) {
+  if (x < 0) { return pong(x + 1); }
+  return base(x);
+}`
+	lib, err := minic.Compile("mut.so", src, obj.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := profiler.New(profiler.Options{})
+	if err := pr.AddLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+	p, err := pr.ProfileLibrary("mut.so") // must terminate
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := p.Lookup("pong")
+	found := false
+	for _, v := range fn.Retvals() {
+		if v == -5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("self-recursive function lost base constant: %v", fn.Retvals())
+	}
+}
+
+// TestMemoisationStability: profiling the same library twice in one
+// profiler yields identical output and reuses dependent analyses.
+func TestMemoisationStability(t *testing.T) {
+	pr := newLibcProfiler(t, profiler.Options{DropZeroReturns: true})
+	p1, err := pr.ProfileLibrary("libc.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	depsAfterFirst := pr.Stats().DependentsAnalyzed
+	p2, err := pr.ProfileLibrary("libc.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Stats().DependentsAnalyzed != depsAfterFirst {
+		t.Errorf("second pass re-analysed dependents: %d -> %d",
+			depsAfterFirst, pr.Stats().DependentsAnalyzed)
+	}
+	b1, _ := p1.Marshal()
+	b2, _ := p2.Marshal()
+	if string(b1) != string(b2) {
+		t.Error("repeated profiling is not deterministic")
+	}
+}
+
+// TestVoidFunctionsYieldNoCodes: functions ending with computed stores do
+// not contribute phantom return values.
+func TestVoidFunctionsYieldNoCodes(t *testing.T) {
+	src := `
+int sink;
+void touch(int a) {
+  int t;
+  t = a * 3;
+  sink = t;
+}`
+	lib, err := minic.Compile("v.so", src, obj.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := profiler.New(profiler.Options{})
+	if err := pr.AddLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+	p, err := pr.ProfileLibrary("v.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := p.Lookup("touch")
+	if len(fn.ErrorCodes) != 0 {
+		t.Errorf("void function reported codes: %v", fn.Retvals())
+	}
+}

@@ -1,0 +1,421 @@
+// Package profiler implements the LFI profiler (DSN'09 §3): static
+// analysis of library binaries to extract fault profiles.
+//
+// For each exported function of a library the profiler:
+//
+//  1. disassembles the binary and builds the function's CFG (§3.1,
+//     Figure 2) — symbols are only needed for the export table, so
+//     stripped libraries work;
+//  2. runs reverse constant propagation (package dataflow) to find the
+//     constant values that can reach the return register, recursing into
+//     dependent functions — local, cross-library, and kernel handlers
+//     behind SYSCALL instructions (libc wraps the kernel, so the kernel
+//     image is analysed too);
+//  3. extracts side effects (§3.2): errno-style TLS stores, PIC global
+//     stores, and writes through pointers taken from positive
+//     frame-pointer offsets (output arguments);
+//  4. optionally applies the paper's two unsound filtering heuristics,
+//     which are disabled by default exactly as in the paper ("we prefer
+//     to risk injecting some non-faults rather than miss valid faults").
+//
+// The output is a profile.Profile in the paper's XML format.
+package profiler
+
+import (
+	"fmt"
+	"sort"
+
+	"lfi/internal/cfg"
+	"lfi/internal/dataflow"
+	"lfi/internal/disasm"
+	"lfi/internal/kernel"
+	"lfi/internal/obj"
+	"lfi/internal/profile"
+)
+
+// Options configures profiling.
+type Options struct {
+	// DropZeroReturns enables §3.1 heuristic 1: remove 0-return values
+	// from functions with more than one constant return value (a lone 0
+	// is likely a NULL-pointer error return and is kept). Unsound;
+	// default off.
+	DropZeroReturns bool
+	// DropPredicates enables §3.1 heuristic 2: eliminate short functions
+	// that only return 0 or 1 and have no side effects or dependent
+	// calls (isFile()-style predicates). Unsound; default off.
+	DropPredicates bool
+	// PruneInfeasible enables the symbolic path-feasibility extension
+	// the paper leaves as future work (§3.1): origins whose
+	// representative path implies an empty argument interval (e.g. a
+	// guard a0 > 95 && a0 < 5) are discarded, removing
+	// argument-dependent false positives. Unsound like the heuristics;
+	// default off.
+	PruneInfeasible bool
+	// MaxDepth bounds dependent-function recursion (default 8).
+	MaxDepth int
+	// MaxStates bounds the product-graph search per function.
+	MaxStates int
+}
+
+// Stats reports work done by the profiler, for the efficiency experiments
+// (§6.2).
+type Stats struct {
+	FunctionsAnalyzed  int
+	DependentsAnalyzed int
+	StatesExpanded     int
+}
+
+// Profiler analyses a set of libraries (plus the kernel image) and emits
+// fault profiles.
+type Profiler struct {
+	opts  Options
+	libs  map[string]*obj.File
+	progs map[string]*disasm.Program
+	memo  map[memoKey]memoVal
+	stats Stats
+}
+
+type memoKey struct {
+	module string
+	off    int32
+}
+
+type memoVal struct {
+	consts []int32
+	done   bool // false while on the recursion stack (cycle guard)
+}
+
+// New creates a Profiler.
+func New(opts Options) *Profiler {
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 8
+	}
+	return &Profiler{
+		opts:  opts,
+		libs:  make(map[string]*obj.File),
+		progs: make(map[string]*disasm.Program),
+		memo:  make(map[memoKey]memoVal),
+	}
+}
+
+// Stats returns cumulative profiling statistics.
+func (pr *Profiler) Stats() Stats { return pr.stats }
+
+// AddLibrary registers (and disassembles) a library so that dependent
+// functions in it can be analysed. The kernel image produced by
+// kernel.Image() should be added when profiling libc-style wrappers.
+func (pr *Profiler) AddLibrary(f *obj.File) error {
+	p, err := disasm.Disassemble(f)
+	if err != nil {
+		return fmt.Errorf("profiler: %w", err)
+	}
+	pr.libs[f.Name] = f
+	pr.progs[f.Name] = p
+	return nil
+}
+
+// Libraries returns the names of all registered libraries.
+func (pr *Profiler) Libraries() []string {
+	out := make([]string, 0, len(pr.libs))
+	for n := range pr.libs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ProfileLibrary analyses every exported function of the named library
+// and returns its fault profile.
+func (pr *Profiler) ProfileLibrary(name string) (*profile.Profile, error) {
+	f, ok := pr.libs[name]
+	if !ok {
+		return nil, fmt.Errorf("profiler: library %q not added", name)
+	}
+	prog := pr.progs[name]
+	out := &profile.Profile{Library: name}
+	for _, sym := range f.ExportedFuncs() {
+		fn, err := pr.profileFunction(prog, name, sym)
+		if err != nil {
+			return nil, err
+		}
+		out.Functions = append(out.Functions, fn)
+	}
+	out.Sort()
+	return out, nil
+}
+
+// ProfileApplication finds the shared libraries the registered executable
+// links against (recursively, like ldd) and profiles each of them. All
+// needed libraries must have been added first.
+func (pr *Profiler) ProfileApplication(appName string) (profile.Set, error) {
+	app, ok := pr.libs[appName]
+	if !ok {
+		return nil, fmt.Errorf("profiler: application %q not added", appName)
+	}
+	set := make(profile.Set)
+	seen := map[string]bool{appName: true}
+	queue := append([]string(nil), app.Needed...)
+	for len(queue) > 0 {
+		lib := queue[0]
+		queue = queue[1:]
+		if seen[lib] || lib == kernel.ImageName {
+			continue
+		}
+		seen[lib] = true
+		p, err := pr.ProfileLibrary(lib)
+		if err != nil {
+			return nil, err
+		}
+		set[lib] = p
+		if f, ok := pr.libs[lib]; ok {
+			queue = append(queue, f.Needed...)
+		}
+	}
+	return set, nil
+}
+
+// profileFunction runs the full §3 pipeline on one exported function.
+func (pr *Profiler) profileFunction(prog *disasm.Program, libName string, sym obj.Symbol) (profile.Function, error) {
+	out := profile.Function{Name: sym.Name}
+	g, err := cfg.Build(prog, sym.Off)
+	if err != nil {
+		return out, fmt.Errorf("profiler: %s.%s: %w", libName, sym.Name, err)
+	}
+	an := &dataflow.Analysis{
+		Graph:     g,
+		Resolver:  &resolver{pr: pr, module: libName, depth: 0},
+		MaxStates: pr.opts.MaxStates,
+	}
+	origins := an.ReturnOrigins()
+	pr.stats.FunctionsAnalyzed++
+	pr.stats.StatesExpanded += an.StatesExpanded()
+
+	// Group side effects by return value.
+	type entry struct {
+		retval int32
+		ses    []profile.SideEffect
+	}
+	byRet := make(map[int32]*entry)
+	var order []int32
+	hasDependent := false
+	for _, o := range origins {
+		if o.ViaCall {
+			hasDependent = true
+		}
+		vals := o.Values()
+		if len(vals) == 0 {
+			continue
+		}
+		if pr.opts.PruneInfeasible && !an.PathFeasible(o) {
+			continue
+		}
+		ses := pr.convertSideEffects(libName, an.SideEffects(o))
+		for _, v := range vals {
+			e, ok := byRet[v]
+			if !ok {
+				e = &entry{retval: v}
+				byRet[v] = e
+				order = append(order, v)
+			}
+			e.ses = mergeSideEffects(e.ses, ses)
+		}
+	}
+
+	// Heuristic 1: drop 0 returns when other constants exist.
+	if pr.opts.DropZeroReturns && len(order) > 1 {
+		if _, has := byRet[0]; has {
+			delete(byRet, 0)
+			kept := order[:0]
+			for _, v := range order {
+				if v != 0 {
+					kept = append(kept, v)
+				}
+			}
+			order = kept
+		}
+	}
+
+	// Heuristic 2: drop isFile()-style predicates entirely: short
+	// functions whose constant returns are a subset of {0,1}, with no
+	// side effects and no dependent calls.
+	if pr.opts.DropPredicates && !hasDependent && len(order) > 0 && len(g.Blocks) <= 6 {
+		predicate := true
+		for v, e := range byRet {
+			if (v != 0 && v != 1) || len(e.ses) > 0 {
+				predicate = false
+				break
+			}
+		}
+		if predicate {
+			return out, nil
+		}
+	}
+
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, v := range order {
+		out.ErrorCodes = append(out.ErrorCodes, profile.ErrorCode{
+			Retval:      v,
+			SideEffects: byRet[v].ses,
+		})
+	}
+	return out, nil
+}
+
+func (pr *Profiler) convertSideEffects(libName string, ses []dataflow.SideEffect) []profile.SideEffect {
+	var out []profile.SideEffect
+	for _, se := range ses {
+		switch se.Kind {
+		case dataflow.SideEffectTLS, dataflow.SideEffectGlobal:
+			typ := profile.SideEffectTLS
+			if se.Kind == dataflow.SideEffectGlobal {
+				typ = profile.SideEffectGlobal
+			}
+			if se.Value.FromCallee {
+				op := ""
+				if se.Value.Negated {
+					op = "neg"
+				}
+				for _, c := range se.Value.Consts {
+					if c >= 0 {
+						continue // only propagated error constants expose errno details
+					}
+					out = append(out, profile.SideEffect{
+						Type: typ, Module: libName, Offset: se.Off, Op: op, Value: c,
+					})
+				}
+			} else {
+				out = append(out, profile.SideEffect{
+					Type: typ, Module: libName, Offset: se.Off, Value: se.Value.Const,
+				})
+			}
+		case dataflow.SideEffectArgument:
+			if se.Value.FromCallee {
+				continue // argument channels record literal detail codes only
+			}
+			out = append(out, profile.SideEffect{
+				Type: profile.SideEffectArgument, ArgIdx: se.ArgIdx,
+				Offset: se.Off, Value: se.Value.Const,
+			})
+		}
+	}
+	return out
+}
+
+func mergeSideEffects(dst, src []profile.SideEffect) []profile.SideEffect {
+	have := make(map[profile.SideEffect]bool, len(dst))
+	for _, se := range dst {
+		have[se] = true
+	}
+	for _, se := range src {
+		if !have[se] {
+			have[se] = true
+			dst = append(dst, se)
+		}
+	}
+	return dst
+}
+
+// ---------------------------------------------------------------------------
+// Dependent-function resolution
+// ---------------------------------------------------------------------------
+
+// resolver adapts the Profiler to dataflow.Resolver, binding the module
+// whose code is being analysed and the current recursion depth.
+type resolver struct {
+	pr     *Profiler
+	module string
+	depth  int
+}
+
+var _ dataflow.Resolver = (*resolver)(nil)
+
+// ReturnConstants resolves a callee's constant return values (§3.1:
+// "dependencies are determined recursively, both within the same library
+// and other libraries called by the current one" — plus the kernel).
+func (r *resolver) ReturnConstants(ref dataflow.CalleeRef) ([]int32, bool) {
+	if r.depth >= r.pr.opts.MaxDepth {
+		return nil, false
+	}
+	switch ref.Kind {
+	case dataflow.CalleeLocal:
+		return r.pr.returnConstants(r.module, ref.Off, r.depth+1)
+	case dataflow.CalleeImport:
+		mod, off, ok := r.pr.findExport(ref.Name)
+		if !ok {
+			return nil, false
+		}
+		return r.pr.returnConstants(mod, off, r.depth+1)
+	case dataflow.CalleeSyscall:
+		handler, ok := kernel.HandlerSymbol(ref.Syscall)
+		if !ok {
+			return nil, false
+		}
+		img, ok := r.pr.libs[kernel.ImageName]
+		if !ok {
+			return nil, false
+		}
+		sym, ok := img.LookupExport(handler)
+		if !ok {
+			return nil, false
+		}
+		return r.pr.returnConstants(kernel.ImageName, sym.Off, r.depth+1)
+	}
+	return nil, false
+}
+
+// findExport locates an exported function across all added libraries.
+func (pr *Profiler) findExport(name string) (string, int32, bool) {
+	names := pr.Libraries()
+	for _, lib := range names {
+		if lib == kernel.ImageName {
+			continue
+		}
+		if sym, ok := pr.libs[lib].LookupExport(name); ok && sym.Kind == obj.SymFunc {
+			return lib, sym.Off, true
+		}
+	}
+	return "", 0, false
+}
+
+// returnConstants computes (memoised) the constant return values of the
+// function at the given module offset.
+func (pr *Profiler) returnConstants(module string, off int32, depth int) ([]int32, bool) {
+	key := memoKey{module, off}
+	if mv, ok := pr.memo[key]; ok {
+		if !mv.done {
+			return nil, false // recursion cycle: unknown
+		}
+		return mv.consts, true
+	}
+	pr.memo[key] = memoVal{}
+	prog, ok := pr.progs[module]
+	if !ok {
+		delete(pr.memo, key)
+		return nil, false
+	}
+	g, err := cfg.Build(prog, off)
+	if err != nil {
+		pr.memo[key] = memoVal{done: true}
+		return nil, true
+	}
+	an := &dataflow.Analysis{
+		Graph:     g,
+		Resolver:  &resolver{pr: pr, module: module, depth: depth},
+		MaxStates: pr.opts.MaxStates,
+	}
+	pr.stats.DependentsAnalyzed++
+	var consts []int32
+	seen := make(map[int32]bool)
+	for _, o := range an.ReturnOrigins() {
+		for _, v := range o.Values() {
+			if !seen[v] {
+				seen[v] = true
+				consts = append(consts, v)
+			}
+		}
+	}
+	pr.stats.StatesExpanded += an.StatesExpanded()
+	sort.Slice(consts, func(i, j int) bool { return consts[i] < consts[j] })
+	pr.memo[key] = memoVal{consts: consts, done: true}
+	return consts, true
+}

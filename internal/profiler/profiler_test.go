@@ -1,0 +1,451 @@
+package profiler_test
+
+import (
+	"testing"
+
+	"lfi/internal/kernel"
+	"lfi/internal/libc"
+	"lfi/internal/minic"
+	"lfi/internal/obj"
+	"lfi/internal/profile"
+	"lfi/internal/profiler"
+)
+
+// newLibcProfiler builds a profiler loaded with the synthetic libc and the
+// kernel image.
+func newLibcProfiler(t *testing.T, opts profiler.Options) *profiler.Profiler {
+	t.Helper()
+	pr := profiler.New(opts)
+	lc, err := libc.Compile()
+	if err != nil {
+		t.Fatalf("libc: %v", err)
+	}
+	img, err := kernel.Image()
+	if err != nil {
+		t.Fatalf("kernel image: %v", err)
+	}
+	if err := pr.AddLibrary(lc); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.AddLibrary(img); err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+// TestCloseProfileMatchesPaper reproduces the §3.3 example: close returns
+// -1 and exposes errno side effects -EBADF (-9), -EIO (-5), -EINTR (-4)
+// through the TLS channel.
+func TestCloseProfileMatchesPaper(t *testing.T) {
+	pr := newLibcProfiler(t, profiler.Options{DropZeroReturns: true})
+	p, err := pr.ProfileLibrary(libc.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, ok := p.Lookup("close")
+	if !ok {
+		t.Fatal("close not profiled")
+	}
+	if got := fn.Retvals(); len(got) != 1 || got[0] != -1 {
+		t.Fatalf("close retvals = %v, want [-1]", got)
+	}
+	var values []int32
+	for _, se := range fn.ErrorCodes[0].SideEffects {
+		if se.Type != profile.SideEffectTLS {
+			t.Errorf("side effect type = %s, want TLS", se.Type)
+		}
+		if se.Module != libc.Name {
+			t.Errorf("side effect module = %q", se.Module)
+		}
+		if se.Op != "neg" {
+			t.Errorf("side effect op = %q, want neg", se.Op)
+		}
+		values = append(values, se.Value)
+	}
+	want := map[int32]bool{-kernel.EBADF: true, -kernel.EIO: true, -kernel.EINTR: true}
+	if len(values) != len(want) {
+		t.Fatalf("side effect values = %v, want -9,-5,-4", values)
+	}
+	for _, v := range values {
+		if !want[v] {
+			t.Errorf("unexpected side effect value %d", v)
+		}
+	}
+	// Applied() must negate: the injector sets errno = EBADF etc.
+	for _, se := range fn.ErrorCodes[0].SideEffects {
+		if se.Applied() != -se.Value {
+			t.Errorf("Applied() = %d for value %d", se.Applied(), se.Value)
+		}
+	}
+}
+
+// TestMallocProfile: malloc returns NULL (0) with direct errno constants
+// EINVAL and ENOMEM.
+func TestMallocProfile(t *testing.T) {
+	pr := newLibcProfiler(t, profiler.Options{})
+	p, err := pr.ProfileLibrary(libc.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, ok := p.Lookup("malloc")
+	if !ok {
+		t.Fatal("malloc not profiled")
+	}
+	var zeroEC *profile.ErrorCode
+	for i := range fn.ErrorCodes {
+		if fn.ErrorCodes[i].Retval == 0 {
+			zeroEC = &fn.ErrorCodes[i]
+		}
+	}
+	if zeroEC == nil {
+		t.Fatalf("malloc has no NULL return: %v", fn.Retvals())
+	}
+	seen := map[int32]bool{}
+	for _, se := range zeroEC.SideEffects {
+		if se.Type == profile.SideEffectTLS {
+			seen[se.Applied()] = true
+		}
+	}
+	if !seen[kernel.EINVAL] || !seen[kernel.ENOMEM] {
+		t.Errorf("malloc errno side effects = %v, want EINVAL and ENOMEM", seen)
+	}
+}
+
+// TestKernelPropagation: read's profile includes kernel-originated error
+// codes (the libc wrapper pattern recursing into the kernel image).
+func TestKernelPropagation(t *testing.T) {
+	pr := newLibcProfiler(t, profiler.Options{DropZeroReturns: true})
+	p, err := pr.ProfileLibrary(libc.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, ok := p.Lookup("read")
+	if !ok {
+		t.Fatal("read not profiled")
+	}
+	rv := map[int32]bool{}
+	for _, v := range fn.Retvals() {
+		rv[v] = true
+	}
+	if !rv[-1] {
+		t.Errorf("read should return -1; got %v", fn.Retvals())
+	}
+	// The errno side effects on -1 must cover the kernel's read errnos.
+	var ec *profile.ErrorCode
+	for i := range fn.ErrorCodes {
+		if fn.ErrorCodes[i].Retval == -1 {
+			ec = &fn.ErrorCodes[i]
+		}
+	}
+	if ec == nil {
+		t.Fatal("no -1 error code entry")
+	}
+	applied := map[int32]bool{}
+	for _, se := range ec.SideEffects {
+		applied[se.Applied()] = true
+	}
+	spec, _ := kernel.SpecByNum(kernel.SysRead)
+	for _, e := range spec.Errnos {
+		if !applied[e] {
+			t.Errorf("read missing errno %s", kernel.ErrnoName(e))
+		}
+	}
+}
+
+// TestStrippedLibraryProfiles verifies profiling works without local
+// symbols, as the paper requires.
+func TestStrippedLibraryProfiles(t *testing.T) {
+	lc, err := libc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := kernel.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := profiler.New(profiler.Options{DropZeroReturns: true})
+	if err := pr.AddLibrary(lc.Strip()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.AddLibrary(img); err != nil {
+		t.Fatal(err)
+	}
+	p, err := pr.ProfileLibrary(libc.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, ok := p.Lookup("close")
+	if !ok {
+		t.Fatal("close not profiled on stripped lib")
+	}
+	if got := fn.Retvals(); len(got) != 1 || got[0] != -1 {
+		t.Errorf("stripped close retvals = %v", got)
+	}
+}
+
+// TestHeuristicZeroReturns: heuristic 1 removes 0 only when other
+// constants exist.
+func TestHeuristicZeroReturns(t *testing.T) {
+	src := `
+int both(int x) {
+  if (x < 0) { return -1; }
+  return 0;
+}
+int onlyzero(int x) {
+  return 0;
+}
+`
+	lib, err := minic.Compile("h1.so", src, obj.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		drop     bool
+		wantBoth []int32
+		wantZero []int32
+	}{
+		{drop: false, wantBoth: []int32{-1, 0}, wantZero: []int32{0}},
+		{drop: true, wantBoth: []int32{-1}, wantZero: []int32{0}},
+	} {
+		pr := profiler.New(profiler.Options{DropZeroReturns: tc.drop})
+		if err := pr.AddLibrary(lib); err != nil {
+			t.Fatal(err)
+		}
+		p, err := pr.ProfileLibrary("h1.so")
+		if err != nil {
+			t.Fatal(err)
+		}
+		bothFn, _ := p.Lookup("both")
+		if got := bothFn.Retvals(); !equalI32(got, tc.wantBoth) {
+			t.Errorf("drop=%v: both retvals = %v, want %v", tc.drop, got, tc.wantBoth)
+		}
+		zeroFn, _ := p.Lookup("onlyzero")
+		if got := zeroFn.Retvals(); !equalI32(got, tc.wantZero) {
+			t.Errorf("drop=%v: onlyzero retvals = %v, want %v (lone 0 kept)", tc.drop, got, tc.wantZero)
+		}
+	}
+}
+
+// TestHeuristicPredicates: heuristic 2 removes isFile()-style checkers
+// but keeps error-returning functions.
+func TestHeuristicPredicates(t *testing.T) {
+	src := `
+tls int errno;
+int isFile(int x) {
+  if (x == 3) { return 1; }
+  return 0;
+}
+int withErrno(int x) {
+  if (x < 0) { errno = 9; return 1; }
+  return 0;
+}
+`
+	lib, err := minic.Compile("h2.so", src, obj.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := profiler.New(profiler.Options{DropPredicates: true})
+	if err := pr.AddLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+	p, err := pr.ProfileLibrary("h2.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	isf, _ := p.Lookup("isFile")
+	if len(isf.ErrorCodes) != 0 {
+		t.Errorf("isFile should be eliminated as a predicate; got %v", isf.Retvals())
+	}
+	we, _ := p.Lookup("withErrno")
+	if len(we.ErrorCodes) == 0 {
+		t.Error("withErrno should be kept (it has side effects)")
+	}
+}
+
+// TestIndirectCallsLimitAnalysis: error codes reachable only through an
+// indirect call are missed — the paper's false-negative source (§3.1).
+func TestIndirectCallsLimitAnalysis(t *testing.T) {
+	src := `
+static int realErr(void) { return -7; }
+int viaIndirect(int x) {
+  int fp;
+  fp = &realErr;
+  if (x < 0) { return fp(); }
+  return 0;
+}
+int viaDirect(int x) {
+  if (x < 0) { return realErr(); }
+  return 0;
+}
+`
+	lib, err := minic.Compile("ind.so", src, obj.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := profiler.New(profiler.Options{})
+	if err := pr.AddLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+	p, err := pr.ProfileLibrary("ind.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, _ := p.Lookup("viaDirect")
+	found := false
+	for _, v := range dir.Retvals() {
+		if v == -7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("direct call should propagate -7; got %v", dir.Retvals())
+	}
+	ind, _ := p.Lookup("viaIndirect")
+	for _, v := range ind.Retvals() {
+		if v == -7 {
+			t.Errorf("indirect call should hide -7 (expected FN); got %v", ind.Retvals())
+		}
+	}
+}
+
+// TestCrossLibraryDependency: §3.1 — dependencies recurse into other
+// libraries.
+func TestCrossLibraryDependency(t *testing.T) {
+	base, err := minic.Compile("base.so", `
+int base_fail(int x) {
+  if (x < 0) { return -33; }
+  return 0;
+}`, obj.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := minic.Compile("top.so", `
+needs "base.so";
+extern int base_fail(int x);
+int top_op(int x) {
+  return base_fail(x);
+}`, obj.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := profiler.New(profiler.Options{})
+	if err := pr.AddLibrary(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.AddLibrary(top); err != nil {
+		t.Fatal(err)
+	}
+	p, err := pr.ProfileLibrary("top.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := p.Lookup("top_op")
+	got := map[int32]bool{}
+	for _, v := range fn.Retvals() {
+		got[v] = true
+	}
+	if !got[-33] {
+		t.Errorf("cross-library constant -33 not propagated; got %v", fn.Retvals())
+	}
+}
+
+// TestOutputArgumentSideEffect: §3.2 — writes through pointer arguments
+// are detected as 'argument' side effects.
+func TestOutputArgumentSideEffect(t *testing.T) {
+	src := `
+int withOutArg(int x, int *detail) {
+  if (x < 0) {
+    *detail = 42;
+    return -1;
+  }
+  return 0;
+}`
+	lib, err := minic.Compile("oa.so", src, obj.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := profiler.New(profiler.Options{DropZeroReturns: true})
+	if err := pr.AddLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+	p, err := pr.ProfileLibrary("oa.so")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _ := p.Lookup("withOutArg")
+	if len(fn.ErrorCodes) != 1 || fn.ErrorCodes[0].Retval != -1 {
+		t.Fatalf("retvals = %v", fn.Retvals())
+	}
+	found := false
+	for _, se := range fn.ErrorCodes[0].SideEffects {
+		if se.Type == profile.SideEffectArgument && se.ArgIdx == 1 && se.Value == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("argument side effect not found: %+v", fn.ErrorCodes[0].SideEffects)
+	}
+}
+
+// TestProfileXMLRoundTrip checks the §3.3 XML serialisation.
+func TestProfileXMLRoundTrip(t *testing.T) {
+	pr := newLibcProfiler(t, profiler.Options{DropZeroReturns: true})
+	p, err := pr.ProfileLibrary(libc.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := profile.Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Library != p.Library || len(q.Functions) != len(p.Functions) {
+		t.Errorf("round trip: %d funcs vs %d", len(q.Functions), len(p.Functions))
+	}
+	c1, _ := p.Lookup("close")
+	c2, ok := q.Lookup("close")
+	if !ok || len(c2.ErrorCodes) != len(c1.ErrorCodes) {
+		t.Error("close entry lost in round trip")
+	}
+}
+
+// TestProfileApplication walks Needed like ldd.
+func TestProfileApplication(t *testing.T) {
+	pr := newLibcProfiler(t, profiler.Options{DropZeroReturns: true})
+	app, err := minic.Compile("app", `
+needs "libc.so";
+extern int close(int fd);
+int main(void) { return close(3); }`, obj.Executable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.AddLibrary(app); err != nil {
+		t.Fatal(err)
+	}
+	set, err := pr.ProfileApplication("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := set[libc.Name]; !ok {
+		t.Fatalf("application profile set missing libc: %v", len(set))
+	}
+	lib, fn, ok := set.FindFunction("close")
+	if !ok || lib != libc.Name || len(fn.ErrorCodes) == 0 {
+		t.Error("FindFunction(close) failed")
+	}
+}
+
+func equalI32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,445 @@
+// Package scenario implements the LFI fault-scenario language (§4): an
+// XML "faultload" of <trigger, fault> tuples, automatic generation of
+// exhaustive and random scenarios, and ready-made libc faultloads.
+//
+// The XML mirrors the paper's example:
+//
+//	<plan>
+//	  <function name="readdir" inject="5" retval="0" errno="EBADF"
+//	            calloriginal="false">
+//	    <stacktrace>
+//	      <frame>0xb824490</frame>
+//	      <frame>refresh_files</frame>
+//	    </stacktrace>
+//	  </function>
+//	  <function name="read" inject="20" calloriginal="true">
+//	    <modify argument="3" op="sub" value="10" />
+//	  </function>
+//	</plan>
+//
+// Every time an intercepted function is called, the relevant triggers are
+// evaluated; if one matches, the associated fault is injected.
+package scenario
+
+import (
+	"encoding/xml"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lfi/internal/kernel"
+	"lfi/internal/profile"
+)
+
+// Plan is a fault-injection scenario: a set of triggers with faults.
+type Plan struct {
+	XMLName xml.Name `xml:"plan"`
+	// Seed drives random triggers; replay scripts pin it.
+	Seed     int64     `xml:"seed,attr,omitempty"`
+	Triggers []Trigger `xml:"function"`
+}
+
+// Trigger pairs a matching condition with a fault to inject.
+type Trigger struct {
+	// Function is the intercepted function's name.
+	Function string `xml:"name,attr"`
+	// Inject fires on the n-th call (1-based); 0 matches any call.
+	Inject int32 `xml:"inject,attr,omitempty"`
+	// Probability, in percent (0..100], makes the trigger fire randomly;
+	// 0 means deterministic.
+	Probability float64 `xml:"probability,attr,omitempty"`
+	// Retval is the value to return ("" = none / pick from profile).
+	Retval string `xml:"retval,attr,omitempty"`
+	// Errno names the errno to set, symbolically ("EBADF") or numerically.
+	Errno string `xml:"errno,attr,omitempty"`
+	// Random picks the injected error code (and side effect) uniformly
+	// from the function's fault profile at fire time.
+	Random bool `xml:"random,attr,omitempty"`
+	// CallOriginal passes the call through to the original function
+	// after applying argument modifications.
+	CallOriginal bool `xml:"calloriginal,attr"`
+	// Stacktrace, when present, must match the runtime backtrace: frame
+	// i is compared against entry i (innermost first), by symbol name or
+	// 0x-prefixed address.
+	Stacktrace *StackTrace `xml:"stacktrace,omitempty"`
+	// Modify rewrites arguments before the call proceeds.
+	Modify []Modify `xml:"modify"`
+	// Once disables the trigger after its first firing.
+	Once bool `xml:"once,attr,omitempty"`
+	// Pid restricts the trigger to one process (0 = any). This is a
+	// reproduction extension used by replay scripts: the paper's replay
+	// is per-application, but our spawn-inheriting interception needs to
+	// pin injections to the parent or the forked child.
+	Pid int `xml:"pid,attr,omitempty"`
+}
+
+// StackTrace is the partial-backtrace condition of a trigger.
+type StackTrace struct {
+	Frames []string `xml:"frame"`
+}
+
+// Frames returns the trigger's stack condition ([] when absent).
+func (t *Trigger) Frames() []string {
+	if t.Stacktrace == nil {
+		return nil
+	}
+	return t.Stacktrace.Frames
+}
+
+// Modify is an argument rewrite: argument indexes are 1-based as in the
+// paper ("modify argument 3 by subtracting 10").
+type Modify struct {
+	Argument int32  `xml:"argument,attr"`
+	Op       string `xml:"op,attr"` // "set", "add", "sub"
+	Value    int32  `xml:"value,attr"`
+}
+
+// Apply computes the modified argument value.
+func (m Modify) Apply(old int32) int32 {
+	switch m.Op {
+	case "add":
+		return old + m.Value
+	case "sub":
+		return old - m.Value
+	default: // "set"
+		return m.Value
+	}
+}
+
+// Marshal renders the plan as indented XML.
+func (p *Plan) Marshal() ([]byte, error) {
+	b, err := xml.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: marshal: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Unmarshal parses plan XML.
+func Unmarshal(data []byte) (*Plan, error) {
+	var p Plan
+	if err := xml.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("scenario: unmarshal: %w", err)
+	}
+	return &p, nil
+}
+
+// Functions returns the distinct function names the plan intercepts,
+// sorted — the set the controller must synthesise stubs for.
+func (p *Plan) Functions() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, t := range p.Triggers {
+		if !seen[t.Function] {
+			seen[t.Function] = true
+			out = append(out, t.Function)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseErrno resolves a trigger's errno attribute to a numeric value.
+func ParseErrno(s string) (int32, bool) {
+	if s == "" {
+		return 0, false
+	}
+	if v, ok := kernel.ErrnoByName(s); ok {
+		return v, true
+	}
+	v, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return 0, false
+	}
+	return int32(v), true
+}
+
+// ---------------------------------------------------------------------------
+// Automatic scenario generation (§4)
+// ---------------------------------------------------------------------------
+
+// Exhaustive generates the paper's exhaustive scenario: every exported
+// function of every profiled library is included, and consecutive calls
+// to a function iterate through its possible error codes.
+func Exhaustive(set profile.Set) *Plan {
+	plan := &Plan{}
+	for _, lib := range sortedKeys(set) {
+		for _, fn := range set[lib].Functions {
+			call := int32(1)
+			for _, ec := range fn.ErrorCodes {
+				t := Trigger{
+					Function: fn.Name,
+					Inject:   call,
+					Retval:   strconv.Itoa(int(ec.Retval)),
+				}
+				if e, ok := firstErrno(ec); ok {
+					t.Errno = e
+				}
+				plan.Triggers = append(plan.Triggers, t)
+				call++
+			}
+		}
+	}
+	return plan
+}
+
+// Random generates the paper's random scenario: probability (in percent)
+// selects which calls fail, and the particular error code is drawn from
+// the fault profile at fire time.
+func Random(set profile.Set, probabilityPct float64, seed int64) *Plan {
+	plan := &Plan{Seed: seed}
+	for _, lib := range sortedKeys(set) {
+		for _, fn := range set[lib].Functions {
+			if len(fn.ErrorCodes) == 0 {
+				continue
+			}
+			plan.Triggers = append(plan.Triggers, Trigger{
+				Function:    fn.Name,
+				Probability: probabilityPct,
+				Random:      true,
+			})
+		}
+	}
+	return plan
+}
+
+// RandomSubset is Random restricted to the named functions — used for the
+// ready-made libc faultloads and the paper's "I/O functions with 10%
+// probability" Pidgin experiment.
+func RandomSubset(set profile.Set, names []string, probabilityPct float64, seed int64) *Plan {
+	allowed := make(map[string]bool, len(names))
+	for _, n := range names {
+		allowed[n] = true
+	}
+	full := Random(set, probabilityPct, seed)
+	out := &Plan{Seed: seed}
+	for _, t := range full.Triggers {
+		if allowed[t.Function] {
+			out.Triggers = append(out.Triggers, t)
+		}
+	}
+	return out
+}
+
+// Ready-made libc faultload function sets (§4: "LFI also comes with
+// several ready-made fault scenarios for libc").
+var (
+	// FileIOFuncs are libc's file I/O entry points.
+	FileIOFuncs = []string{"open", "close", "read", "write", "unlink", "pipe"}
+	// MemFuncs are memory allocation entry points.
+	MemFuncs = []string{"malloc"}
+	// SocketIOFuncs are socket I/O entry points.
+	SocketIOFuncs = []string{"socket", "listen", "accept", "connect", "send", "recv"}
+)
+
+// LibcFileIO builds the ready-made "all file I/O faults" random scenario.
+func LibcFileIO(set profile.Set, probabilityPct float64, seed int64) *Plan {
+	return RandomSubset(set, FileIOFuncs, probabilityPct, seed)
+}
+
+// LibcMemAlloc builds the ready-made "all allocation faults" scenario.
+func LibcMemAlloc(set profile.Set, probabilityPct float64, seed int64) *Plan {
+	return RandomSubset(set, MemFuncs, probabilityPct, seed)
+}
+
+// LibcSocketIO builds the ready-made "all socket I/O faults" scenario.
+func LibcSocketIO(set profile.Set, probabilityPct float64, seed int64) *Plan {
+	return RandomSubset(set, SocketIOFuncs, probabilityPct, seed)
+}
+
+func sortedKeys(set profile.Set) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func firstErrno(ec profile.ErrorCode) (string, bool) {
+	for _, se := range ec.SideEffects {
+		if se.Type == profile.SideEffectTLS {
+			v := se.Applied()
+			if name := kernel.ErrnoName(v); name != "" {
+				return name, true
+			}
+			return strconv.Itoa(int(v)), true
+		}
+	}
+	return "", false
+}
+
+// ---------------------------------------------------------------------------
+// Trigger evaluation
+// ---------------------------------------------------------------------------
+
+// StackFrame describes one backtrace entry for stack-trace triggers.
+type StackFrame struct {
+	Addr   uint32
+	Symbol string
+}
+
+// Decision is the outcome of evaluating the triggers for one call.
+type Decision struct {
+	Inject bool
+	// Trigger indexes the fired trigger within the plan.
+	Trigger int
+	// HasRetval/Retval: value to return instead of calling the original.
+	HasRetval bool
+	Retval    int32
+	// Errno, when HasErrno, must be stored to the errno channel.
+	HasErrno bool
+	Errno    int32
+	// SideEffects from the fault profile to apply (already concrete).
+	SideEffects []profile.SideEffect
+	// CallOriginal passes the (possibly modified) call through.
+	CallOriginal bool
+	Modify       []Modify
+	CallCount    int32
+	// Scanned counts the triggers examined for this call; the controller
+	// charges virtual cycles proportional to it, modelling native
+	// trigger-evaluation cost.
+	Scanned int
+}
+
+// Evaluator evaluates a plan's triggers against a stream of intercepted
+// calls. One evaluator corresponds to one process (call counts are
+// per-process, as with an LD_PRELOADed interceptor's static counters).
+type Evaluator struct {
+	plan  *Plan
+	set   profile.Set
+	rng   *rand.Rand
+	count map[string]int32
+	fired map[int]bool
+	pid   int
+}
+
+// NewEvaluator builds an evaluator for the plan. The profile set supplies
+// error codes for random triggers; it may be nil when the plan is fully
+// explicit.
+func NewEvaluator(plan *Plan, set profile.Set) *Evaluator {
+	return &Evaluator{
+		plan:  plan,
+		set:   set,
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+		count: make(map[string]int32),
+		fired: make(map[int]bool),
+	}
+}
+
+// SetPID identifies the process this evaluator serves, for pid-pinned
+// replay triggers.
+func (e *Evaluator) SetPID(pid int) { e.pid = pid }
+
+// CallCount returns the number of calls seen so far for fn.
+func (e *Evaluator) CallCount(fn string) int32 { return e.count[fn] }
+
+// OnCall records one call to fn and evaluates the triggers. stack is the
+// runtime backtrace, innermost frame first.
+func (e *Evaluator) OnCall(fn string, stack []StackFrame) Decision {
+	e.count[fn]++
+	n := e.count[fn]
+	scanned := 0
+	for i := range e.plan.Triggers {
+		t := &e.plan.Triggers[i]
+		if t.Function != fn {
+			continue
+		}
+		scanned++
+		if t.Pid != 0 && t.Pid != e.pid {
+			continue
+		}
+		if t.Once && e.fired[i] {
+			continue
+		}
+		if t.Inject > 0 && t.Inject != n {
+			continue
+		}
+		if t.Probability > 0 && e.rng.Float64()*100 >= t.Probability {
+			continue
+		}
+		if !matchStack(t.Frames(), stack) {
+			continue
+		}
+		e.fired[i] = true
+		d := e.fire(i, t, fn, n)
+		d.Scanned = scanned
+		return d
+	}
+	return Decision{CallCount: n, Scanned: scanned}
+}
+
+func (e *Evaluator) fire(idx int, t *Trigger, fn string, n int32) Decision {
+	d := Decision{
+		Inject:       true,
+		Trigger:      idx,
+		CallOriginal: t.CallOriginal,
+		Modify:       t.Modify,
+		CallCount:    n,
+	}
+	if t.Retval != "" {
+		if v, err := strconv.ParseInt(t.Retval, 0, 32); err == nil {
+			d.HasRetval = true
+			d.Retval = int32(v)
+		}
+	}
+	if v, ok := ParseErrno(t.Errno); ok {
+		d.HasErrno = true
+		d.Errno = v
+	}
+	if t.Random && e.set != nil {
+		if _, pf, ok := e.set.FindFunction(fn); ok && len(pf.ErrorCodes) > 0 {
+			ec := pf.ErrorCodes[e.rng.Intn(len(pf.ErrorCodes))]
+			d.HasRetval = true
+			d.Retval = ec.Retval
+			if len(ec.SideEffects) > 0 {
+				se := ec.SideEffects[e.rng.Intn(len(ec.SideEffects))]
+				d.SideEffects = []profile.SideEffect{se}
+				if se.Type == profile.SideEffectTLS {
+					d.HasErrno = true
+					d.Errno = se.Applied()
+				}
+			}
+		}
+	}
+	// A trigger that neither returns a value nor modifies arguments and
+	// does not call the original would hang the caller; treat it as a
+	// pure pass-through probe.
+	if !d.HasRetval && len(d.Modify) == 0 && !t.CallOriginal && !t.Random {
+		if !d.HasErrno {
+			d.CallOriginal = true
+		} else {
+			// errno-only injection still needs a retval: without a
+			// profile we return -1, the C convention.
+			d.HasRetval = true
+			d.Retval = -1
+		}
+	}
+	return d
+}
+
+// matchStack checks the paper's partial stack-trace condition.
+func matchStack(want []string, got []StackFrame) bool {
+	if len(want) == 0 {
+		return true
+	}
+	if len(want) > len(got) {
+		return false
+	}
+	for i, w := range want {
+		f := got[i]
+		if strings.HasPrefix(w, "0x") || strings.HasPrefix(w, "0X") {
+			v, err := strconv.ParseUint(w[2:], 16, 32)
+			if err != nil || uint32(v) != f.Addr {
+				return false
+			}
+			continue
+		}
+		if w != f.Symbol {
+			return false
+		}
+	}
+	return true
+}

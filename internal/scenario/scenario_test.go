@@ -1,0 +1,317 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lfi/internal/kernel"
+	"lfi/internal/profile"
+)
+
+// demoSet builds a small profile set for scenario generation.
+func demoSet() profile.Set {
+	return profile.Set{
+		"libc.so": &profile.Profile{
+			Library: "libc.so",
+			Functions: []profile.Function{
+				{Name: "close", ErrorCodes: []profile.ErrorCode{
+					{Retval: -1, SideEffects: []profile.SideEffect{
+						{Type: profile.SideEffectTLS, Module: "libc.so", Op: "neg", Value: -9},
+						{Type: profile.SideEffectTLS, Module: "libc.so", Op: "neg", Value: -5},
+					}},
+				}},
+				{Name: "read", ErrorCodes: []profile.ErrorCode{
+					{Retval: -1},
+					{Retval: -11},
+				}},
+				{Name: "malloc", ErrorCodes: []profile.ErrorCode{
+					{Retval: 0, SideEffects: []profile.SideEffect{
+						{Type: profile.SideEffectTLS, Module: "libc.so", Value: 12},
+					}},
+				}},
+				{Name: "noerr"},
+			},
+		},
+	}
+}
+
+func TestPlanXMLRoundTrip(t *testing.T) {
+	plan := &Plan{
+		Seed: 7,
+		Triggers: []Trigger{
+			{
+				Function: "readdir", Inject: 5, Retval: "0", Errno: "EBADF",
+				Stacktrace: &StackTrace{Frames: []string{"0xb824490", "refresh_files"}},
+			},
+			{
+				Function: "read", Inject: 20, CallOriginal: true,
+				Modify: []Modify{{Argument: 3, Op: "sub", Value: 10}},
+			},
+			{Function: "malloc", Probability: 10, Random: true},
+		},
+	}
+	blob, err := plan.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The XML mirrors the paper's example vocabulary.
+	for _, want := range []string{
+		`name="readdir"`, `inject="5"`, `retval="0"`, `errno="EBADF"`,
+		`calloriginal="false"`, `<frame>refresh_files</frame>`,
+		`<modify argument="3" op="sub" value="10"`, `calloriginal="true"`,
+	} {
+		if !strings.Contains(string(blob), want) {
+			t.Errorf("plan XML missing %s:\n%s", want, blob)
+		}
+	}
+	back, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Triggers) != 3 || back.Seed != 7 {
+		t.Fatalf("round trip lost triggers: %+v", back)
+	}
+	if got := back.Triggers[0].Frames(); len(got) != 2 || got[1] != "refresh_files" {
+		t.Errorf("stacktrace = %v", got)
+	}
+	if back.Triggers[1].Modify[0].Apply(30) != 20 {
+		t.Error("modify sub broken after round trip")
+	}
+}
+
+func TestPlanXMLQuickRoundTrip(t *testing.T) {
+	f := func(fn string, inject int32, retval int32, once bool) bool {
+		if strings.ContainsAny(fn, "<>&\x00") || fn == "" {
+			return true
+		}
+		p := &Plan{Triggers: []Trigger{{
+			Function: fn, Inject: inject,
+			Retval: "0", Once: once,
+		}}}
+		blob, err := p.Marshal()
+		if err != nil {
+			return false
+		}
+		q, err := Unmarshal(blob)
+		if err != nil {
+			return false
+		}
+		return len(q.Triggers) == 1 && q.Triggers[0].Function == fn &&
+			q.Triggers[0].Inject == inject && q.Triggers[0].Once == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModifyOps(t *testing.T) {
+	cases := []struct {
+		m    Modify
+		in   int32
+		want int32
+	}{
+		{Modify{Op: "sub", Value: 10}, 30, 20},
+		{Modify{Op: "add", Value: 5}, 2, 7},
+		{Modify{Op: "set", Value: 99}, 1, 99},
+		{Modify{Op: "", Value: 3}, 1, 3}, // default = set
+	}
+	for _, c := range cases {
+		if got := c.m.Apply(c.in); got != c.want {
+			t.Errorf("%+v.Apply(%d) = %d, want %d", c.m, c.in, got, c.want)
+		}
+	}
+}
+
+func TestExhaustiveGeneration(t *testing.T) {
+	plan := Exhaustive(demoSet())
+	byFn := map[string][]Trigger{}
+	for _, tr := range plan.Triggers {
+		byFn[tr.Function] = append(byFn[tr.Function], tr)
+	}
+	if len(byFn["close"]) != 1 || byFn["close"][0].Inject != 1 {
+		t.Errorf("close triggers = %+v", byFn["close"])
+	}
+	// read has two codes: consecutive calls iterate them.
+	reads := byFn["read"]
+	if len(reads) != 2 || reads[0].Inject != 1 || reads[1].Inject != 2 {
+		t.Errorf("read triggers = %+v", reads)
+	}
+	if reads[0].Retval != "-1" || reads[1].Retval != "-11" {
+		t.Errorf("read retvals = %s, %s", reads[0].Retval, reads[1].Retval)
+	}
+	// Errno attribute derives from the TLS side effect.
+	if byFn["close"][0].Errno != "EBADF" {
+		t.Errorf("close errno = %q", byFn["close"][0].Errno)
+	}
+	if len(byFn["noerr"]) != 0 {
+		t.Error("functions without codes get no exhaustive triggers")
+	}
+}
+
+func TestRandomGenerationAndDeterminism(t *testing.T) {
+	set := demoSet()
+	plan := Random(set, 25, 99)
+	if plan.Seed != 99 {
+		t.Error("seed not recorded")
+	}
+	for _, tr := range plan.Triggers {
+		if !tr.Random || tr.Probability != 25 {
+			t.Errorf("trigger = %+v", tr)
+		}
+	}
+	// Same seed, same decisions.
+	run := func() []bool {
+		ev := NewEvaluator(plan, set)
+		var out []bool
+		for i := 0; i < 50; i++ {
+			out = append(out, ev.OnCall("read", nil).Inject)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("random evaluation is not deterministic per seed")
+		}
+	}
+	fires := 0
+	for _, x := range a {
+		if x {
+			fires++
+		}
+	}
+	if fires == 0 || fires == 50 {
+		t.Errorf("fires = %d/50 at 25%%", fires)
+	}
+}
+
+func TestReadyMadeFaultloads(t *testing.T) {
+	set := demoSet()
+	if p := LibcFileIO(set, 10, 1); len(p.Triggers) != 2 { // close, read
+		t.Errorf("fileio triggers = %d", len(p.Triggers))
+	}
+	if p := LibcMemAlloc(set, 10, 1); len(p.Triggers) != 1 || p.Triggers[0].Function != "malloc" {
+		t.Errorf("malloc faultload = %+v", p.Triggers)
+	}
+	if p := LibcSocketIO(set, 10, 1); len(p.Triggers) != 0 {
+		t.Errorf("socket faultload should be empty for this set: %+v", p.Triggers)
+	}
+}
+
+func TestNthCallAndOnce(t *testing.T) {
+	plan := &Plan{Triggers: []Trigger{
+		{Function: "f", Inject: 3, Retval: "-1"},
+		{Function: "g", Retval: "-1", Once: true},
+	}}
+	ev := NewEvaluator(plan, nil)
+	for i := 1; i <= 5; i++ {
+		d := ev.OnCall("f", nil)
+		if d.Inject != (i == 3) {
+			t.Errorf("f call %d: inject=%v", i, d.Inject)
+		}
+	}
+	if !ev.OnCall("g", nil).Inject {
+		t.Error("g first call should inject")
+	}
+	if ev.OnCall("g", nil).Inject {
+		t.Error("once trigger fired twice")
+	}
+	if ev.CallCount("f") != 5 || ev.CallCount("g") != 2 {
+		t.Error("call counts wrong")
+	}
+}
+
+func TestStackMatching(t *testing.T) {
+	stack := []StackFrame{
+		{Addr: 0xb824490, Symbol: "readdir"},
+		{Addr: 0x1000, Symbol: "refresh_files"},
+		{Addr: 0x2000, Symbol: "main"},
+	}
+	cases := []struct {
+		frames []string
+		want   bool
+	}{
+		{nil, true},
+		{[]string{"readdir"}, true},
+		{[]string{"0xb824490", "refresh_files"}, true},
+		{[]string{"readdir", "refresh_files", "main"}, true},
+		{[]string{"refresh_files"}, false},    // wrong position
+		{[]string{"0xdead"}, false},           // wrong address
+		{[]string{"readdir", "main"}, false},  // gap
+		{[]string{"a", "b", "c", "d"}, false}, // longer than stack
+	}
+	for _, c := range cases {
+		plan := &Plan{Triggers: []Trigger{{
+			Function: "readdir", Retval: "0",
+		}}}
+		if c.frames != nil {
+			plan.Triggers[0].Stacktrace = &StackTrace{Frames: c.frames}
+		}
+		ev := NewEvaluator(plan, nil)
+		if got := ev.OnCall("readdir", stack).Inject; got != c.want {
+			t.Errorf("frames %v: inject=%v, want %v", c.frames, got, c.want)
+		}
+	}
+}
+
+func TestPidPinning(t *testing.T) {
+	plan := &Plan{Triggers: []Trigger{{Function: "f", Retval: "-1", Pid: 2}}}
+	ev1 := NewEvaluator(plan, nil)
+	ev1.SetPID(1)
+	ev2 := NewEvaluator(plan, nil)
+	ev2.SetPID(2)
+	if ev1.OnCall("f", nil).Inject {
+		t.Error("pid-1 evaluator must not fire a pid-2 trigger")
+	}
+	if !ev2.OnCall("f", nil).Inject {
+		t.Error("pid-2 evaluator must fire")
+	}
+}
+
+func TestRandomTriggerDrawsFromProfile(t *testing.T) {
+	set := demoSet()
+	plan := &Plan{Seed: 3, Triggers: []Trigger{{Function: "close", Probability: 100, Random: true}}}
+	ev := NewEvaluator(plan, set)
+	d := ev.OnCall("close", nil)
+	if !d.Inject || !d.HasRetval || d.Retval != -1 {
+		t.Fatalf("decision = %+v", d)
+	}
+	if !d.HasErrno || (d.Errno != kernel.EBADF && d.Errno != kernel.EIO) {
+		t.Errorf("errno = %d, want EBADF or EIO from side effects", d.Errno)
+	}
+}
+
+func TestErrnoOnlyTriggerGetsDefaultRetval(t *testing.T) {
+	plan := &Plan{Triggers: []Trigger{{Function: "f", Errno: "EIO"}}}
+	ev := NewEvaluator(plan, nil)
+	d := ev.OnCall("f", nil)
+	if !d.Inject || !d.HasRetval || d.Retval != -1 || !d.HasErrno || d.Errno != kernel.EIO {
+		t.Errorf("decision = %+v", d)
+	}
+}
+
+func TestParseErrno(t *testing.T) {
+	if v, ok := ParseErrno("EBADF"); !ok || v != kernel.EBADF {
+		t.Error("symbolic errno")
+	}
+	if v, ok := ParseErrno("17"); !ok || v != 17 {
+		t.Error("numeric errno")
+	}
+	if _, ok := ParseErrno(""); ok {
+		t.Error("empty errno should not parse")
+	}
+	if _, ok := ParseErrno("BOGUS"); ok {
+		t.Error("bogus errno should not parse")
+	}
+}
+
+func TestFunctionsList(t *testing.T) {
+	plan := &Plan{Triggers: []Trigger{
+		{Function: "b"}, {Function: "a"}, {Function: "b"},
+	}}
+	fns := plan.Functions()
+	if len(fns) != 2 || fns[0] != "a" || fns[1] != "b" {
+		t.Errorf("functions = %v", fns)
+	}
+}

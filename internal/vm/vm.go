@@ -1,0 +1,1002 @@
+// Package vm implements the SIA-32 virtual machine: a dynamic-linking
+// loader and interpreter with processes, a synthetic kernel, host-function
+// bridging and basic-block coverage hooks.
+//
+// The loader honours preload order when resolving imported symbols — the
+// reproduction's LD_PRELOAD analogue (§5.1): interceptor libraries
+// synthesised by the LFI controller are listed in SpawnConfig.Preload and
+// win symbol resolution over the original libraries. The OpDlNext
+// instruction resolves "the next definition of my own exported symbol",
+// mirroring dlsym(RTLD_NEXT), so stubs can tail-jump to the functions they
+// shadow.
+//
+// Execution is deterministic: processes are scheduled round-robin with
+// fixed time slices, every instruction costs one cycle, and the kernel
+// introduces no spontaneous events. Virtual time (cycles / ClockHz) is
+// what the overhead experiments (paper Tables 3 and 4) report.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"lfi/internal/isa"
+	"lfi/internal/kernel"
+	"lfi/internal/obj"
+)
+
+// Address-space layout constants.
+const (
+	moduleStride = 0x0100_0000
+	moduleBase   = 0x0100_0000
+	dataOffset   = 0x0040_0000
+	tlsOffset    = 0x0060_0000
+	heapBase     = 0x4000_0000
+	stackTop     = 0x7F10_0000
+	hostBase     = 0xF000_0000
+	exitSentinel = 0xFFFF_FFF0
+)
+
+// ClockHz converts cycles to virtual seconds in experiment reports.
+const ClockHz = 100_000_000
+
+// Signal numbers used in exit statuses.
+const (
+	SigABRT = 6
+	SigFPE  = 8
+	SigSEGV = 11
+)
+
+// HostFunc is a native function callable from VM code through an import.
+// It runs with the calling process stopped at the call site and returns
+// the value to place in R0.
+type HostFunc func(hc *HostCall) int32
+
+// HostCall gives a host function access to its caller.
+type HostCall struct {
+	Sys  *System
+	Proc *Proc
+	sp   uint32 // SP at entry (points at the return address)
+}
+
+// Arg returns the i-th 32-bit stack argument of the host call.
+func (h *HostCall) Arg(i int) int32 {
+	v, err := h.Proc.ReadWord(h.sp + 4 + uint32(4*i))
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// ArgAddr returns the address of the i-th stack argument.
+func (h *HostCall) ArgAddr(i int) uint32 { return h.sp + 4 + uint32(4*i) }
+
+// ChargeCycles accounts virtual time for work the host function performs
+// on behalf of the process — e.g. the trigger evaluation an LD_PRELOAD
+// interceptor would execute natively. This is what makes the overhead
+// experiments (paper Tables 3 and 4) observable in virtual time.
+func (h *HostCall) ChargeCycles(n uint64) {
+	h.Proc.Cycles += n
+	h.Sys.TotalCycles += n
+}
+
+// Image is one module loaded into a process address space.
+type Image struct {
+	File     *obj.File
+	TextBase uint32
+	DataBase uint32
+	TLSBase  uint32
+	Insts    []isa.Inst // decoded after relocation patching
+	// CoverBits marks executed instruction slots when coverage is on.
+	CoverBits []uint64
+
+	text    []byte
+	symVA   map[string]uint32 // exported symbol -> VA
+	funcsVA []vaSym           // sorted by VA, for reverse lookup
+}
+
+type vaSym struct {
+	va   uint32
+	name string
+}
+
+// SymbolVA resolves an exported symbol of this image to its VA.
+func (im *Image) SymbolVA(name string) (uint32, bool) {
+	va, ok := im.symVA[name]
+	return va, ok
+}
+
+// FuncNameAt returns the name of the function containing the VA, if known.
+func (im *Image) FuncNameAt(va uint32) string {
+	i := sort.Search(len(im.funcsVA), func(i int) bool { return im.funcsVA[i].va > va })
+	if i == 0 {
+		return ""
+	}
+	return im.funcsVA[i-1].name
+}
+
+// Covered reports whether the instruction at the given text offset ran.
+func (im *Image) Covered(off int32) bool {
+	if im.CoverBits == nil {
+		return false
+	}
+	idx := int(off) / isa.Size
+	return im.CoverBits[idx/64]&(1<<(idx%64)) != 0
+}
+
+// Frame is one entry of the shadow call stack, used for the paper's
+// stack-trace triggers (§4).
+type Frame struct {
+	FuncVA uint32
+	Symbol string // best-effort name ("" for stripped locals)
+	Module string
+	RetPC  uint32
+}
+
+// ExitStatus describes how a process terminated.
+type ExitStatus struct {
+	Code   int32
+	Signal int32 // 0 = normal exit; SigABRT/SigSEGV/SigFPE otherwise
+}
+
+// Wait-status encoding written by sys_wait: code for normal exits,
+// 128+signal for signal deaths (shell convention).
+func (e ExitStatus) wstatus() int32 {
+	if e.Signal != 0 {
+		return 128 + e.Signal
+	}
+	return e.Code
+}
+
+// SignalName returns "SIGABRT"-style names.
+func SignalName(sig int32) string {
+	switch sig {
+	case SigABRT:
+		return "SIGABRT"
+	case SigFPE:
+		return "SIGFPE"
+	case SigSEGV:
+		return "SIGSEGV"
+	}
+	return fmt.Sprintf("SIG%d", sig)
+}
+
+// SpawnConfig controls process creation.
+type SpawnConfig struct {
+	// Preload lists library names loaded ahead of the executable's
+	// needed libraries in symbol search order (the LD_PRELOAD slot).
+	Preload []string
+	// InheritFDs maps child descriptors to (parent) descriptors; used by
+	// sys_spawn to pass pipe ends.
+	InheritFDs map[int32]int32
+	parent     *Proc
+}
+
+// Proc is one SIA-32 process.
+type Proc struct {
+	ID  int
+	Sys *System
+
+	Regs   [isa.NumRegs]uint32
+	PC     uint32
+	flagEQ bool
+	flagLT bool
+
+	Images []*Image // symbol search order: exe, preloads, needed libs
+
+	Exited bool
+	Status ExitStatus
+	Cycles uint64
+
+	CallStack []Frame
+
+	segs     []*segment
+	lastSeg  *segment
+	lastImg  *Image
+	brk      uint32
+	heap     *segment
+	blocked  bool
+	cfg      SpawnConfig
+	parent   *Proc
+	children []*Proc
+	reaped   bool
+}
+
+type segment struct {
+	base     uint32
+	data     []byte
+	writable bool
+	name     string
+}
+
+func (s *segment) contains(addr uint32) bool {
+	return addr >= s.base && addr < s.base+uint32(len(s.data))
+}
+
+// MemoryError reports an invalid VM memory access.
+type MemoryError struct {
+	Addr  uint32
+	Write bool
+}
+
+// Error implements the error interface.
+func (e *MemoryError) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("vm: invalid %s at %#x", op, e.Addr)
+}
+
+// Options configures a System.
+type Options struct {
+	// HeapLimit bounds per-process heap growth via sys_brk (default 1 MiB).
+	HeapLimit uint32
+	// StackSize is the per-process stack size (default 1 MiB).
+	StackSize uint32
+	// Coverage enables executed-instruction tracking on all images.
+	Coverage bool
+	// TimeSlice is the round-robin quantum in instructions (default 4096).
+	TimeSlice int
+}
+
+// System owns the program registry, host functions, kernel and processes.
+type System struct {
+	opts     Options
+	programs map[string]*obj.File
+	hosts    []HostFunc
+	hostIdx  map[string]int
+	kern     *kernel.Kernel
+	procs    []*Proc
+	nextPID  int
+	// TotalCycles accumulates cycles across all processes.
+	TotalCycles uint64
+}
+
+// NewSystem creates a System with the given options.
+func NewSystem(opts Options) *System {
+	if opts.HeapLimit == 0 {
+		opts.HeapLimit = 1 << 20
+	}
+	if opts.StackSize == 0 {
+		opts.StackSize = 1 << 20
+	}
+	if opts.TimeSlice == 0 {
+		opts.TimeSlice = 4096
+	}
+	return &System{
+		opts:     opts,
+		programs: make(map[string]*obj.File),
+		hostIdx:  make(map[string]int),
+		kern:     kernel.New(),
+		nextPID:  1,
+	}
+}
+
+// Kernel exposes the system kernel (for workload drivers and file setup).
+func (s *System) Kernel() *kernel.Kernel { return s.kern }
+
+// Register adds a program or library to the load registry.
+func (s *System) Register(f *obj.File) { s.programs[f.Name] = f }
+
+// RegisterHost installs a named host function resolvable as an import.
+func (s *System) RegisterHost(name string, fn HostFunc) {
+	if idx, ok := s.hostIdx[name]; ok {
+		s.hosts[idx] = fn
+		return
+	}
+	s.hostIdx[name] = len(s.hosts)
+	s.hosts = append(s.hosts, fn)
+}
+
+// Procs returns all processes (including exited ones).
+func (s *System) Procs() []*Proc { return append([]*Proc(nil), s.procs...) }
+
+// Spawn loads and starts a registered executable.
+func (s *System) Spawn(exe string, cfg SpawnConfig) (*Proc, error) {
+	main, ok := s.programs[exe]
+	if !ok {
+		return nil, fmt.Errorf("vm: program %q not registered", exe)
+	}
+	p := &Proc{ID: s.nextPID, Sys: s, cfg: cfg, parent: cfg.parent}
+	s.nextPID++
+
+	// Assemble the module list in symbol search order: the executable,
+	// then preloads, then needed libraries discovered breadth-first.
+	var files []*obj.File
+	seen := map[string]bool{exe: true}
+	files = append(files, main)
+	queue := append([]string(nil), cfg.Preload...)
+	queue = append(queue, main.Needed...)
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		f, ok := s.programs[name]
+		if !ok {
+			return nil, fmt.Errorf("vm: %s: needed library %q not registered", exe, name)
+		}
+		files = append(files, f)
+		queue = append(queue, f.Needed...)
+	}
+	// Preloads must precede needed libs but follow the executable; the
+	// BFS above already walks cfg.Preload first, giving that order.
+
+	for i, f := range files {
+		im, err := s.loadImage(p, f, i)
+		if err != nil {
+			return nil, err
+		}
+		p.Images = append(p.Images, im)
+	}
+	if err := s.relocate(p); err != nil {
+		return nil, err
+	}
+
+	// Stack and heap.
+	stack := &segment{
+		base: stackTop - s.opts.StackSize, data: make([]byte, s.opts.StackSize),
+		writable: true, name: "stack",
+	}
+	p.segs = append(p.segs, stack)
+	p.heap = &segment{base: heapBase, writable: true, name: "heap"}
+	p.segs = append(p.segs, p.heap)
+	p.brk = heapBase
+
+	// Entry point.
+	entryImg := p.Images[0]
+	entryVA, ok := entryImg.SymbolVA("main")
+	if !ok {
+		return nil, fmt.Errorf("vm: %s has no exported main", exe)
+	}
+	p.PC = entryVA
+	p.Regs[isa.SP] = stackTop - 16
+	// Returning from main lands on the exit sentinel.
+	p.Regs[isa.SP] -= 4
+	sentinel := uint32(exitSentinel)
+	if err := p.WriteWord(p.Regs[isa.SP], int32(sentinel)); err != nil {
+		return nil, err
+	}
+	p.CallStack = append(p.CallStack, Frame{
+		FuncVA: entryVA, Symbol: "main", Module: exe, RetPC: exitSentinel,
+	})
+
+	s.kern.NewProcess(p.ID)
+	for childFD, parentFD := range cfg.InheritFDs {
+		if cfg.parent != nil {
+			s.kern.InstallAt(p.ID, childFD, cfg.parent.ID, parentFD)
+		}
+	}
+
+	s.procs = append(s.procs, p)
+	if cfg.parent != nil {
+		cfg.parent.children = append(cfg.parent.children, p)
+	}
+	return p, nil
+}
+
+func (s *System) loadImage(p *Proc, f *obj.File, slot int) (*Image, error) {
+	base := uint32(moduleBase + slot*moduleStride)
+	im := &Image{
+		File:     f,
+		TextBase: base,
+		DataBase: base + dataOffset,
+		TLSBase:  base + tlsOffset,
+		text:     append([]byte(nil), f.Text...),
+		symVA:    make(map[string]uint32),
+	}
+	data := make([]byte, f.DataSize)
+	copy(data, f.Data)
+	tls := make([]byte, f.TLSSize)
+
+	for _, sym := range f.Symbols {
+		var va uint32
+		switch sym.Kind {
+		case obj.SymFunc:
+			va = im.TextBase + uint32(sym.Off)
+			im.funcsVA = append(im.funcsVA, vaSym{va: va, name: sym.Name})
+		case obj.SymData:
+			va = im.DataBase + uint32(sym.Off)
+		case obj.SymTLS:
+			va = im.TLSBase + uint32(sym.Off)
+		}
+		if sym.Exported {
+			im.symVA[sym.Name] = va
+		}
+	}
+	sort.Slice(im.funcsVA, func(i, j int) bool { return im.funcsVA[i].va < im.funcsVA[j].va })
+
+	if s.opts.Coverage {
+		n := (len(f.Text)/isa.Size + 63) / 64
+		im.CoverBits = make([]uint64, n)
+	}
+
+	p.segs = append(p.segs,
+		&segment{base: im.TextBase, data: im.text, name: f.Name + ".text"},
+		&segment{base: im.DataBase, data: data, writable: true, name: f.Name + ".data"},
+		&segment{base: im.TLSBase, data: tls, writable: true, name: f.Name + ".tls"},
+	)
+	return im, nil
+}
+
+// relocate patches every image's text and decodes the instruction stream.
+func (s *System) relocate(p *Proc) error {
+	for _, im := range p.Images {
+		f := im.File
+		for _, r := range f.Relocs {
+			var va uint32
+			switch r.Kind {
+			case obj.RelocText:
+				va = im.TextBase + uint32(r.Index)
+			case obj.RelocData:
+				va = im.DataBase + uint32(r.Index)
+			case obj.RelocTLS:
+				va = im.TLSBase + uint32(r.Index)
+			case obj.RelocImport:
+				name := f.Imports[r.Index]
+				resolved, err := s.resolveImport(p, name)
+				if err != nil {
+					return fmt.Errorf("vm: %s: %w", f.Name, err)
+				}
+				va = resolved
+			}
+			// Patch the Imm field (bytes 4..8 of the instruction).
+			off := int(r.Off)
+			im.text[off+4] = byte(va)
+			im.text[off+5] = byte(va >> 8)
+			im.text[off+6] = byte(va >> 16)
+			im.text[off+7] = byte(va >> 24)
+		}
+		insts, err := isa.DecodeAll(im.text)
+		if err != nil {
+			return fmt.Errorf("vm: %s: %w", f.Name, err)
+		}
+		im.Insts = insts
+	}
+	return nil
+}
+
+// resolveImport searches the process scope (exe, preloads, needed) for an
+// exported definition; host functions are the fallback.
+func (s *System) resolveImport(p *Proc, name string) (uint32, error) {
+	for _, im := range p.Images {
+		if va, ok := im.symVA[name]; ok {
+			return va, nil
+		}
+	}
+	if idx, ok := s.hostIdx[name]; ok {
+		return hostBase + uint32(idx*8), nil
+	}
+	return 0, fmt.Errorf("unresolved import %q", name)
+}
+
+// resolveNext implements dlsym(RTLD_NEXT): the first definition of name in
+// modules after the given image in search order.
+func (s *System) resolveNext(p *Proc, after *Image, name string) (uint32, bool) {
+	past := false
+	for _, im := range p.Images {
+		if im == after {
+			past = true
+			continue
+		}
+		if !past {
+			continue
+		}
+		if va, ok := im.symVA[name]; ok {
+			return va, true
+		}
+	}
+	return 0, false
+}
+
+// ImageByName returns the process image for the named module.
+func (p *Proc) ImageByName(name string) (*Image, bool) {
+	for _, im := range p.Images {
+		if im.File.Name == name {
+			return im, true
+		}
+	}
+	return nil, false
+}
+
+// imageAt maps a VA to the image whose text contains it.
+func (p *Proc) imageAt(va uint32) *Image {
+	if p.lastImg != nil &&
+		va >= p.lastImg.TextBase && va < p.lastImg.TextBase+uint32(len(p.lastImg.text)) {
+		return p.lastImg
+	}
+	for _, im := range p.Images {
+		if va >= im.TextBase && va < im.TextBase+uint32(len(im.text)) {
+			p.lastImg = im
+			return im
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Memory access
+// ---------------------------------------------------------------------------
+
+func (p *Proc) seg(addr uint32, write bool) (*segment, error) {
+	if p.lastSeg != nil && p.lastSeg.contains(addr) && (!write || p.lastSeg.writable) {
+		return p.lastSeg, nil
+	}
+	for _, sg := range p.segs {
+		if sg.contains(addr) {
+			if write && !sg.writable {
+				return nil, &MemoryError{Addr: addr, Write: true}
+			}
+			p.lastSeg = sg
+			return sg, nil
+		}
+	}
+	return nil, &MemoryError{Addr: addr, Write: write}
+}
+
+// ReadWord reads a 32-bit little-endian word.
+func (p *Proc) ReadWord(addr uint32) (int32, error) {
+	sg, err := p.seg(addr, false)
+	if err != nil {
+		return 0, err
+	}
+	off := addr - sg.base
+	if off+4 > uint32(len(sg.data)) {
+		return 0, &MemoryError{Addr: addr}
+	}
+	b := sg.data[off:]
+	return int32(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24), nil
+}
+
+// WriteWord writes a 32-bit little-endian word.
+func (p *Proc) WriteWord(addr uint32, v int32) error {
+	sg, err := p.seg(addr, true)
+	if err != nil {
+		return err
+	}
+	off := addr - sg.base
+	if off+4 > uint32(len(sg.data)) {
+		return &MemoryError{Addr: addr, Write: true}
+	}
+	b := sg.data[off:]
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	return nil
+}
+
+// ReadByte reads one byte.
+func (p *Proc) ReadByteAt(addr uint32) (byte, error) {
+	sg, err := p.seg(addr, false)
+	if err != nil {
+		return 0, err
+	}
+	return sg.data[addr-sg.base], nil
+}
+
+// WriteByte writes one byte.
+func (p *Proc) WriteByteAt(addr uint32, v byte) error {
+	sg, err := p.seg(addr, true)
+	if err != nil {
+		return err
+	}
+	sg.data[addr-sg.base] = v
+	return nil
+}
+
+// ReadBytes copies n bytes out of VM memory.
+func (p *Proc) ReadBytes(addr uint32, n int32) ([]byte, error) {
+	if n < 0 {
+		return nil, &MemoryError{Addr: addr}
+	}
+	sg, err := p.seg(addr, false)
+	if err != nil {
+		return nil, err
+	}
+	off := addr - sg.base
+	if off+uint32(n) > uint32(len(sg.data)) {
+		return nil, &MemoryError{Addr: addr}
+	}
+	return append([]byte(nil), sg.data[off:off+uint32(n)]...), nil
+}
+
+// WriteBytes copies bytes into VM memory.
+func (p *Proc) WriteBytes(addr uint32, b []byte) error {
+	sg, err := p.seg(addr, true)
+	if err != nil {
+		return err
+	}
+	off := addr - sg.base
+	if off+uint32(len(b)) > uint32(len(sg.data)) {
+		return &MemoryError{Addr: addr, Write: true}
+	}
+	copy(sg.data[off:], b)
+	return nil
+}
+
+// ReadCString reads a NUL-terminated string (max 4096 bytes).
+func (p *Proc) ReadCString(addr uint32) (string, error) {
+	var out []byte
+	for i := 0; i < 4096; i++ {
+		c, err := p.ReadByteAt(addr + uint32(i))
+		if err != nil {
+			return "", err
+		}
+		if c == 0 {
+			return string(out), nil
+		}
+		out = append(out, c)
+	}
+	return "", errors.New("vm: unterminated string")
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+// ErrDeadlock is returned by Run when no runnable process can make
+// progress.
+var ErrDeadlock = errors.New("vm: deadlock: all processes blocked")
+
+// ErrBudget is returned when the cycle budget is exhausted.
+var ErrBudget = errors.New("vm: cycle budget exhausted")
+
+// ErrIdle is returned by RunUntil when every live process is blocked —
+// typically waiting for a workload driver to supply external input.
+var ErrIdle = errors.New("vm: all processes idle")
+
+// Run schedules all processes round-robin until every process has exited,
+// the cycle budget is exhausted (budget 0 = unlimited), or a deadlock is
+// detected.
+func (s *System) Run(budget uint64) error {
+	for {
+		alive, progress := 0, false
+		for _, p := range s.procs {
+			if p.Exited {
+				continue
+			}
+			alive++
+			ran := p.runSlice(s.opts.TimeSlice)
+			if ran > 0 {
+				progress = true
+			}
+			if budget > 0 && s.TotalCycles >= budget {
+				return ErrBudget
+			}
+		}
+		if alive == 0 {
+			return nil
+		}
+		if !progress {
+			return ErrDeadlock
+		}
+	}
+}
+
+// RunUntil schedules processes until cond returns true (checked between
+// time slices), all processes exit (nil), every live process blocks
+// (ErrIdle — the workload driver should feed more input and call again),
+// or the budget is exhausted (ErrBudget; 0 = unlimited).
+func (s *System) RunUntil(cond func() bool, budget uint64) error {
+	start := s.TotalCycles
+	for {
+		if cond != nil && cond() {
+			return nil
+		}
+		alive, progress := 0, false
+		for _, p := range s.procs {
+			if p.Exited {
+				continue
+			}
+			alive++
+			if p.runSlice(s.opts.TimeSlice) > 0 {
+				progress = true
+			}
+			if budget > 0 && s.TotalCycles-start >= budget {
+				return ErrBudget
+			}
+		}
+		if alive == 0 {
+			return nil
+		}
+		if !progress {
+			return ErrIdle
+		}
+	}
+}
+
+// runSlice executes up to n instructions; returns how many ran.
+func (p *Proc) runSlice(n int) int {
+	ran := 0
+	for i := 0; i < n && !p.Exited; i++ {
+		advanced := p.step()
+		if advanced {
+			ran++
+		} else {
+			break // blocked in a syscall: yield the slice
+		}
+	}
+	return ran
+}
+
+func (p *Proc) kill(sig int32) {
+	p.Exited = true
+	p.Status = ExitStatus{Signal: sig}
+	p.Sys.kern.ReleaseProcess(p.ID)
+}
+
+func (p *Proc) exit(code int32) {
+	p.Exited = true
+	p.Status = ExitStatus{Code: code}
+	p.Sys.kern.ReleaseProcess(p.ID)
+}
+
+// step executes one instruction. It returns false when the process is
+// blocked (PC unchanged) so the scheduler can switch away.
+func (p *Proc) step() bool {
+	if p.PC == exitSentinel {
+		p.exit(int32(p.Regs[isa.R0]))
+		return true
+	}
+	im := p.imageAt(p.PC)
+	if im == nil {
+		p.kill(SigSEGV)
+		return true
+	}
+	idx := int(p.PC-im.TextBase) / isa.Size
+	if idx >= len(im.Insts) {
+		p.kill(SigSEGV)
+		return true
+	}
+	if im.CoverBits != nil {
+		im.CoverBits[idx/64] |= 1 << (idx % 64)
+	}
+	in := im.Insts[idx]
+	p.Cycles++
+	p.Sys.TotalCycles++
+	next := p.PC + isa.Size
+
+	fail := func(err error) bool {
+		_ = err
+		p.kill(SigSEGV)
+		return true
+	}
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpHalt:
+		p.exit(int32(p.Regs[isa.R0]))
+		return true
+
+	case isa.OpMovRI:
+		p.Regs[in.A] = uint32(in.Imm)
+	case isa.OpMovRR:
+		p.Regs[in.A] = p.Regs[in.B]
+	case isa.OpLoad:
+		v, err := p.ReadWord(p.Regs[in.B] + uint32(in.Imm))
+		if err != nil {
+			return fail(err)
+		}
+		p.Regs[in.A] = uint32(v)
+	case isa.OpLoadB:
+		v, err := p.ReadByteAt(p.Regs[in.B] + uint32(in.Imm))
+		if err != nil {
+			return fail(err)
+		}
+		p.Regs[in.A] = uint32(v)
+	case isa.OpStoreR:
+		if err := p.WriteWord(p.Regs[in.A]+uint32(in.Imm), int32(p.Regs[in.B])); err != nil {
+			return fail(err)
+		}
+	case isa.OpStoreB:
+		if err := p.WriteByteAt(p.Regs[in.A]+uint32(in.Imm), byte(p.Regs[in.B])); err != nil {
+			return fail(err)
+		}
+	case isa.OpStoreI:
+		if err := p.WriteWord(p.Regs[in.A]+uint32(in.StoreIDisp()), in.Imm); err != nil {
+			return fail(err)
+		}
+	case isa.OpPushR:
+		p.Regs[isa.SP] -= 4
+		if err := p.WriteWord(p.Regs[isa.SP], int32(p.Regs[in.A])); err != nil {
+			return fail(err)
+		}
+	case isa.OpPushI:
+		p.Regs[isa.SP] -= 4
+		if err := p.WriteWord(p.Regs[isa.SP], in.Imm); err != nil {
+			return fail(err)
+		}
+	case isa.OpPopR:
+		v, err := p.ReadWord(p.Regs[isa.SP])
+		if err != nil {
+			return fail(err)
+		}
+		p.Regs[isa.SP] += 4
+		p.Regs[in.A] = uint32(v)
+
+	case isa.OpAddRI:
+		p.Regs[in.A] += uint32(in.Imm)
+	case isa.OpAddRR:
+		p.Regs[in.A] += p.Regs[in.B]
+	case isa.OpSubRI:
+		p.Regs[in.A] -= uint32(in.Imm)
+	case isa.OpSubRR:
+		p.Regs[in.A] -= p.Regs[in.B]
+	case isa.OpMulRR:
+		p.Regs[in.A] = uint32(int32(p.Regs[in.A]) * int32(p.Regs[in.B]))
+	case isa.OpDivRR:
+		if p.Regs[in.B] == 0 {
+			p.kill(SigFPE)
+			return true
+		}
+		p.Regs[in.A] = uint32(int32(p.Regs[in.A]) / int32(p.Regs[in.B]))
+	case isa.OpModRR:
+		if p.Regs[in.B] == 0 {
+			p.kill(SigFPE)
+			return true
+		}
+		p.Regs[in.A] = uint32(int32(p.Regs[in.A]) % int32(p.Regs[in.B]))
+	case isa.OpAndRI:
+		p.Regs[in.A] &= uint32(in.Imm)
+	case isa.OpAndRR:
+		p.Regs[in.A] &= p.Regs[in.B]
+	case isa.OpOrRI:
+		p.Regs[in.A] |= uint32(in.Imm)
+	case isa.OpOrRR:
+		p.Regs[in.A] |= p.Regs[in.B]
+	case isa.OpXorRI:
+		p.Regs[in.A] ^= uint32(in.Imm)
+	case isa.OpXorRR:
+		p.Regs[in.A] ^= p.Regs[in.B]
+	case isa.OpShlRI:
+		p.Regs[in.A] <<= uint32(in.Imm) & 31
+	case isa.OpShrRI:
+		p.Regs[in.A] >>= uint32(in.Imm) & 31
+	case isa.OpNeg:
+		p.Regs[in.A] = uint32(-int32(p.Regs[in.A]))
+	case isa.OpNot:
+		p.Regs[in.A] = ^p.Regs[in.A]
+
+	case isa.OpCmpRI:
+		a := int32(p.Regs[in.A])
+		p.flagEQ = a == in.Imm
+		p.flagLT = a < in.Imm
+	case isa.OpCmpRR:
+		a, b := int32(p.Regs[in.A]), int32(p.Regs[in.B])
+		p.flagEQ = a == b
+		p.flagLT = a < b
+
+	case isa.OpJmp:
+		p.PC = uint32(in.Imm)
+		return true
+	case isa.OpJe:
+		if p.flagEQ {
+			p.PC = uint32(in.Imm)
+			return true
+		}
+	case isa.OpJne:
+		if !p.flagEQ {
+			p.PC = uint32(in.Imm)
+			return true
+		}
+	case isa.OpJl:
+		if p.flagLT {
+			p.PC = uint32(in.Imm)
+			return true
+		}
+	case isa.OpJle:
+		if p.flagLT || p.flagEQ {
+			p.PC = uint32(in.Imm)
+			return true
+		}
+	case isa.OpJg:
+		if !p.flagLT && !p.flagEQ {
+			p.PC = uint32(in.Imm)
+			return true
+		}
+	case isa.OpJge:
+		if !p.flagLT {
+			p.PC = uint32(in.Imm)
+			return true
+		}
+
+	case isa.OpCall:
+		return p.doCall(uint32(in.Imm), next)
+	case isa.OpCallR:
+		return p.doCall(p.Regs[in.A], next)
+	case isa.OpJmpI:
+		p.PC = p.Regs[in.A]
+		return true
+	case isa.OpRet:
+		v, err := p.ReadWord(p.Regs[isa.SP])
+		if err != nil {
+			return fail(err)
+		}
+		p.Regs[isa.SP] += 4
+		p.PC = uint32(v)
+		if len(p.CallStack) > 0 {
+			p.CallStack = p.CallStack[:len(p.CallStack)-1]
+		}
+		return true
+
+	case isa.OpSyscall:
+		return p.doSyscall(next)
+
+	case isa.OpLea:
+		p.Regs[in.A] = uint32(in.Imm)
+	case isa.OpTLSBase:
+		p.Regs[in.A] = im.TLSBase
+	case isa.OpDlNext:
+		name := ""
+		if int(in.Imm) < len(im.File.Imports) {
+			name = im.File.Imports[in.Imm]
+		}
+		va, ok := p.Sys.resolveNext(p, im, name)
+		if !ok {
+			p.kill(SigSEGV)
+			return true
+		}
+		p.Regs[in.A] = va
+
+	default:
+		p.kill(SigSEGV)
+		return true
+	}
+	p.PC = next
+	return true
+}
+
+func (p *Proc) doCall(target, retPC uint32) bool {
+	// Push the return address.
+	p.Regs[isa.SP] -= 4
+	if err := p.WriteWord(p.Regs[isa.SP], int32(retPC)); err != nil {
+		p.kill(SigSEGV)
+		return true
+	}
+	if target >= hostBase && target != exitSentinel {
+		idx := int(target-hostBase) / 8
+		if idx < 0 || idx >= len(p.Sys.hosts) {
+			p.kill(SigSEGV)
+			return true
+		}
+		hc := &HostCall{Sys: p.Sys, Proc: p, sp: p.Regs[isa.SP]}
+		ret := p.Sys.hosts[idx](hc)
+		if p.Exited {
+			return true
+		}
+		p.Regs[isa.R0] = uint32(ret)
+		// Simulated return.
+		p.Regs[isa.SP] += 4
+		p.PC = retPC
+		return true
+	}
+	sym := ""
+	mod := ""
+	if im := p.imageAt(target); im != nil {
+		sym = im.FuncNameAt(target)
+		mod = im.File.Name
+	}
+	p.CallStack = append(p.CallStack, Frame{FuncVA: target, Symbol: sym, Module: mod, RetPC: retPC})
+	p.PC = target
+	return true
+}
+
+// Brk grows (or queries, with arg 0) the process heap; Linux-style.
+func (p *Proc) Brk(newBrk uint32) int32 {
+	if newBrk == 0 {
+		return int32(p.brk)
+	}
+	if newBrk < heapBase || newBrk > heapBase+p.Sys.opts.HeapLimit {
+		return -kernel.ENOMEM
+	}
+	if newBrk > p.brk {
+		p.heap.data = append(p.heap.data, make([]byte, newBrk-p.brk)...)
+	}
+	p.brk = newBrk
+	return int32(p.brk)
+}
+
+// HeapLimit reports the configured per-process heap cap.
+func (s *System) HeapLimit() uint32 { return s.opts.HeapLimit }

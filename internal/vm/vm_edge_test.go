@@ -1,0 +1,239 @@
+package vm_test
+
+import (
+	"testing"
+
+	"lfi/internal/kernel"
+	"lfi/internal/vm"
+)
+
+func TestDlNextWithoutNextDefinitionSegfaults(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, `
+.exe a
+.global main
+.func main
+  dlnext r1, main
+  jmpi r1
+`))
+	p := runExe(t, sys, "a", vm.SpawnConfig{})
+	if p.Status.Signal != vm.SigSEGV {
+		t.Errorf("status = %+v, want SIGSEGV (no next definition of main)", p.Status)
+	}
+}
+
+func TestWaitForSpecificChild(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, `
+.exe kid
+.global main
+.func main
+  mov r0, 1
+  mov r1, 33
+  syscall
+`))
+	sys.Register(assemble(t, `
+.exe parent
+.global main
+.datab prog "kid"
+.data st 4
+.func main
+  ; pid = spawn("kid", 0, 0)
+  mov r0, 8
+  lea r1, prog
+  mov r2, 0
+  mov r3, 0
+  syscall
+  mov r4, r0
+  ; wait(pid, &st)
+  mov r0, 9
+  mov r1, r4
+  lea r2, st
+  syscall
+  ; returned pid must equal spawned pid
+  cmp r0, r4
+  jne .bad
+  lea r1, st
+  load r0, [r1+0]
+  ret
+.bad:
+  mov r0, -1
+  ret
+`))
+	p := runExe(t, sys, "parent", vm.SpawnConfig{})
+	if p.Status.Code != 33 {
+		t.Errorf("collected status = %d, want 33", p.Status.Code)
+	}
+}
+
+func TestWaitWithNoChildrenReturnsECHILD(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, `
+.exe a
+.global main
+.func main
+  mov r0, 9
+  mov r1, -1
+  mov r2, 0
+  syscall
+  ret
+`))
+	p := runExe(t, sys, "a", vm.SpawnConfig{})
+	if p.Status.Code != -kernel.ECHILD {
+		t.Errorf("wait() = %d, want -ECHILD", p.Status.Code)
+	}
+}
+
+func TestSignalDeathReportedToParent(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, `
+.exe kid
+.global main
+.func main
+  mov r1, 7
+  load r0, [r1+0]
+  ret
+`))
+	sys.Register(assemble(t, `
+.exe parent
+.global main
+.datab prog "kid"
+.data st 4
+.func main
+  mov r0, 8
+  lea r1, prog
+  mov r2, 0
+  mov r3, 0
+  syscall
+  mov r0, 9
+  mov r1, -1
+  lea r2, st
+  syscall
+  lea r1, st
+  load r0, [r1+0]
+  ret
+`))
+	p := runExe(t, sys, "parent", vm.SpawnConfig{})
+	// Shell convention: 128 + SIGSEGV(11) = 139.
+	if p.Status.Code != 128+vm.SigSEGV {
+		t.Errorf("wstatus = %d, want %d", p.Status.Code, 128+vm.SigSEGV)
+	}
+}
+
+func TestSpawnUnknownProgram(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, `
+.exe a
+.global main
+.datab prog "ghost"
+.func main
+  mov r0, 8
+  lea r1, prog
+  mov r2, 0
+  mov r3, 0
+  syscall
+  ret
+`))
+	p := runExe(t, sys, "a", vm.SpawnConfig{})
+	if p.Status.Code != -kernel.ENOENT {
+		t.Errorf("spawn ghost = %d, want -ENOENT", p.Status.Code)
+	}
+}
+
+func TestUnknownSyscallReturnsENOSYS(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, `
+.exe a
+.global main
+.func main
+  mov r0, 999
+  syscall
+  ret
+`))
+	p := runExe(t, sys, "a", vm.SpawnConfig{})
+	if p.Status.Code != -kernel.ENOSYS {
+		t.Errorf("syscall 999 = %d, want -ENOSYS", p.Status.Code)
+	}
+}
+
+func TestImageSymbolAndNameLookups(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, `
+.exe a
+.global main
+.global helper
+.global g
+.dataw g 5
+.func main
+  call helper
+  ret
+.func helper
+  mov r0, 3
+  ret
+`))
+	p, err := sys.Spawn("a", vm.SpawnConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, ok := p.ImageByName("a")
+	if !ok {
+		t.Fatal("image missing")
+	}
+	mainVA, ok := im.SymbolVA("main")
+	if !ok {
+		t.Fatal("main VA missing")
+	}
+	if name := im.FuncNameAt(mainVA); name != "main" {
+		t.Errorf("FuncNameAt(main) = %q", name)
+	}
+	helperVA, _ := im.SymbolVA("helper")
+	if name := im.FuncNameAt(helperVA + 8); name != "helper" {
+		t.Errorf("FuncNameAt(helper+8) = %q", name)
+	}
+	if _, ok := p.ImageByName("ghost"); ok {
+		t.Error("ghost image should not resolve")
+	}
+	if _, ok := im.SymbolVA("g"); !ok {
+		t.Error("exported data symbol should resolve")
+	}
+}
+
+func TestReadCStringBounds(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, `
+.exe a
+.global main
+.datab msg "hello"
+.func main
+  ret
+`))
+	p, err := sys.Spawn("a", vm.SpawnConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, _ := p.ImageByName("a")
+	va, _ := im.SymbolVA("msg")
+	_ = va
+	// Read through exported data: find msg's VA via the data segment.
+	s, err := p.ReadCString(im.DataBase)
+	if err != nil || s != "hello" {
+		t.Errorf("ReadCString = %q, %v", s, err)
+	}
+	if _, err := p.ReadCString(0xDEAD0000); err == nil {
+		t.Error("unmapped string read should fail")
+	}
+}
+
+func TestProcsSnapshot(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, ".exe a\n.global main\n.func main\n  ret\n"))
+	if len(sys.Procs()) != 0 {
+		t.Error("no procs expected before spawn")
+	}
+	if _, err := sys.Spawn("a", vm.SpawnConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Procs()) != 1 {
+		t.Error("one proc expected")
+	}
+}

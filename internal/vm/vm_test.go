@@ -1,0 +1,490 @@
+package vm_test
+
+import (
+	"testing"
+
+	"lfi/internal/asm"
+	"lfi/internal/isa"
+	"lfi/internal/kernel"
+	"lfi/internal/obj"
+	"lfi/internal/vm"
+)
+
+func assemble(t *testing.T, src string) *obj.File {
+	t.Helper()
+	f, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return f
+}
+
+func runExe(t *testing.T, sys *vm.System, exe string, cfg vm.SpawnConfig) *vm.Proc {
+	t.Helper()
+	p, err := sys.Spawn(exe, cfg)
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	if err := sys.Run(10_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return p
+}
+
+func TestExitCodeFromMain(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, `
+.exe a
+.global main
+.func main
+  mov r0, 41
+  add r0, 1
+  ret
+`))
+	p := runExe(t, sys, "a", vm.SpawnConfig{})
+	if p.Status.Code != 42 || p.Status.Signal != 0 {
+		t.Errorf("status = %+v", p.Status)
+	}
+}
+
+func TestCrossModuleCallAndData(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, `
+.lib libm.so
+.global addone
+.global base
+.dataw base 100
+.func addone
+  push bp
+  mov bp, sp
+  load r0, [bp+8]
+  add r0, 1
+  lea r1, base
+  load r1, [r1+0]
+  add r0, r1
+  mov sp, bp
+  pop bp
+  ret
+`))
+	sys.Register(assemble(t, `
+.exe a
+.needs libm.so
+.extern addone
+.global main
+.func main
+  push 5
+  call addone
+  add sp, 4
+  ret
+`))
+	p := runExe(t, sys, "a", vm.SpawnConfig{})
+	if p.Status.Code != 106 {
+		t.Errorf("code = %d, want 106", p.Status.Code)
+	}
+}
+
+func TestPreloadInterposition(t *testing.T) {
+	// The preloaded module's definition of f wins; dlnext reaches the
+	// original — LD_PRELOAD + RTLD_NEXT semantics.
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, `
+.lib orig.so
+.global f
+.func f
+  mov r0, 1
+  ret
+`))
+	sys.Register(assemble(t, `
+.lib shim.so
+.global f
+.func f
+  dlnext r1, f
+  callr r1
+  add r0, 100
+  ret
+`))
+	sys.Register(assemble(t, `
+.exe a
+.needs orig.so
+.extern f
+.global main
+.func main
+  call f
+  ret
+`))
+	// Without preload: 1. With preload: 101.
+	p := runExe(t, sys, "a", vm.SpawnConfig{})
+	if p.Status.Code != 1 {
+		t.Fatalf("clean run code = %d", p.Status.Code)
+	}
+	p2 := runExe(t, sys, "a", vm.SpawnConfig{Preload: []string{"shim.so"}})
+	if p2.Status.Code != 101 {
+		t.Errorf("preloaded run code = %d, want 101", p2.Status.Code)
+	}
+}
+
+func TestTLSIsolationBetweenModules(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, `
+.lib l1.so
+.global seterr
+.global geterr
+.tls myerr 4
+.func seterr
+  lea r1, myerr
+  store [r1+0], 77
+  ret
+.func geterr
+  lea r1, myerr
+  load r0, [r1+0]
+  ret
+`))
+	sys.Register(assemble(t, `
+.exe a
+.needs l1.so
+.extern seterr
+.extern geterr
+.global main
+.tls myerr 4
+.func main
+  call seterr
+  ; our own myerr must still be zero
+  lea r1, myerr
+  load r2, [r1+0]
+  cmp r2, 0
+  jne .bad
+  call geterr
+  ret
+.bad:
+  mov r0, -1
+  ret
+`))
+	p := runExe(t, sys, "a", vm.SpawnConfig{})
+	if p.Status.Code != 77 {
+		t.Errorf("code = %d, want 77 (module-private TLS)", p.Status.Code)
+	}
+}
+
+func TestSignalOnBadMemory(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, `
+.exe a
+.global main
+.func main
+  mov r1, 1234
+  load r0, [r1+0]
+  ret
+`))
+	p := runExe(t, sys, "a", vm.SpawnConfig{})
+	if p.Status.Signal != vm.SigSEGV {
+		t.Errorf("status = %+v, want SIGSEGV", p.Status)
+	}
+}
+
+func TestWriteToTextSegfaults(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, `
+.exe a
+.global main
+.global f
+.func main
+  lea r1, f
+  store [r1+0], 0
+  ret
+.func f
+  ret
+`))
+	p := runExe(t, sys, "a", vm.SpawnConfig{})
+	if p.Status.Signal != vm.SigSEGV {
+		t.Errorf("status = %+v, want SIGSEGV on text write", p.Status)
+	}
+}
+
+func TestBrkGrowsHeap(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{HeapLimit: 8192})
+	sys.Register(assemble(t, `
+.exe a
+.global main
+.func main
+  ; query brk
+  mov r0, 7
+  mov r1, 0
+  syscall
+  mov r2, r0
+  ; grow by 16
+  add r2, 16
+  mov r0, 7
+  mov r1, r2
+  syscall
+  ; store at the new memory
+  sub r2, 16
+  store [r2+0], 9
+  load r0, [r2+0]
+  ret
+`))
+	p := runExe(t, sys, "a", vm.SpawnConfig{})
+	if p.Status.Code != 9 || p.Status.Signal != 0 {
+		t.Errorf("status = %+v", p.Status)
+	}
+}
+
+func TestBrkBeyondLimitFails(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{HeapLimit: 4096})
+	sys.Register(assemble(t, `
+.exe a
+.global main
+.func main
+  mov r0, 7
+  mov r1, 0
+  syscall
+  add r0, 1000000
+  mov r1, r0
+  mov r0, 7
+  syscall
+  ret
+`))
+	p := runExe(t, sys, "a", vm.SpawnConfig{})
+	if p.Status.Code != -kernel.ENOMEM {
+		t.Errorf("code = %d, want -ENOMEM", p.Status.Code)
+	}
+}
+
+func TestUnresolvedImportFailsSpawn(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, `
+.exe a
+.extern missing
+.global main
+.func main
+  call missing
+  ret
+`))
+	if _, err := sys.Spawn("a", vm.SpawnConfig{}); err == nil {
+		t.Error("spawn must fail on unresolved import")
+	}
+}
+
+func TestHostFunctionBridge(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	var gotArgs []int32
+	sys.RegisterHost("host_add", func(hc *vm.HostCall) int32 {
+		gotArgs = []int32{hc.Arg(0), hc.Arg(1)}
+		return hc.Arg(0) + hc.Arg(1)
+	})
+	sys.Register(assemble(t, `
+.exe a
+.extern host_add
+.global main
+.func main
+  push 30
+  push 12
+  call host_add
+  add sp, 8
+  ret
+`))
+	p := runExe(t, sys, "a", vm.SpawnConfig{})
+	if p.Status.Code != 42 {
+		t.Errorf("code = %d, want 42", p.Status.Code)
+	}
+	if len(gotArgs) != 2 || gotArgs[0] != 12 || gotArgs[1] != 30 {
+		t.Errorf("host args = %v (pushed right-to-left)", gotArgs)
+	}
+}
+
+func TestShadowCallStack(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	var depth int
+	var names []string
+	sys.RegisterHost("probe", func(hc *vm.HostCall) int32 {
+		depth = len(hc.Proc.CallStack)
+		names = nil
+		for _, f := range hc.Proc.CallStack {
+			names = append(names, f.Symbol)
+		}
+		return 0
+	})
+	sys.Register(assemble(t, `
+.exe a
+.extern probe
+.global main
+.global inner
+.func main
+  call inner
+  ret
+.func inner
+  call probe
+  ret
+`))
+	runExe(t, sys, "a", vm.SpawnConfig{})
+	if depth != 2 {
+		t.Fatalf("stack depth at probe = %d, want 2 (main, inner): %v", depth, names)
+	}
+	if names[0] != "main" || names[1] != "inner" {
+		t.Errorf("frames = %v", names)
+	}
+}
+
+func TestPipeBetweenProcesses(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, `
+.exe child
+.global main
+.datab msg "hi"
+.func child_body
+  ret
+.func main
+  ; write "hi" (2 bytes + nul -> send 2) to fd 1
+  mov r0, 3
+  mov r1, 1
+  lea r2, msg
+  mov r3, 2
+  syscall
+  mov r0, 0
+  ret
+`))
+	sys.Register(assemble(t, `
+.exe parent
+.global main
+.data buf 8
+.datab prog "child"
+.func main
+  push bp
+  mov bp, sp
+  sub sp, 8
+  ; pipe(fds) at [bp-8]
+  mov r0, 6
+  mov r1, bp
+  sub r1, 8
+  syscall
+  ; spawn("child", 0, wfd=[bp-4])
+  mov r0, 8
+  lea r1, prog
+  mov r2, 0
+  load r3, [bp-4]
+  syscall
+  ; wait(pid=-1, 0)
+  mov r0, 9
+  mov r1, -1
+  mov r2, 0
+  syscall
+  ; read(rfd, buf, 8)
+  mov r0, 2
+  load r1, [bp-8]
+  lea r2, buf
+  mov r3, 8
+  syscall
+  ; return number of bytes read (2)
+  mov sp, bp
+  pop bp
+  ret
+`))
+	p := runExe(t, sys, "parent", vm.SpawnConfig{})
+	if p.Status.Code != 2 {
+		t.Errorf("read %d bytes from child, want 2", p.Status.Code)
+	}
+}
+
+func TestRunUntilIdle(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, `
+.exe a
+.global main
+.data fds 8
+.func main
+  ; pipe + read from empty pipe: blocks forever
+  mov r0, 6
+  lea r1, fds
+  syscall
+  mov r0, 2
+  lea r1, fds
+  load r1, [r1+0]
+  lea r2, fds
+  mov r3, 4
+  syscall
+  ret
+`))
+	if _, err := sys.Spawn("a", vm.SpawnConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	err := sys.RunUntil(nil, 1_000_000)
+	if err != vm.ErrIdle {
+		t.Errorf("err = %v, want ErrIdle", err)
+	}
+}
+
+func TestCycleBudget(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, `
+.exe a
+.global main
+.func main
+.loop:
+  jmp .loop
+`))
+	if _, err := sys.Spawn("a", vm.SpawnConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(100_000); err != vm.ErrBudget {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+	if sys.TotalCycles < 100_000 {
+		t.Errorf("cycles = %d", sys.TotalCycles)
+	}
+}
+
+func TestCoverageBits(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{Coverage: true})
+	sys.Register(assemble(t, `
+.exe a
+.global main
+.func main
+  cmp r0, 0
+  jne .skip
+  mov r0, 7
+.skip:
+  ret
+`))
+	p := runExe(t, sys, "a", vm.SpawnConfig{})
+	im, ok := p.ImageByName("a")
+	if !ok {
+		t.Fatal("image missing")
+	}
+	// All four instructions execute (r0 starts 0, so no skip).
+	for off := int32(0); off < 4*isa.Size; off += isa.Size {
+		if !im.Covered(off) {
+			t.Errorf("instruction at %#x not covered", off)
+		}
+	}
+}
+
+func TestDivideByZeroSignal(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(assemble(t, `
+.exe a
+.global main
+.func main
+  mov r0, 5
+  mov r1, 0
+  div r0, r1
+  ret
+`))
+	p := runExe(t, sys, "a", vm.SpawnConfig{})
+	if p.Status.Signal != vm.SigFPE {
+		t.Errorf("status = %+v, want SIGFPE", p.Status)
+	}
+}
+
+func TestSignalNames(t *testing.T) {
+	if vm.SignalName(vm.SigABRT) != "SIGABRT" ||
+		vm.SignalName(vm.SigSEGV) != "SIGSEGV" ||
+		vm.SignalName(vm.SigFPE) != "SIGFPE" {
+		t.Error("signal names wrong")
+	}
+}
+
+func TestMemoryErrorMessage(t *testing.T) {
+	err := &vm.MemoryError{Addr: 0x1234, Write: true}
+	if err.Error() != "vm: invalid write at 0x1234" {
+		t.Errorf("message = %q", err.Error())
+	}
+}

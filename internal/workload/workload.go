@@ -1,0 +1,203 @@
+// Package workload implements the host-side workload drivers of the
+// evaluation: an AB-style HTTP request generator (paper Table 3) and a
+// SysBench-OLTP-style transaction driver (paper Table 4).
+//
+// Drivers run outside the VM, like AB and SysBench run outside the server
+// under test. They connect to the VM server through kernel loopback
+// sockets, interleaving with VM execution via System.RunUntil. Time is
+// virtual: completion time = VM cycles elapsed / vm.ClockHz, which makes
+// the overhead tables deterministic.
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+
+	"lfi/internal/vm"
+)
+
+// perRequestBudget bounds the cycles spent serving one request before the
+// driver declares it failed (covers crashed or wedged servers).
+const perRequestBudget = 5_000_000
+
+// ABResult is the outcome of an AB run.
+type ABResult struct {
+	Requests  int
+	Completed int
+	Failed    int
+	// Cycles is the total virtual time for the whole run.
+	Cycles uint64
+}
+
+// Seconds converts the run's cycles to virtual seconds.
+func (r ABResult) Seconds() float64 { return float64(r.Cycles) / vm.ClockHz }
+
+// RunAB issues n sequential requests for path against the httpd listening
+// on port, mirroring `ab -n <n>`: it reports the completion time of the
+// full batch.
+func RunAB(sys *vm.System, port int32, path string, n int) (ABResult, error) {
+	res := ABResult{Requests: n}
+	// Let the server reach accept().
+	if err := settle(sys); err != nil {
+		return res, err
+	}
+	start := sys.TotalCycles
+	req := []byte("GET " + path + "\n")
+	for i := 0; i < n; i++ {
+		ok, err := oneRequest(sys, port, req)
+		if err != nil {
+			return res, fmt.Errorf("workload: request %d: %w", i, err)
+		}
+		if ok {
+			res.Completed++
+		} else {
+			res.Failed++
+		}
+	}
+	res.Cycles = sys.TotalCycles - start
+	return res, nil
+}
+
+// Exchange performs a single request/response round trip against a VM
+// server — the building block custom test drivers (e.g. the coverage
+// experiment's regression suite) use directly.
+func Exchange(sys *vm.System, port int32, req []byte) (bool, error) {
+	return oneRequest(sys, port, req)
+}
+
+// Settle runs the system until the server blocks in accept (or exits).
+func Settle(sys *vm.System) error { return settle(sys) }
+
+// oneRequest performs a single request/response exchange. ok=false means
+// the server did not produce a complete response (e.g. it crashed).
+func oneRequest(sys *vm.System, port int32, req []byte) (bool, error) {
+	conn, err := sys.Kernel().Dial(port)
+	if err != nil {
+		return false, nil // listener gone: server crashed
+	}
+	defer conn.Close()
+	conn.Send(req)
+	var resp []byte
+	budgetLeft := uint64(perRequestBudget)
+	for {
+		err := sys.RunUntil(func() bool { return conn.Pending() || conn.PeerClosed() }, budgetLeft)
+		resp = append(resp, conn.Recv()...)
+		if done(resp) || conn.PeerClosed() {
+			resp = append(resp, conn.Recv()...)
+			return done(resp), nil
+		}
+		switch err {
+		case nil:
+			continue
+		case vm.ErrIdle:
+			// Server quiesced without answering.
+			return done(resp), nil
+		case vm.ErrBudget:
+			return false, nil
+		default:
+			return false, err
+		}
+	}
+}
+
+// done recognises a complete httpd/minidb response.
+func done(resp []byte) bool {
+	return bytes.HasSuffix(resp, []byte("\n\n")) || bytes.Contains(resp, []byte("OK ")) && bytes.HasSuffix(resp, []byte("\n"))
+}
+
+// settle runs the system until it goes idle (server blocked in accept) or
+// exits.
+func settle(sys *vm.System) error {
+	err := sys.RunUntil(nil, 50_000_000)
+	if err == vm.ErrIdle || err == nil {
+		return nil
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// OLTP driver (SysBench analogue)
+// ---------------------------------------------------------------------------
+
+// OLTPResult is the outcome of an OLTP run.
+type OLTPResult struct {
+	Transactions int
+	Completed    int
+	Failed       int
+	Cycles       uint64
+}
+
+// Seconds converts to virtual seconds.
+func (r OLTPResult) Seconds() float64 { return float64(r.Cycles) / vm.ClockHz }
+
+// TPS is transactions per virtual second.
+func (r OLTPResult) TPS() float64 {
+	s := r.Seconds()
+	if s == 0 {
+		return 0
+	}
+	return float64(r.Completed) / s
+}
+
+// OLTPKind selects the SysBench workload flavour.
+type OLTPKind uint8
+
+// Workload flavours.
+const (
+	ReadOnly OLTPKind = iota + 1
+	ReadWrite
+)
+
+// String names the workload.
+func (k OLTPKind) String() string {
+	if k == ReadWrite {
+		return "read/write"
+	}
+	return "read-only"
+}
+
+// txnCommand builds one SysBench-style transaction: 10 point selects,
+// plus 4 updates in the read/write flavour, then commit.
+func txnCommand(kind OLTPKind, i int) []byte {
+	var b bytes.Buffer
+	for q := 0; q < 10; q++ {
+		b.WriteString("R ")
+		b.WriteString(strconv.Itoa((i*7 + q*13) % 512))
+		b.WriteByte(' ')
+	}
+	if kind == ReadWrite {
+		for u := 0; u < 4; u++ {
+			b.WriteString("W ")
+			b.WriteString(strconv.Itoa((i*11 + u*29) % 512))
+			b.WriteByte(' ')
+			b.WriteString(strconv.Itoa(i + u))
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteString("C\n")
+	return b.Bytes()
+}
+
+// RunOLTP issues n sequential transactions against the minidb listening
+// on port and reports throughput in transactions per virtual second.
+func RunOLTP(sys *vm.System, port int32, kind OLTPKind, n int) (OLTPResult, error) {
+	res := OLTPResult{Transactions: n}
+	if err := settle(sys); err != nil {
+		return res, err
+	}
+	start := sys.TotalCycles
+	for i := 0; i < n; i++ {
+		ok, err := oneRequest(sys, port, txnCommand(kind, i))
+		if err != nil {
+			return res, fmt.Errorf("workload: txn %d: %w", i, err)
+		}
+		if ok {
+			res.Completed++
+		} else {
+			res.Failed++
+		}
+	}
+	res.Cycles = sys.TotalCycles - start
+	return res, nil
+}

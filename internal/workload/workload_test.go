@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"lfi/internal/apps"
+	"lfi/internal/libc"
+	"lfi/internal/vm"
+)
+
+func TestTxnCommandShape(t *testing.T) {
+	ro := txnCommand(ReadOnly, 3)
+	if bytes.Contains(ro, []byte("W ")) {
+		t.Errorf("read-only txn contains writes: %q", ro)
+	}
+	if n := bytes.Count(ro, []byte("R ")); n != 10 {
+		t.Errorf("read-only txn has %d selects, want 10", n)
+	}
+	if !bytes.HasSuffix(ro, []byte("C\n")) {
+		t.Errorf("txn must end with commit: %q", ro)
+	}
+	rw := txnCommand(ReadWrite, 3)
+	if n := bytes.Count(rw, []byte("W ")); n != 4 {
+		t.Errorf("read/write txn has %d updates, want 4", n)
+	}
+}
+
+func TestDoneDetector(t *testing.T) {
+	cases := map[string]bool{
+		"200 payload\n\n": true,
+		"OK 42\n":         true,
+		"partial":         false,
+		"OK ":             false, // no terminating newline
+		"":                false,
+	}
+	for resp, want := range cases {
+		if got := done([]byte(resp)); got != want {
+			t.Errorf("done(%q) = %v, want %v", resp, got, want)
+		}
+	}
+}
+
+func TestResultArithmetic(t *testing.T) {
+	r := ABResult{Requests: 10, Completed: 10, Cycles: vm.ClockHz}
+	if r.Seconds() != 1.0 {
+		t.Errorf("seconds = %v", r.Seconds())
+	}
+	o := OLTPResult{Completed: 50, Cycles: vm.ClockHz / 2}
+	if o.Seconds() != 0.5 || o.TPS() != 100 {
+		t.Errorf("oltp: secs=%v tps=%v", o.Seconds(), o.TPS())
+	}
+	if (OLTPResult{}).TPS() != 0 {
+		t.Error("zero-cycle TPS must be 0")
+	}
+}
+
+// TestRequestAgainstCrashedServer: a dead listener yields a failed
+// request, not an error.
+func TestRequestAgainstCrashedServer(t *testing.T) {
+	sys := vm.NewSystem(vm.Options{})
+	ok, err := Exchange(sys, 9999, []byte("hi"))
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if ok {
+		t.Error("request against nothing should fail")
+	}
+}
+
+// TestABFullRunSmoke drives httpd through the exported API.
+func TestABFullRunSmoke(t *testing.T) {
+	lc, err := libc.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpd, err := apps.Compile("httpd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := vm.NewSystem(vm.Options{})
+	sys.Register(lc)
+	sys.Register(httpd)
+	for p, data := range apps.WWWFiles() {
+		sys.Kernel().AddFile(p, data)
+	}
+	if _, err := sys.Spawn("httpd", vm.SpawnConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunAB(sys, apps.HTTPPort, "/index.html", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed != 3 || r.Failed != 0 || r.Cycles == 0 {
+		t.Errorf("result = %+v", r)
+	}
+}

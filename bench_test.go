@@ -10,15 +10,18 @@ package lfi_test
 // deterministic cycle accounting; wall-clock ns/op reflects the host.
 
 import (
+	"runtime"
 	"testing"
 
 	"lfi/internal/controller"
+	"lfi/internal/core"
 	"lfi/internal/corpus"
 	"lfi/internal/experiments"
 	"lfi/internal/kernel"
 	"lfi/internal/libc"
 	"lfi/internal/minic"
 	"lfi/internal/obj"
+	"lfi/internal/profile"
 	"lfi/internal/profiler"
 	"lfi/internal/scenario"
 	"lfi/internal/vm"
@@ -359,6 +362,119 @@ func BenchmarkStubSynthesis(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// sweepBenchApp models a corpus application: a compute phase (config
+// parsing stand-in) followed by the open/read/close/malloc/write sequence
+// the sweep injects into. The compute loop gives each experiment enough
+// virtual work for campaign scheduling to matter.
+const sweepBenchApp = `
+needs "libc.so";
+extern int open(byte *path, int flags, int mode);
+extern int close(int fd);
+extern int read(int fd, byte *buf, int n);
+extern int write(int fd, byte *buf, int n);
+extern byte *malloc(int n);
+extern tls int errno;
+int main(void) {
+  int fd;
+  int n;
+  int i;
+  int acc;
+  byte buf[32];
+  byte *p;
+  acc = 0;
+  for (i = 0; i < 60000; i = i + 1) { acc = acc + i; }
+  fd = open("/data", 0, 0);
+  if (fd < 0) { return 2; }
+  n = read(fd, buf, 31);
+  if (n < 0) { n = 0; }
+  close(fd);
+  p = malloc(64);
+  if (p == 0) { return 7; }
+  p[0] = 'x';
+  write(1, buf, n);
+  return 0;
+}
+`
+
+// sweepBenchTarget builds the shared target and a profile whose matrix
+// has a dozen (function, error code) experiments.
+func sweepBenchTarget(b *testing.B) (core.CampaignConfig, profile.Set) {
+	b.Helper()
+	lc, err := libc.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := minic.Compile("swept", sweepBenchApp, obj.Executable)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tls := func(errno int32) []profile.SideEffect {
+		return []profile.SideEffect{{Type: profile.SideEffectTLS, Module: libc.Name, Value: errno}}
+	}
+	set := profile.Set{libc.Name: &profile.Profile{
+		Library: libc.Name,
+		Functions: []profile.Function{
+			{Name: "open", ErrorCodes: []profile.ErrorCode{
+				{Retval: -1, SideEffects: tls(13)}, {Retval: -1, SideEffects: tls(2)},
+			}},
+			{Name: "read", ErrorCodes: []profile.ErrorCode{
+				{Retval: -1, SideEffects: tls(5)}, {Retval: -1, SideEffects: tls(4)},
+			}},
+			{Name: "close", ErrorCodes: []profile.ErrorCode{
+				{Retval: -1, SideEffects: tls(9)},
+			}},
+			{Name: "malloc", ErrorCodes: []profile.ErrorCode{
+				{Retval: 0, SideEffects: tls(12)},
+			}},
+			{Name: "write", ErrorCodes: []profile.ErrorCode{
+				{Retval: -1, SideEffects: tls(32)}, {Retval: -1, SideEffects: tls(5)},
+			}},
+		},
+	}}
+	cfg := core.CampaignConfig{
+		Programs:   []*obj.File{lc, app},
+		Executable: "swept",
+		Files:      map[string][]byte{"/data": []byte("mode=bench\n")},
+	}
+	return cfg, set
+}
+
+// BenchmarkSweepSequential is the single-worker reference: the whole
+// (function, error code) matrix, one fresh VM per experiment, in plan
+// order on one goroutine.
+func BenchmarkSweepSequential(b *testing.B) {
+	cfg, set := sweepBenchTarget(b)
+	b.ResetTimer()
+	var entries int
+	for i := 0; i < b.N; i++ {
+		res, err := core.Sweep(cfg, set, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		entries = len(res.Entries)
+	}
+	b.ReportMetric(float64(entries), "experiments")
+}
+
+// BenchmarkSweepParallel is the same matrix over the worker-pool campaign
+// scheduler at GOMAXPROCS — the ZOFI-style claim that campaign throughput
+// scales with cores because experiments are independent.
+func BenchmarkSweepParallel(b *testing.B) {
+	cfg, set := sweepBenchTarget(b)
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	var entries int
+	for i := 0; i < b.N; i++ {
+		res, err := core.SweepParallel(cfg, set, 0, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		entries = len(res.Entries)
+	}
+	b.ReportMetric(float64(entries), "experiments")
+	b.ReportMetric(float64(workers), "workers")
 }
 
 // BenchmarkVMThroughput measures raw interpreter speed.

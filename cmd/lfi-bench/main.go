@@ -24,16 +24,17 @@ func main() {
 
 func run() error {
 	which := flag.String("run", "all",
-		"experiments to run: all, or comma-separated of table1,table2,efficiency,table3,table4,pidgin,coverage,docgaps,figure2")
+		"experiments to run: all, or comma-separated of table1,table2,efficiency,robustness,table3,table4,pidgin,coverage,docgaps,figure2")
 	funcs := flag.Int("funcs", 5000, "table1 corpus size (paper: >20000)")
 	requests := flag.Int("requests", 1000, "table3 AB requests per cell (paper: 1000)")
 	txns := flag.Int("txns", 200, "table4 transactions per cell")
 	seed := flag.Int64("seed", 42, "table1 corpus seed")
+	jobs := flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS for sweeps; sequential for the efficiency timing series)")
 	flag.Parse()
 
 	sel := map[string]bool{}
 	if *which == "all" {
-		for _, k := range []string{"figure2", "table1", "table2", "efficiency", "table3", "table4", "pidgin", "coverage", "docgaps"} {
+		for _, k := range []string{"figure2", "table1", "table2", "efficiency", "robustness", "table3", "table4", "pidgin", "coverage", "docgaps"} {
 			sel[k] = true
 		}
 	} else {
@@ -80,7 +81,15 @@ func run() error {
 	}
 	if sel["efficiency"] {
 		section("§6.2 Efficiency")
-		r, err := experiments.Efficiency()
+		r, err := experiments.Efficiency(*jobs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	}
+	if sel["robustness"] {
+		section("§2 Robustness comparison")
+		r, err := experiments.Robustness(*jobs)
 		if err != nil {
 			return err
 		}

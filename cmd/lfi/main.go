@@ -11,6 +11,7 @@
 //
 //	lfi build prog.mc -o prog.slef [-exe]
 //	lfi plan -kind random -p 10 -seed 7 -profile libc.profile.xml -o plan.xml
+//	lfi sweep -app app.slef -lib libc.slef -profile libc.profile.xml -j 8
 //	lfi disasm lib.slef [-func name]
 //	lfi cfg lib.slef -func name [-dot]
 //	lfi demo
@@ -42,7 +43,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: lfi <build|profile|plan|run|disasm|cfg|demo> ...")
+		return fmt.Errorf("usage: lfi <build|profile|plan|run|sweep|disasm|cfg|demo> ...")
 	}
 	switch args[0] {
 	case "build":
@@ -53,6 +54,8 @@ func run(args []string) error {
 		return cmdPlan(args[1:])
 	case "run":
 		return cmdRun(args[1:])
+	case "sweep":
+		return cmdSweep(args[1:])
 	case "disasm":
 		return cmdDisasm(args[1:])
 	case "cfg":
@@ -69,6 +72,41 @@ func loadObj(path string) (*obj.File, error) {
 		return nil, err
 	}
 	return obj.Decode(b)
+}
+
+// loadPrograms loads the application plus its comma-listed libraries; the
+// application is first in the returned slice.
+func loadPrograms(appPath, libList string) ([]*obj.File, error) {
+	appObj, err := loadObj(appPath)
+	if err != nil {
+		return nil, err
+	}
+	programs := []*obj.File{appObj}
+	for _, p := range splitList(libList) {
+		f, err := loadObj(p)
+		if err != nil {
+			return nil, err
+		}
+		programs = append(programs, f)
+	}
+	return programs, nil
+}
+
+// loadProfileSet reads comma-listed .profile.xml files into a set.
+func loadProfileSet(pathList string) (profile.Set, error) {
+	set := make(profile.Set)
+	for _, p := range splitList(pathList) {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := profile.Unmarshal(b)
+		if err != nil {
+			return nil, err
+		}
+		set[pr.Library] = pr
+	}
+	return set, nil
 }
 
 func cmdBuild(args []string) error {
@@ -181,17 +219,9 @@ func cmdPlan(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	set := make(profile.Set)
-	for _, p := range splitList(*profiles) {
-		b, err := os.ReadFile(p)
-		if err != nil {
-			return err
-		}
-		pr, err := profile.Unmarshal(b)
-		if err != nil {
-			return err
-		}
-		set[pr.Library] = pr
+	set, err := loadProfileSet(*profiles)
+	if err != nil {
+		return err
 	}
 	if len(set) == 0 {
 		return fmt.Errorf("plan: need at least one -profile")
@@ -237,19 +267,11 @@ func cmdRun(args []string) error {
 	if *app == "" {
 		return fmt.Errorf("run: -app is required")
 	}
-	appObj, err := loadObj(*app)
+	programs, err := loadPrograms(*app, *libFlag)
 	if err != nil {
 		return err
 	}
-	programs := []*obj.File{appObj}
-	for _, p := range splitList(*libFlag) {
-		f, err := loadObj(p)
-		if err != nil {
-			return err
-		}
-		programs = append(programs, f)
-	}
-	cfgC := core.CampaignConfig{Programs: programs, Executable: appObj.Name}
+	cfgC := core.CampaignConfig{Programs: programs, Executable: programs[0].Name}
 	if *planPath != "" {
 		b, err := os.ReadFile(*planPath)
 		if err != nil {
@@ -260,17 +282,9 @@ func cmdRun(args []string) error {
 			return err
 		}
 		cfgC.Plan = plan
-		set := make(profile.Set)
-		for _, p := range splitList(*profiles) {
-			b, err := os.ReadFile(p)
-			if err != nil {
-				return err
-			}
-			pr, err := profile.Unmarshal(b)
-			if err != nil {
-				return err
-			}
-			set[pr.Library] = pr
+		set, err := loadProfileSet(*profiles)
+		if err != nil {
+			return err
 		}
 		cfgC.Profiles = set
 	}
@@ -303,6 +317,72 @@ func cmdRun(args []string) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// cmdSweep runs the §2 robustness benchmark: one fault-injection
+// campaign per (function, error code) in the profiles, distributed over a
+// worker pool, rendered as the per-fault outcome matrix. Profiles may be
+// loaded from -profile files or derived on the fly by profiling the
+// application's libraries.
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	app := fs.String("app", "", "application SLEF to sweep")
+	libFlag := fs.String("lib", "", "comma-separated library SLEF paths")
+	profiles := fs.String("profile", "", "comma-separated .profile.xml paths (omit to profile -lib in-process)")
+	jobs := fs.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
+	maxCrashes := fs.Int("max-crashes", 0, "stop after this many crash outcomes (0 = run the full matrix)")
+	budget := fs.Uint64("budget", 0, "per-run cycle budget (0 = default)")
+	progress := fs.Bool("progress", false, "print live progress to stderr")
+	heur := fs.Bool("heuristics", false, "enable the §3.1 filtering heuristics for in-process profiling")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *app == "" {
+		return fmt.Errorf("sweep: -app is required")
+	}
+	programs, err := loadPrograms(*app, *libFlag)
+	if err != nil {
+		return err
+	}
+
+	var set profile.Set
+	if *profiles != "" {
+		if set, err = loadProfileSet(*profiles); err != nil {
+			return err
+		}
+	} else {
+		l := core.New(core.Options{Heuristics: *heur})
+		if err := l.AddKernelImage(); err != nil {
+			return err
+		}
+		for _, f := range programs {
+			if err := l.AddLibrary(f); err != nil {
+				return err
+			}
+		}
+		if set, err = l.ProfileApplication(programs[0].Name); err != nil {
+			return err
+		}
+	}
+	if len(set) == 0 {
+		return fmt.Errorf("sweep: no fault profiles")
+	}
+
+	opts := core.SweepOptions{Workers: *jobs, MaxCrashes: *maxCrashes}
+	if *progress {
+		opts.Progress = func(p core.SweepProgress) {
+			fmt.Fprintln(os.Stderr, p.String())
+		}
+	}
+	res, err := core.RunExperiments(core.CampaignConfig{
+		Programs:   programs,
+		Executable: programs[0].Name,
+	}, core.PlanExperiments(set), *budget, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
 	return nil
 }
 

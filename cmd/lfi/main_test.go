@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -126,6 +127,69 @@ func TestCLIDisasmAndCFG(t *testing.T) {
 	}
 	if err := run([]string{"cfg", "-func", "missing", libPath}); err == nil {
 		t.Error("cfg of missing symbol should fail")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outc := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		outc <- string(b)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-outc
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", runErr, out)
+	}
+	return out
+}
+
+func TestCLISweep(t *testing.T) {
+	dir := t.TempDir()
+	libPath, profPath := writeDemoAssets(t, dir)
+	srcPath := filepath.Join(dir, "app.mc")
+	if err := os.WriteFile(srcPath, []byte(cliAppSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	appPath := filepath.Join(dir, "app.slef")
+	if err := run([]string{"build", "-exe", "-name", "app", "-o", appPath, srcPath}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit profiles, parallel workers, early-stop flag.
+	out := captureStdout(t, func() error {
+		return run([]string{"sweep", "-app", appPath, "-lib", libPath,
+			"-profile", profPath, "-j", "4", "-max-crashes", "3"})
+	})
+	if !strings.Contains(out, "robustness sweep: app") || !strings.Contains(out, "summary:") {
+		t.Errorf("sweep report malformed:\n%s", out)
+	}
+
+	// In-process profiling path (no -profile).
+	out2 := captureStdout(t, func() error {
+		return run([]string{"sweep", "-app", appPath, "-lib", libPath, "-heuristics", "-j", "2"})
+	})
+	if !strings.Contains(out2, "robustness sweep: app") {
+		t.Errorf("in-process-profiled sweep malformed:\n%s", out2)
+	}
+
+	if err := run([]string{"sweep"}); err == nil {
+		t.Error("sweep without -app should fail")
+	}
+	if err := run([]string{"sweep", "-app", appPath}); err == nil {
+		t.Error("sweep with unresolvable libraries should fail")
 	}
 }
 

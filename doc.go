@@ -5,6 +5,15 @@
 // kernel) on which the profiler and controller operate, the evaluation
 // corpus, and one benchmark harness per table and figure of the paper.
 //
+// Fault-injection campaigns — the product of libraries × functions ×
+// error codes that §2 sweeps over a workload — run on a parallel campaign
+// scheduler (core.SweepParallel): the experiment matrix is generated
+// deterministically, distributed over a pool of workers each owning a
+// private Campaign/vm.System, and reassembled in plan order, so the
+// rendered robustness report is byte-identical at any worker count.
+// `lfi sweep -j N` and `lfi-bench -j N` expose the pool size; -max-crashes
+// stops a sweep at the N-th crash for triage.
+//
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
 // results. The public entry point for programmatic use is internal/core;

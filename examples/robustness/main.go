@@ -2,7 +2,9 @@
 // fault-tolerance of different applications. Two implementations of the
 // same config-loading program — one defensive, one sloppy — are swept
 // through every (function, error code) fault in the libc profile, one
-// fault per run, and their robustness matrices are compared.
+// fresh VM per experiment, scheduled over all CPUs by the parallel
+// campaign engine (core.SweepParallel). The report is byte-identical to a
+// sequential sweep at any worker count.
 //
 //	go run ./examples/robustness
 package main
@@ -10,114 +12,20 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 
-	"lfi/internal/core"
-	"lfi/internal/libc"
-	"lfi/internal/minic"
-	"lfi/internal/obj"
-	"lfi/internal/profile"
+	"lfi/internal/experiments"
 )
 
-const defensiveApp = `
-needs "libc.so";
-extern int open(byte *path, int flags, int mode);
-extern int close(int fd);
-extern int read(int fd, byte *buf, int n);
-extern byte *malloc(int n);
-extern tls int errno;
-int main(void) {
-  int fd;
-  int n;
-  byte buf[64];
-  byte *state;
-  fd = open("/etc/conf", 0, 0);
-  if (fd < 0) { n = 0; }           // tolerate: defaults
-  else {
-    n = read(fd, buf, 63);
-    if (n < 0) { n = 0; }          // tolerate: empty config
-    if (close(fd) < 0) { }         // tolerate: ignore
-  }
-  state = malloc(128);
-  if (state == 0) { return 7; }    // detect: graceful error exit
-  state[0] = 's';
-  return 0;
-}
-`
-
-const sloppyApp = `
-needs "libc.so";
-extern int open(byte *path, int flags, int mode);
-extern int close(int fd);
-extern int read(int fd, byte *buf, int n);
-extern byte *malloc(int n);
-extern tls int errno;
-int main(void) {
-  int fd;
-  int n;
-  byte buf[64];
-  byte *state;
-  fd = open("/etc/conf", 0, 0);
-  n = read(fd, buf, 63);           // BUG: fd unchecked
-  close(fd);
-  state = malloc(128);
-  state[0] = 's';                  // BUG: allocation unchecked
-  buf[n] = 0;                      // BUG: n may be -1
-  return 0;
-}
-`
-
 func main() {
-	if err := run(); err != nil {
+	workers := runtime.GOMAXPROCS(0)
+	res, err := experiments.Robustness(workers)
+	if err != nil {
 		log.Fatal(err)
 	}
-}
-
-func run() error {
-	lc, err := libc.Compile()
-	if err != nil {
-		return err
-	}
-	l := core.New(core.Options{Heuristics: true})
-	if err := l.AddKernelImage(); err != nil {
-		return err
-	}
-	if err := l.AddLibrary(lc); err != nil {
-		return err
-	}
-	p, err := l.ProfileLibrary(libc.Name)
-	if err != nil {
-		return err
-	}
-	// Restrict the sweep to the calls these programs make.
-	for i := 0; i < len(p.Functions); {
-		switch p.Functions[i].Name {
-		case "open", "read", "close", "malloc":
-			i++
-		default:
-			p.Functions = append(p.Functions[:i], p.Functions[i+1:]...)
-		}
-	}
-	set := profile.Set{libc.Name: p}
-
-	for _, app := range []struct{ name, src string }{
-		{"defensive", defensiveApp},
-		{"sloppy", sloppyApp},
-	} {
-		exe, err := minic.Compile(app.name, app.src, obj.Executable)
-		if err != nil {
-			return err
-		}
-		res, err := core.Sweep(core.CampaignConfig{
-			Programs:   []*obj.File{lc, exe},
-			Executable: app.name,
-			Files:      map[string][]byte{"/etc/conf": []byte("mode=safe\n")},
-		}, set, 0)
-		if err != nil {
-			return err
-		}
-		fmt.Println(res.Render())
-	}
+	fmt.Print(res.Render())
+	fmt.Println()
 	fmt.Println("The defensive build tolerates or detects every injected fault;")
-	fmt.Println("the sloppy build crashes — the systematic comparison §2 envisions.")
-	return nil
+	fmt.Println("the sloppy build crashes — the systematic comparison §2 envisions,")
+	fmt.Printf("swept with %d parallel campaign workers.\n", workers)
 }

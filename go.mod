@@ -1,0 +1,3 @@
+module lfi
+
+go 1.22

@@ -27,6 +27,35 @@
 //	    Executable: appObj.Name, Profiles: set, Plan: plan,
 //	})
 //	report, _ := c.Run(0)
+//
+// # Parallel campaigns
+//
+// The §2 robustness benchmark — every (function, error code) of the
+// profile set injected once into a fresh run — is embarrassingly
+// parallel: experiments share nothing but read-only inputs. The sweep
+// engine splits it into a generator and an executor:
+//
+//	exps := core.PlanExperiments(set)                      // the matrix, in plan order
+//	res, _ := core.SweepParallel(cfg, set, 0, workers)     // pool of private Campaigns
+//	res, _ := core.RunExperiments(cfg, exps, 0, core.SweepOptions{
+//	    Workers:    8,
+//	    MaxCrashes: 5,                    // triage: stop at the 5th crash
+//	    Progress:   func(p core.SweepProgress) { ... },    // live tallies
+//	})
+//
+// Each worker owns a full Campaign (its own vm.System, controller and
+// evaluator); completions are re-ordered into plan order before they are
+// committed, so the SweepResult — including early-stopped ones, whose
+// crash threshold is counted in plan order — renders byte-identical at
+// every worker count. Seeded random faultloads stay reproducible too:
+// an evaluator's random stream derives from its plan's Seed, never from
+// scheduling.
+//
+// A single Campaign is not safe for concurrent use; concurrency comes
+// from running many of them. CampaignConfig inputs (Programs, Profiles,
+// Files) are shared across workers and must not be mutated during a
+// sweep — the VM loader copies text and data segments per process and
+// the controller treats profiles as immutable, so sharing is read-only.
 package core
 
 import (

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lfi/internal/profile"
+)
+
+// SweepOptions tunes the campaign executor.
+type SweepOptions struct {
+	// Workers is the number of concurrent campaigns; <= 0 means
+	// runtime.GOMAXPROCS(0). Each worker owns its own Campaign (and
+	// therefore its own vm.System, controller and evaluator); the
+	// CampaignConfig's Programs, Profiles and Files are shared across
+	// workers and must not be mutated while the sweep runs.
+	Workers int
+	// MaxCrashes, when > 0, stops the sweep early once that many crash
+	// outcomes have accumulated — the triage workflow: "show me the
+	// first N ways this program dies". Crashes are counted in plan
+	// order and the report is truncated at the threshold entry, so the
+	// early-stopped result is also identical at every worker count.
+	MaxCrashes int
+	// Progress, when non-nil, is called after each experiment is
+	// committed to the report, in plan order, from a single goroutine.
+	Progress func(SweepProgress)
+}
+
+// SweepProgress is one live progress update of a running sweep.
+type SweepProgress struct {
+	// Done experiments out of Total are committed to the report.
+	Done, Total int
+	// Entry is the experiment just committed.
+	Entry SweepEntry
+	// Tally is the cumulative outcome count over committed entries.
+	Tally map[Outcome]int
+}
+
+// String renders the update as a one-line status.
+func (p SweepProgress) String() string {
+	return fmt.Sprintf("[%d/%d] %s.%s -> %s (crash=%d hang=%d error-exit=%d)",
+		p.Done, p.Total, p.Entry.Library, p.Entry.Function, p.Entry.Outcome,
+		p.Tally[OutcomeCrash], p.Tally[OutcomeHang], p.Tally[OutcomeErrorExit])
+}
+
+// SweepParallel is Sweep distributed over a pool of workers, each running
+// complete experiments in its own Campaign/vm.System. Results are
+// re-ordered into plan order as they arrive, so the final SweepResult —
+// and its Render output — is byte-identical to the sequential Sweep at
+// any worker count. workers <= 0 defaults to runtime.GOMAXPROCS(0).
+func SweepParallel(cfg CampaignConfig, set profile.Set, budget uint64, workers int) (*SweepResult, error) {
+	return RunExperiments(cfg, PlanExperiments(set), budget, SweepOptions{Workers: workers})
+}
+
+// RunExperiments is the campaign executor: it runs the clean baseline,
+// dispatches the experiments to a worker pool, and collects the entries
+// back into plan order. It is the engine beneath Sweep and SweepParallel;
+// callers with custom faultloads (e.g. seeded random triggers) can build
+// their own experiment list and execute it here directly.
+func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts SweepOptions) (*SweepResult, error) {
+	if budget == 0 {
+		budget = DefaultSweepBudget
+	}
+	baseline, err := runBaseline(cfg, budget)
+	if err != nil {
+		return nil, err
+	}
+	res := &SweepResult{Executable: cfg.Executable, Baseline: baseline}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+
+	collect := newCollector(res, len(exps), opts)
+	if workers <= 1 {
+		for _, exp := range exps {
+			entry, err := runExperiment(cfg, exp, baseline, budget)
+			if err != nil {
+				return nil, err
+			}
+			if collect.commit(entry) {
+				break
+			}
+		}
+		return res, nil
+	}
+
+	type job struct {
+		idx int
+		exp Experiment
+	}
+	type outcome struct {
+		idx   int
+		entry SweepEntry
+		err   error
+	}
+	jobs := make(chan job)
+	results := make(chan outcome, workers)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	// On every exit path — completion, early stop, error — halt the pool
+	// and drain results until the closer closes the channel, i.e. until
+	// every worker has exited. A worker mid-experiment finishes that run
+	// first, so no goroutine reads the shared CampaignConfig after this
+	// function returns and callers may immediately reuse or mutate it.
+	defer func() {
+		halt()
+		for range results {
+		}
+	}()
+
+	// Dispatcher: feeds the plan in order until done or halted.
+	go func() {
+		defer close(jobs)
+		for i, exp := range exps {
+			select {
+			case jobs <- job{idx: i, exp: exp}:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	// Workers: one fresh Campaign per experiment, nothing shared but the
+	// read-only config.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				entry, err := runExperiment(cfg, j.exp, baseline, budget)
+				select {
+				case results <- outcome{idx: j.idx, entry: entry, err: err}:
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: re-order completions into plan order so the report is
+	// independent of scheduling. Errors are buffered like entries and
+	// surfaced in plan order too — an error from a plan-order-later
+	// experiment must not preempt an earlier early stop, or the sweep
+	// would fail at some worker counts and succeed at others.
+	pending := make(map[int]outcome, workers)
+	next := 0
+	for r := range results {
+		pending[r.idx] = r
+		stopped := false
+		for {
+			o, ok := pending[next]
+			if !ok {
+				break
+			}
+			if o.err != nil {
+				halt()
+				return nil, o.err
+			}
+			delete(pending, next)
+			next++
+			if collect.commit(o.entry) {
+				stopped = true
+				break
+			}
+		}
+		if stopped || next == len(exps) {
+			halt()
+			break
+		}
+	}
+	return res, nil
+}
+
+// collector accumulates in-order entries, drives progress reporting and
+// decides early stop. It is used from a single goroutine.
+type collector struct {
+	res   *SweepResult
+	total int
+	opts  SweepOptions
+	tally map[Outcome]int
+}
+
+func newCollector(res *SweepResult, total int, opts SweepOptions) *collector {
+	return &collector{res: res, total: total, opts: opts, tally: make(map[Outcome]int)}
+}
+
+// commit appends one in-plan-order entry and reports whether the sweep
+// should stop early.
+func (c *collector) commit(entry SweepEntry) (stop bool) {
+	c.res.Entries = append(c.res.Entries, entry)
+	c.tally[entry.Outcome]++
+	if c.opts.Progress != nil {
+		tally := make(map[Outcome]int, len(c.tally))
+		for k, v := range c.tally {
+			tally[k] = v
+		}
+		c.opts.Progress(SweepProgress{
+			Done: len(c.res.Entries), Total: c.total, Entry: entry, Tally: tally,
+		})
+	}
+	return c.opts.MaxCrashes > 0 && c.tally[OutcomeCrash] >= c.opts.MaxCrashes
+}

@@ -10,6 +10,10 @@ import (
 	"lfi/internal/scenario"
 )
 
+// DefaultSweepBudget is the per-run cycle budget used when a sweep is
+// started with budget 0. A run that exhausts it is classified as a hang.
+const DefaultSweepBudget = 200_000_000
+
 // Outcome classifies one fault-injection run — the rows of the §2 test
 // report ("the results in the report can pinpoint bugs or weak spots in
 // the target software").
@@ -31,6 +35,23 @@ const (
 	// the fault was not exercised.
 	OutcomeNotTriggered Outcome = "not-triggered"
 )
+
+// Classify maps one campaign report onto the five §2 outcomes, relative
+// to the clean-run baseline exit code.
+func Classify(rep *Report, baseline int32) Outcome {
+	switch {
+	case len(rep.Injections) == 0:
+		return OutcomeNotTriggered
+	case rep.Status.Signal != 0:
+		return OutcomeCrash
+	case rep.Deadlocked:
+		return OutcomeHang
+	case rep.Status.Code == baseline:
+		return OutcomeHandled
+	default:
+		return OutcomeErrorExit
+	}
+}
 
 // SweepEntry is one (function, error code) experiment.
 type SweepEntry struct {
@@ -95,33 +116,31 @@ func (r *SweepResult) Render() string {
 	return b.String()
 }
 
-// Sweep runs one campaign per (function, error code) in the profile set —
-// the systematic fault-tolerance benchmark the paper's §2 envisions. Each
-// run injects exactly one fault on the function's first call and
-// classifies the program's reaction against a clean baseline.
-//
-// The cfg's Plan and PassThrough are ignored; everything else (programs,
-// executable, files, VM options) describes the target. budget bounds each
-// run's cycles (0 = a generous default).
-func Sweep(cfg CampaignConfig, set profile.Set, budget uint64) (*SweepResult, error) {
-	if budget == 0 {
-		budget = 200_000_000
-	}
-	baseCfg := cfg
-	baseCfg.Plan = nil
-	baseline, err := NewCampaign(baseCfg)
-	if err != nil {
-		return nil, err
-	}
-	baseRep, err := baseline.Run(budget)
-	if err != nil {
-		return nil, err
-	}
-	if baseRep.Status.Signal != 0 || baseRep.Deadlocked {
-		return nil, fmt.Errorf("core: baseline run is unhealthy: %+v", baseRep.Status)
-	}
+// Experiment is one planned fault-injection run: the (library, function,
+// error code) coordinates of a SweepEntry plus the single-trigger
+// faultload that realises it. Experiments are self-contained — the plan
+// is owned by the experiment and cloned again per run — so they can be
+// executed in any order, on any worker, with identical results.
+type Experiment struct {
+	Library  string
+	Function string
+	Retval   int32
+	Errno    int32
+	HasErrno bool
+	// Plan is the faultload for this run. PlanExperiments builds a
+	// deterministic once-on-first-call trigger; hand-built experiments
+	// may use any plan, including seeded random triggers (the per-run
+	// evaluator derives its stream from Plan.Seed, so random draws are
+	// reproducible regardless of scheduling).
+	Plan *scenario.Plan
+}
 
-	res := &SweepResult{Executable: cfg.Executable, Baseline: baseRep.Status.Code}
+// PlanExperiments expands a profile set into the full experiment matrix —
+// one experiment per (library, function, error code), in deterministic
+// lexicographic library order. This is the generator half of a sweep; the
+// executor half is RunExperiments.
+func PlanExperiments(set profile.Set) []Experiment {
+	var out []Experiment
 	libs := make([]string, 0, len(set))
 	for lib := range set {
 		libs = append(libs, lib)
@@ -130,7 +149,7 @@ func Sweep(cfg CampaignConfig, set profile.Set, budget uint64) (*SweepResult, er
 	for _, lib := range libs {
 		for _, fn := range set[lib].Functions {
 			for _, ec := range fn.ErrorCodes {
-				entry := SweepEntry{
+				exp := Experiment{
 					Library: lib, Function: fn.Name, Retval: ec.Retval,
 				}
 				trigger := scenario.Trigger{
@@ -141,44 +160,80 @@ func Sweep(cfg CampaignConfig, set profile.Set, budget uint64) (*SweepResult, er
 				}
 				for _, se := range ec.SideEffects {
 					if se.Type == profile.SideEffectTLS {
-						entry.HasErrno = true
-						entry.Errno = se.Applied()
-						if name := kernel.ErrnoName(entry.Errno); name != "" {
+						exp.HasErrno = true
+						exp.Errno = se.Applied()
+						if name := kernel.ErrnoName(exp.Errno); name != "" {
 							trigger.Errno = name
 						} else {
-							trigger.Errno = fmt.Sprint(entry.Errno)
+							trigger.Errno = fmt.Sprint(exp.Errno)
 						}
 						break
 					}
 				}
-				runCfg := cfg
-				runCfg.Plan = &scenario.Plan{Triggers: []scenario.Trigger{trigger}}
-				runCfg.PassThrough = false
-				c, err := NewCampaign(runCfg)
-				if err != nil {
-					return nil, err
-				}
-				rep, err := c.Run(budget)
-				if err != nil {
-					return nil, err
-				}
-				entry.ExitCode = rep.Status.Code
-				entry.Signal = rep.Status.Signal
-				switch {
-				case len(rep.Injections) == 0:
-					entry.Outcome = OutcomeNotTriggered
-				case rep.Status.Signal != 0:
-					entry.Outcome = OutcomeCrash
-				case rep.Deadlocked:
-					entry.Outcome = OutcomeHang
-				case rep.Status.Code == res.Baseline:
-					entry.Outcome = OutcomeHandled
-				default:
-					entry.Outcome = OutcomeErrorExit
-				}
-				res.Entries = append(res.Entries, entry)
+				exp.Plan = &scenario.Plan{Triggers: []scenario.Trigger{trigger}}
+				out = append(out, exp)
 			}
 		}
 	}
-	return res, nil
+	return out
+}
+
+// runBaseline executes the clean run that anchors outcome classification.
+func runBaseline(cfg CampaignConfig, budget uint64) (int32, error) {
+	baseCfg := cfg
+	baseCfg.Plan = nil
+	baseline, err := NewCampaign(baseCfg)
+	if err != nil {
+		return 0, err
+	}
+	baseRep, err := baseline.Run(budget)
+	if err != nil {
+		return 0, err
+	}
+	if baseRep.Status.Signal != 0 || baseRep.Deadlocked {
+		return 0, fmt.Errorf("core: baseline run is unhealthy: %+v", baseRep.Status)
+	}
+	return baseRep.Status.Code, nil
+}
+
+// runExperiment executes one experiment in a fresh Campaign (its own
+// vm.System, controller and evaluator) and classifies the reaction. The
+// experiment's plan is cloned, so the shared CampaignConfig is only ever
+// read — this is what keeps a many-worker sweep race-free.
+func runExperiment(cfg CampaignConfig, exp Experiment, baseline int32, budget uint64) (SweepEntry, error) {
+	entry := SweepEntry{
+		Library: exp.Library, Function: exp.Function, Retval: exp.Retval,
+		Errno: exp.Errno, HasErrno: exp.HasErrno,
+	}
+	runCfg := cfg
+	runCfg.Plan = exp.Plan.Clone()
+	runCfg.PassThrough = false
+	c, err := NewCampaign(runCfg)
+	if err != nil {
+		return entry, err
+	}
+	rep, err := c.Run(budget)
+	if err != nil {
+		return entry, err
+	}
+	entry.ExitCode = rep.Status.Code
+	entry.Signal = rep.Status.Signal
+	entry.Outcome = Classify(rep, baseline)
+	return entry, nil
+}
+
+// Sweep runs one campaign per (function, error code) in the profile set —
+// the systematic fault-tolerance benchmark the paper's §2 envisions. Each
+// run injects exactly one fault on the function's first call and
+// classifies the program's reaction against a clean baseline.
+//
+// The cfg's Plan and PassThrough are ignored; everything else (programs,
+// executable, files, VM options) describes the target. budget bounds each
+// run's cycles (0 = DefaultSweepBudget).
+//
+// Sweep is the sequential reference executor; SweepParallel distributes
+// the same experiment matrix over a worker pool and renders the exact
+// same report.
+func Sweep(cfg CampaignConfig, set profile.Set, budget uint64) (*SweepResult, error) {
+	return RunExperiments(cfg, PlanExperiments(set), budget, SweepOptions{Workers: 1})
 }

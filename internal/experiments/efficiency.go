@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"lfi/internal/corpus"
@@ -29,35 +30,72 @@ type EfficiencyResult struct {
 	Points []EfficiencyPoint
 }
 
-// Efficiency generates and profiles the size series.
-func Efficiency() (*EfficiencyResult, error) {
-	res := &EfficiencyResult{}
-	for _, spec := range corpus.EfficiencySpecs() {
-		lib, err := corpus.Generate(spec.Traits)
+// Efficiency generates and profiles the size series. Each point is an
+// independent corpus library with its own profiler instance, so the
+// series can be swept by a pool of workers; points are reported in
+// series order regardless of completion order. Because each point's
+// WallTime is the §6.2 measurement itself, workers <= 0 defaults to the
+// contention-free sequential series; pass an explicit count to trade
+// timing fidelity for campaign throughput.
+func Efficiency(workers int) (*EfficiencyResult, error) {
+	specs := corpus.EfficiencySpecs()
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	points := make([]EfficiencyPoint, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				points[i], errs[i] = efficiencyPoint(specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		pr := profiler.New(profiler.Options{DropZeroReturns: true, DropPredicates: true})
-		if err := pr.AddLibrary(lib.Object); err != nil {
-			return nil, err
-		}
-		start := time.Now()
-		if _, err := pr.ProfileLibrary(spec.Traits.Name); err != nil {
-			return nil, err
-		}
-		elapsed := time.Since(start)
-		st := pr.Stats()
-		res.Points = append(res.Points, EfficiencyPoint{
-			Library:    spec.Traits.Name,
-			Functions:  spec.ExportedFn,
-			CodeKB:     len(lib.Object.Text) / 1024,
-			WallTime:   elapsed,
-			States:     st.StatesExpanded,
-			Dependents: st.DependentsAnalyzed,
-			PaperSecs:  spec.PaperSecs,
-		})
 	}
-	return res, nil
+	return &EfficiencyResult{Points: points}, nil
+}
+
+// efficiencyPoint generates and profiles one library of the series.
+func efficiencyPoint(spec corpus.EfficiencySpec) (EfficiencyPoint, error) {
+	lib, err := corpus.Generate(spec.Traits)
+	if err != nil {
+		return EfficiencyPoint{}, err
+	}
+	pr := profiler.New(profiler.Options{DropZeroReturns: true, DropPredicates: true})
+	if err := pr.AddLibrary(lib.Object); err != nil {
+		return EfficiencyPoint{}, err
+	}
+	start := time.Now()
+	if _, err := pr.ProfileLibrary(spec.Traits.Name); err != nil {
+		return EfficiencyPoint{}, err
+	}
+	elapsed := time.Since(start)
+	st := pr.Stats()
+	return EfficiencyPoint{
+		Library:    spec.Traits.Name,
+		Functions:  spec.ExportedFn,
+		CodeKB:     len(lib.Object.Text) / 1024,
+		WallTime:   elapsed,
+		States:     st.StatesExpanded,
+		Dependents: st.DependentsAnalyzed,
+		PaperSecs:  spec.PaperSecs,
+	}, nil
 }
 
 // Render prints the series.

@@ -74,8 +74,31 @@ func TestTable2SmallRows(t *testing.T) {
 	t.Logf("\n%s", r.Render())
 }
 
+func TestRobustnessComparison(t *testing.T) {
+	r, err := Robustness(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Crashes("defensive") != 0 {
+		t.Errorf("defensive crashes = %d, want 0", r.Crashes("defensive"))
+	}
+	if r.Crashes("sloppy") == 0 {
+		t.Error("sloppy build should crash under the sweep")
+	}
+	seq, err := Robustness(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.Apps {
+		if r.Apps[i].Result.Render() != seq.Apps[i].Result.Render() {
+			t.Errorf("%s: parallel and sequential robustness matrices differ", r.Apps[i].Name)
+		}
+	}
+	t.Logf("\n%s", r.Render())
+}
+
 func TestEfficiencySeries(t *testing.T) {
-	r, err := Efficiency()
+	r, err := Efficiency(0)
 	if err != nil {
 		t.Fatal(err)
 	}

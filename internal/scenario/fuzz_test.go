@@ -1,0 +1,97 @@
+package scenario_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lfi/internal/scenario"
+)
+
+// section4Example is the paper's §4 faultload, the seed of the round-trip
+// corpus.
+const section4Example = `<plan>
+  <function name="readdir" inject="5" retval="0" errno="EBADF" calloriginal="false">
+    <stacktrace>
+      <frame>0xb824490</frame>
+      <frame>refresh_files</frame>
+    </stacktrace>
+  </function>
+  <function name="read" inject="20" calloriginal="true">
+    <modify argument="3" op="sub" value="10"></modify>
+  </function>
+</plan>`
+
+// FuzzPlanRoundTrip asserts that marshalling is a fixed point: for any
+// parseable faultload XML, marshal → parse → marshal reproduces the first
+// marshalling byte for byte. This is what makes replay scripts and
+// profile-diffing stable.
+func FuzzPlanRoundTrip(f *testing.F) {
+	f.Add([]byte(section4Example))
+	f.Add([]byte(`<plan seed="42"><function name="open" probability="12.5" random="true" calloriginal="false" once="true" pid="3"></function></plan>`))
+	f.Add([]byte(`<plan><function name="malloc" retval="0" errno="ENOMEM" calloriginal="false"></function></plan>`))
+	f.Add([]byte(`<plan></plan>`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := scenario.Unmarshal(data)
+		if err != nil {
+			t.Skip() // not a faultload; nothing to round-trip
+		}
+		first, err := p.Marshal()
+		if err != nil {
+			t.Skip() // unmarshallable XML oddities (invalid chars) are out of scope
+		}
+		q, err := scenario.Unmarshal(first)
+		if err != nil {
+			t.Fatalf("re-parse of own marshalling failed: %v\n%s", err, first)
+		}
+		second, err := q.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("marshal is not a fixed point:\n--- first ---\n%s--- second ---\n%s", first, second)
+		}
+	})
+}
+
+// TestSection4ExampleRoundTrip pins the seed corpus outside fuzzing mode:
+// the §4 plan parses, its triggers carry the documented semantics, and a
+// clone shares no mutable state with the original.
+func TestSection4ExampleRoundTrip(t *testing.T) {
+	p, err := scenario.Unmarshal([]byte(section4Example))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Triggers) != 2 {
+		t.Fatalf("triggers = %d, want 2", len(p.Triggers))
+	}
+	rd := p.Triggers[0]
+	if rd.Function != "readdir" || rd.Inject != 5 || rd.Retval != "0" || rd.Errno != "EBADF" {
+		t.Errorf("readdir trigger = %+v", rd)
+	}
+	if frames := rd.Frames(); len(frames) != 2 || frames[1] != "refresh_files" {
+		t.Errorf("readdir frames = %v", frames)
+	}
+
+	c := p.Clone()
+	c.Triggers[0].Stacktrace.Frames[0] = "mutated"
+	c.Triggers[1].Modify[0].Value = 99
+	if p.Triggers[0].Stacktrace.Frames[0] != "0xb824490" || p.Triggers[1].Modify[0].Value != 10 {
+		t.Error("Clone shares mutable state with the original plan")
+	}
+
+	first, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := scenario.Unmarshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("fixed point violated:\n%s\nvs\n%s", first, second)
+	}
+}

@@ -108,6 +108,29 @@ func (m Modify) Apply(old int32) int32 {
 	}
 }
 
+// Clone returns a deep copy of the plan. Campaign executors that share a
+// plan template across workers clone it per run so no trigger state —
+// frames, modify lists — is ever reachable from two campaigns at once.
+func (p *Plan) Clone() *Plan {
+	if p == nil {
+		return nil
+	}
+	out := &Plan{Seed: p.Seed, Triggers: make([]Trigger, len(p.Triggers))}
+	for i, t := range p.Triggers {
+		out.Triggers[i] = t.Clone()
+	}
+	return out
+}
+
+// Clone returns a deep copy of the trigger.
+func (t Trigger) Clone() Trigger {
+	if t.Stacktrace != nil {
+		t.Stacktrace = &StackTrace{Frames: append([]string(nil), t.Stacktrace.Frames...)}
+	}
+	t.Modify = append([]Modify(nil), t.Modify...)
+	return t
+}
+
 // Marshal renders the plan as indented XML.
 func (p *Plan) Marshal() ([]byte, error) {
 	b, err := xml.MarshalIndent(p, "", "  ")
@@ -307,6 +330,10 @@ type Decision struct {
 // Evaluator evaluates a plan's triggers against a stream of intercepted
 // calls. One evaluator corresponds to one process (call counts are
 // per-process, as with an LD_PRELOADed interceptor's static counters).
+// An evaluator owns all of its mutable state — call counts, fired set
+// and the random stream seeded from Plan.Seed — so concurrent campaigns
+// each construct their own evaluator and never share one; the plan and
+// profile set it reads are treated as immutable.
 type Evaluator struct {
 	plan  *Plan
 	set   profile.Set

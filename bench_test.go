@@ -10,6 +10,7 @@ package lfi_test
 // deterministic cycle accounting; wall-clock ns/op reflects the host.
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -475,6 +476,74 @@ func BenchmarkSweepParallel(b *testing.B) {
 	}
 	b.ReportMetric(float64(entries), "experiments")
 	b.ReportMetric(float64(workers), "workers")
+}
+
+// exhaustiveStylePlan models an exhaustive libc faultload: nfns
+// functions, two (error code) triggers each, none of which fires during
+// the measured calls — the pure per-call trigger-evaluation cost the
+// paper's Tables 3/4 methodology isolates.
+func exhaustiveStylePlan(nfns int) (*scenario.Plan, []string) {
+	plan := &scenario.Plan{}
+	fns := make([]string, nfns)
+	for i := 0; i < nfns; i++ {
+		fn := fmt.Sprintf("fn%04d", i)
+		fns[i] = fn
+		for c := 0; c < 2; c++ {
+			plan.Triggers = append(plan.Triggers, scenario.Trigger{
+				Function: fn,
+				Inject:   int32(1_000_000_000 + c),
+				Retval:   "-1",
+				Errno:    "EIO",
+			})
+		}
+	}
+	return plan, fns
+}
+
+// BenchmarkEvaluatorLargePlan measures per-call trigger evaluation as
+// the exhaustive plan grows 10x (100 -> 1000 triggers). The compiled
+// engine indexes triggers per function, so its per-call cost stays flat
+// (each function keeps 2 triggers regardless of plan size); the scan
+// variant replicates the pre-compile engine — a full pass over the
+// trigger list per call — whose cost grows linearly with the plan.
+func BenchmarkEvaluatorLargePlan(b *testing.B) {
+	for _, nfns := range []int{50, 500} {
+		plan, fns := exhaustiveStylePlan(nfns)
+		b.Run(fmt.Sprintf("compiled/%dtriggers", len(plan.Triggers)), func(b *testing.B) {
+			cp, err := scenario.Compile(plan, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev := cp.NewEvaluator()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ev.OnCall(fns[i%len(fns)], nil).Inject {
+					b.Fatal("no trigger should fire")
+				}
+			}
+			b.ReportMetric(float64(len(plan.Triggers)), "plan-triggers")
+		})
+		b.Run(fmt.Sprintf("scan/%dtriggers", len(plan.Triggers)), func(b *testing.B) {
+			count := make(map[string]int32, len(fns))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fn := fns[i%len(fns)]
+				count[fn]++
+				n := count[fn]
+				for j := range plan.Triggers {
+					t := &plan.Triggers[j]
+					if t.Function != fn {
+						continue
+					}
+					if t.Inject > 0 && t.Inject != n {
+						continue
+					}
+					b.Fatal("no trigger should fire")
+				}
+			}
+			b.ReportMetric(float64(len(plan.Triggers)), "plan-triggers")
+		})
+	}
 }
 
 // BenchmarkVMThroughput measures raw interpreter speed.

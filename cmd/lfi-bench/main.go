@@ -24,7 +24,7 @@ func main() {
 
 func run() error {
 	which := flag.String("run", "all",
-		"experiments to run: all, or comma-separated of table1,table2,efficiency,robustness,table3,table4,pidgin,coverage,docgaps,figure2")
+		"experiments to run: all, or comma-separated of table1,table2,efficiency,robustness,correlated,table3,table4,pidgin,coverage,docgaps,figure2")
 	funcs := flag.Int("funcs", 5000, "table1 corpus size (paper: >20000)")
 	requests := flag.Int("requests", 1000, "table3 AB requests per cell (paper: 1000)")
 	txns := flag.Int("txns", 200, "table4 transactions per cell")
@@ -34,7 +34,7 @@ func run() error {
 
 	sel := map[string]bool{}
 	if *which == "all" {
-		for _, k := range []string{"figure2", "table1", "table2", "efficiency", "robustness", "table3", "table4", "pidgin", "coverage", "docgaps"} {
+		for _, k := range []string{"figure2", "table1", "table2", "efficiency", "robustness", "correlated", "table3", "table4", "pidgin", "coverage", "docgaps"} {
 			sel[k] = true
 		}
 	} else {
@@ -90,6 +90,14 @@ func run() error {
 	if sel["robustness"] {
 		section("§2 Robustness comparison")
 		r, err := experiments.Robustness(*jobs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	}
+	if sel["correlated"] {
+		section("§4 Correlated faultload")
+		r, err := experiments.Correlated()
 		if err != nil {
 			return err
 		}

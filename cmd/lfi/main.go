@@ -11,6 +11,7 @@
 //
 //	lfi build prog.mc -o prog.slef [-exe]
 //	lfi plan -kind random -p 10 -seed 7 -profile libc.profile.xml -o plan.xml
+//	lfi plan -check plan.xml [-profile libc.profile.xml]
 //	lfi sweep -app app.slef -lib libc.slef -profile libc.profile.xml -j 8
 //	lfi disasm lib.slef [-func name]
 //	lfi cfg lib.slef -func name [-dot]
@@ -216,12 +217,16 @@ func cmdPlan(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	profiles := fs.String("profile", "", "comma-separated .profile.xml paths")
 	out := fs.String("o", "plan.xml", "output plan path")
+	check := fs.String("check", "", "validate and lint an existing faultload XML instead of generating one")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	set, err := loadProfileSet(*profiles)
 	if err != nil {
 		return err
+	}
+	if *check != "" {
+		return checkPlan(*check, set)
 	}
 	if len(set) == 0 {
 		return fmt.Errorf("plan: need at least one -profile")
@@ -249,6 +254,39 @@ func cmdPlan(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %s (%d triggers)\n", *out, len(plan.Triggers))
+	return nil
+}
+
+// checkPlan validates, compiles and lints a faultload: parse errors and
+// compile errors (bad retval/errno, malformed condition trees) fail the
+// command with the offending trigger's position; lint findings are
+// printed as warnings. With -profile, random triggers are checked
+// against the profiles that would feed them.
+func checkPlan(path string, set profile.Set) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	plan, err := scenario.Unmarshal(b)
+	if err != nil {
+		return fmt.Errorf("plan: %s: %w", path, err)
+	}
+	cp, err := scenario.Compile(plan, set)
+	if err != nil {
+		return fmt.Errorf("plan: %s: %w", path, err)
+	}
+	fns := cp.Functions()
+	fmt.Printf("%s: OK — %d triggers over %d functions (seed %d)\n",
+		path, len(plan.Triggers), len(fns), plan.Seed)
+	for _, fn := range fns {
+		fmt.Printf("  %-20s %d trigger(s) evaluated per call\n", fn, cp.TriggerCount(fn))
+	}
+	if warns := scenario.Lint(plan, set); len(warns) > 0 {
+		fmt.Println("warnings:")
+		for _, w := range warns {
+			fmt.Printf("  %s\n", w)
+		}
+	}
 	return nil
 }
 

@@ -193,6 +193,52 @@ func TestCLISweep(t *testing.T) {
 	}
 }
 
+func TestCLIPlanCheck(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.xml")
+	if err := os.WriteFile(good, []byte(`<plan>
+  <function name="write" retval="-1" errno="ENOSPC" sticky="true">
+    <after-fault function="malloc"></after-fault>
+  </function>
+  <function name="read" probability="10" random="true"></function>
+</plan>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return run([]string{"plan", "-check", good})
+	})
+	if !strings.Contains(out, "OK — 2 triggers over 2 functions") {
+		t.Errorf("check summary malformed:\n%s", out)
+	}
+	// Lint: the random trigger has no profile, and after-fault names a
+	// function no trigger targets.
+	if !strings.Contains(out, "warnings:") ||
+		!strings.Contains(out, `no profile supplies error codes for "read"`) ||
+		!strings.Contains(out, `no trigger targets "malloc"`) {
+		t.Errorf("expected lint warnings:\n%s", out)
+	}
+
+	// A bad retval must fail with the trigger's position.
+	bad := filepath.Join(dir, "bad.xml")
+	if err := os.WriteFile(bad, []byte(`<plan>
+  <function name="read" retval="-1"></function>
+  <function name="write" retval="oops"></function>
+</plan>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"plan", "-check", bad})
+	if err == nil {
+		t.Fatal("bad retval should fail -check")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "trigger 1") || !strings.Contains(msg, `"oops"`) {
+		t.Errorf("error lacks position: %v", err)
+	}
+
+	if err := run([]string{"plan", "-check", filepath.Join(dir, "missing.xml")}); err == nil {
+		t.Error("missing plan file should fail -check")
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	cases := [][]string{
 		{},

@@ -14,6 +14,22 @@
 // `lfi sweep -j N` and `lfi-bench -j N` expose the pool size; -max-crashes
 // stops a sweep at the N-th crash for triage.
 //
+// The §4 scenario language runs on a compile-then-evaluate trigger
+// engine: scenario.Compile turns a faultload into an immutable
+// CompiledPlan — triggers indexed per function, retvals/errnos/frame
+// addresses pre-parsed (malformed ones are rejected with a
+// position-carrying error), random-fault candidates pre-resolved — and
+// per-process Evaluators carry only thin mutable state, so each
+// intercepted call examines the triggers for that function instead of
+// scanning the whole plan (BenchmarkEvaluatorLargePlan: flat per-call
+// cost as exhaustive plans grow 10x). Campaign schedulers compile once
+// and share the CompiledPlan read-only across all workers. Triggers
+// compose beyond the paper's flat attributes — <and>/<or>/<not> over
+// call-count windows, cycle windows, pids, probabilities, backtraces,
+// plus sticky faults and cross-trigger <after-fault> state for
+// correlated faultloads (experiments.Correlated, examples/correlated);
+// `lfi plan -check` validates and lints a faultload.
+//
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
 // results. The public entry point for programmatic use is internal/core;

@@ -1,0 +1,30 @@
+// Correlated faultload: the compiled trigger engine's composable
+// condition grammar expressing a cascading failure — write starts
+// returning ENOSPC only after malloc has already failed once, and keeps
+// failing (sticky). A flat per-function trigger list cannot express
+// this ordering; <after-fault> reads the evaluator's cross-trigger
+// fault state.
+//
+//	go run ./examples/correlated
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lfi/internal/experiments"
+)
+
+func main() {
+	plan, err := experiments.CorrelatedPlan().Marshal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("faultload:")
+	fmt.Println(string(plan))
+	res, err := experiments.Correlated()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+}

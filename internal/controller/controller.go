@@ -84,10 +84,16 @@ func (r InjectionRecord) String() string {
 	return b.String()
 }
 
+// DefaultBacktraceDepth is how many backtrace frames an injection
+// record keeps when the controller's BacktraceDepth option is unset.
+const DefaultBacktraceDepth = 6
+
 // Controller drives one fault-injection campaign.
 type Controller struct {
-	set  profile.Set
-	plan *scenario.Plan
+	cp *scenario.CompiledPlan
+	// err is a deferred plan-compilation error, surfaced by Install and
+	// StubLibrary so construction stays infallible.
+	err error
 
 	fidToFunc []string
 	stub      *obj.File
@@ -97,15 +103,31 @@ type Controller struct {
 	// after trigger evaluation — used by the overhead experiments
 	// (Tables 3 and 4), which must let the workload complete.
 	PassThrough bool
+	// BacktraceDepth caps the frames recorded per injection (in the log
+	// and, with ReplayStacks, in replay-plan stack conditions).
+	// 0 means DefaultBacktraceDepth. Set before the first injection.
+	BacktraceDepth int
+	// ReplayStacks adds each record's (truncated) backtrace as a
+	// stacktrace condition on the corresponding replay trigger, pinning
+	// the replayed injection to the same call path, not just the same
+	// call count.
+	ReplayStacks bool
 }
 
-// New creates a controller for the given profiles and scenario.
+// New creates a controller for the given profiles and scenario. The
+// plan is compiled immediately (one compilation per campaign); a
+// compile error is reported by Install/StubLibrary.
 func New(set profile.Set, plan *scenario.Plan) *Controller {
-	return &Controller{
-		set:   set,
-		plan:  plan,
-		evals: make(map[int]*scenario.Evaluator),
-	}
+	c := &Controller{evals: make(map[int]*scenario.Evaluator)}
+	c.cp, c.err = scenario.Compile(plan, set)
+	return c
+}
+
+// NewCompiled creates a controller over an already-compiled plan.
+// CompiledPlans are immutable, so campaign schedulers compile one plan
+// and share it read-only across every worker's controller.
+func NewCompiled(cp *scenario.CompiledPlan) *Controller {
+	return &Controller{cp: cp, evals: make(map[int]*scenario.Evaluator)}
 }
 
 // Log returns the injection records so far.
@@ -117,10 +139,13 @@ func (c *Controller) ResetLog() { c.log = c.log[:0] }
 // StubLibrary synthesises (once) the interceptor library for every
 // function the plan names.
 func (c *Controller) StubLibrary() (*obj.File, error) {
+	if c.err != nil {
+		return nil, fmt.Errorf("controller: %w", c.err)
+	}
 	if c.stub != nil {
 		return c.stub, nil
 	}
-	fns := c.plan.Functions()
+	fns := c.cp.Functions()
 	if len(fns) == 0 {
 		return nil, fmt.Errorf("controller: scenario has no triggers")
 	}
@@ -192,11 +217,12 @@ func (c *Controller) PreloadList() []string { return []string{StubLibName} }
 
 // evaluatorFor returns (creating on demand) the per-process evaluator;
 // call counts and random streams are per process, like the static
-// counters in a preloaded interceptor.
+// counters in a preloaded interceptor. All evaluators are thin mutable
+// state over the one compiled plan.
 func (c *Controller) evaluatorFor(pid int) *scenario.Evaluator {
 	ev, ok := c.evals[pid]
 	if !ok {
-		ev = scenario.NewEvaluator(c.plan, c.set)
+		ev = c.cp.NewEvaluator()
 		ev.SetPID(pid)
 		c.evals[pid] = ev
 	}
@@ -216,10 +242,12 @@ func (c *Controller) evalTrigger(hc *vm.HostCall) int32 {
 	ev := c.evaluatorFor(hc.Proc.ID)
 
 	frames := backtrace(hc.Proc)
-	d := ev.OnCall(fn, frames)
+	d := ev.OnCallAt(fn, frames, hc.Proc.Cycles)
 	// Charge the native cost of trigger evaluation: a fixed dispatch
 	// cost plus a tight per-examined-trigger scan term, in virtual
-	// cycles — this is what the paper's Tables 3/4 measure.
+	// cycles — this is what the paper's Tables 3/4 measure. Scanned is
+	// the triggers examined for this function (the compiled index never
+	// touches the rest of the plan).
 	hc.ChargeCycles(uint64(10 + 2*d.Scanned))
 	if !d.Inject {
 		return 0
@@ -231,13 +259,17 @@ func (c *Controller) evalTrigger(hc *vm.HostCall) int32 {
 		CallCount: d.CallCount,
 		Cycle:     hc.Proc.Cycles,
 	}
+	depth := c.BacktraceDepth
+	if depth <= 0 {
+		depth = DefaultBacktraceDepth
+	}
 	for _, f := range frames {
 		if f.Symbol != "" {
 			rec.Stack = append(rec.Stack, f.Symbol)
 		} else {
 			rec.Stack = append(rec.Stack, "0x"+strconv.FormatUint(uint64(f.Addr), 16))
 		}
-		if len(rec.Stack) >= 6 {
+		if len(rec.Stack) >= depth {
 			break
 		}
 	}
@@ -345,8 +377,10 @@ func (c *Controller) WriteLog(w io.Writer) error {
 
 // ReplayPlan generates a replay script (§5.2) from the injection log: a
 // deterministic plan that re-fires each logged injection at the same call
-// count. Replay is exact in the single-threaded VM; the paper notes
-// native replay may diverge under nondeterminism.
+// count. With ReplayStacks set, each trigger additionally carries the
+// recorded backtrace (already truncated to BacktraceDepth) as a
+// stacktrace condition. Replay is exact in the single-threaded VM; the
+// paper notes native replay may diverge under nondeterminism.
 func (c *Controller) ReplayPlan() *scenario.Plan {
 	out := &scenario.Plan{}
 	for _, r := range c.log {
@@ -362,6 +396,9 @@ func (c *Controller) ReplayPlan() *scenario.Plan {
 		}
 		if r.HasErrno {
 			t.Errno = strconv.Itoa(int(r.Errno))
+		}
+		if c.ReplayStacks && len(r.Stack) > 0 {
+			t.Stacktrace = &scenario.StackTrace{Frames: append([]string(nil), r.Stack...)}
 		}
 		t.Modify = append(t.Modify, r.Modified...)
 		out.Triggers = append(out.Triggers, t)

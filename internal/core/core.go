@@ -53,9 +53,13 @@
 //
 // A single Campaign is not safe for concurrent use; concurrency comes
 // from running many of them. CampaignConfig inputs (Programs, Profiles,
-// Files) are shared across workers and must not be mutated during a
-// sweep — the VM loader copies text and data segments per process and
-// the controller treats profiles as immutable, so sharing is read-only.
+// Files, Compiled) are shared across workers and must not be mutated
+// during a sweep — the VM loader copies text and data segments per
+// process, the controller treats profiles as immutable, and faultloads
+// are compiled once per campaign into an immutable
+// scenario.CompiledPlan (PlanExperiments pre-compiles each experiment's
+// single-trigger plan so all runs and workers share it), so sharing is
+// read-only.
 package core
 
 import (
@@ -131,8 +135,13 @@ type CampaignConfig struct {
 	Executable string
 	// Profiles drive random scenarios and side-effect application.
 	Profiles profile.Set
-	// Plan is the fault scenario; nil runs without injection.
+	// Plan is the fault scenario; nil runs without injection. It is
+	// compiled once per campaign (NewCampaign reports compile errors).
 	Plan *scenario.Plan
+	// Compiled, when set, is the pre-compiled faultload and takes
+	// precedence over Plan. CompiledPlans are immutable, so campaign
+	// schedulers compile once and share one across all workers.
+	Compiled *scenario.CompiledPlan
 	// Files are installed into the kernel file system before the run.
 	Files map[string][]byte
 	// VM tunes the virtual machine (coverage, heap limit, ...).
@@ -172,8 +181,13 @@ func NewCampaign(cfg CampaignConfig) (*Campaign, error) {
 		c.sys.Kernel().AddFile(path, data)
 	}
 	spawnCfg := vm.SpawnConfig{}
-	if cfg.Plan != nil {
+	switch {
+	case cfg.Compiled != nil:
+		c.ctl = controller.NewCompiled(cfg.Compiled)
+	case cfg.Plan != nil:
 		c.ctl = controller.New(cfg.Profiles, cfg.Plan)
+	}
+	if c.ctl != nil {
 		c.ctl.PassThrough = cfg.PassThrough
 		if err := c.ctl.Install(c.sys); err != nil {
 			return nil, fmt.Errorf("core: %w", err)

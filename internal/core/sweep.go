@@ -133,6 +133,11 @@ type Experiment struct {
 	// evaluator derives its stream from Plan.Seed, so random draws are
 	// reproducible regardless of scheduling).
 	Plan *scenario.Plan
+	// Compiled, when set, is Plan's pre-compiled form. PlanExperiments
+	// fills it so every run and worker shares one immutable compiled
+	// plan; hand-built experiments may leave it nil, and the plan is
+	// then compiled once per campaign (errors surface in plan order).
+	Compiled *scenario.CompiledPlan
 }
 
 // PlanExperiments expands a profile set into the full experiment matrix —
@@ -171,6 +176,12 @@ func PlanExperiments(set profile.Set) []Experiment {
 					}
 				}
 				exp.Plan = &scenario.Plan{Triggers: []scenario.Trigger{trigger}}
+				// Generated triggers always compile; sharing the
+				// immutable compiled form across runs and workers
+				// replaces the old defensive per-run plan clone.
+				if cp, err := scenario.Compile(exp.Plan, set); err == nil {
+					exp.Compiled = cp
+				}
 				out = append(out, exp)
 			}
 		}
@@ -182,6 +193,7 @@ func PlanExperiments(set profile.Set) []Experiment {
 func runBaseline(cfg CampaignConfig, budget uint64) (int32, error) {
 	baseCfg := cfg
 	baseCfg.Plan = nil
+	baseCfg.Compiled = nil
 	baseline, err := NewCampaign(baseCfg)
 	if err != nil {
 		return 0, err
@@ -198,15 +210,17 @@ func runBaseline(cfg CampaignConfig, budget uint64) (int32, error) {
 
 // runExperiment executes one experiment in a fresh Campaign (its own
 // vm.System, controller and evaluator) and classifies the reaction. The
-// experiment's plan is cloned, so the shared CampaignConfig is only ever
-// read — this is what keeps a many-worker sweep race-free.
+// compiled plan is immutable and evaluator state is per-campaign, so
+// the shared CampaignConfig and Experiment are only ever read — this is
+// what keeps a many-worker sweep race-free.
 func runExperiment(cfg CampaignConfig, exp Experiment, baseline int32, budget uint64) (SweepEntry, error) {
 	entry := SweepEntry{
 		Library: exp.Library, Function: exp.Function, Retval: exp.Retval,
 		Errno: exp.Errno, HasErrno: exp.HasErrno,
 	}
 	runCfg := cfg
-	runCfg.Plan = exp.Plan.Clone()
+	runCfg.Plan = exp.Plan
+	runCfg.Compiled = exp.Compiled
 	runCfg.PassThrough = false
 	c, err := NewCampaign(runCfg)
 	if err != nil {

@@ -225,6 +225,32 @@ func TestDocGapsFound(t *testing.T) {
 	t.Logf("\n%s", r.Render())
 }
 
+func TestCorrelatedFaultload(t *testing.T) {
+	r, err := Correlated()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WritesBefore != 0 {
+		t.Errorf("writes failed before the malloc fault: %d", r.WritesBefore)
+	}
+	if r.WritesAfter != 5 {
+		t.Errorf("writes failed after the malloc fault = %d, want 5 (sticky cascade)", r.WritesAfter)
+	}
+	if r.MallocFaultCall != 4 {
+		t.Errorf("malloc fault fired on call %d, want 4", r.MallocFaultCall)
+	}
+	if r.ExitCode != 5 {
+		t.Errorf("exit code = %d, want 5 (0 before, 5 after)", r.ExitCode)
+	}
+	if !r.Correlated() {
+		t.Error("correlation violated")
+	}
+	if len(r.Log) != 6 || r.Log[0].Function != "malloc" {
+		t.Errorf("log should open with the malloc fault: %+v", r.Log)
+	}
+	t.Logf("\n%s", r.Render())
+}
+
 func TestFigure2CFG(t *testing.T) {
 	r, err := Figure2()
 	if err != nil {

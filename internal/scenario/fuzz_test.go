@@ -2,6 +2,7 @@ package scenario_test
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"lfi/internal/scenario"
@@ -30,6 +31,9 @@ func FuzzPlanRoundTrip(f *testing.F) {
 	f.Add([]byte(`<plan seed="42"><function name="open" probability="12.5" random="true" calloriginal="false" once="true" pid="3"></function></plan>`))
 	f.Add([]byte(`<plan><function name="malloc" retval="0" errno="ENOMEM" calloriginal="false"></function></plan>`))
 	f.Add([]byte(`<plan></plan>`))
+	for _, seed := range composedSeeds {
+		f.Add([]byte(seed))
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := scenario.Unmarshal(data)
 		if err != nil {
@@ -49,6 +53,57 @@ func FuzzPlanRoundTrip(f *testing.F) {
 		}
 		if !bytes.Equal(first, second) {
 			t.Fatalf("marshal is not a fixed point:\n--- first ---\n%s--- second ---\n%s", first, second)
+		}
+	})
+}
+
+// composedSeeds exercise the composable condition grammar: containers,
+// every leaf kind, cross-trigger <after-fault> and sticky faults.
+var composedSeeds = []string{
+	`<plan><function name="write" retval="-1" errno="ENOSPC" calloriginal="false" sticky="true"><after-fault function="malloc"></after-fault></function><function name="malloc" inject="4" retval="0" calloriginal="false" once="true"></function></plan>`,
+	`<plan seed="7"><function name="read" retval="-1" calloriginal="false"><and><calls after="2" every="3"></calls><not><pid is="2"></pid></not></and></function></plan>`,
+	`<plan><function name="send" retval="-1" errno="EPIPE" calloriginal="false"><or><cycles min="100" max="9000"></cycles><probability pct="12.5"></probability><stacktrace><frame>0xb824490</frame><frame>flush</frame></stacktrace></or></function></plan>`,
+	`<plan><function name="close" retval="-1" calloriginal="false"><calls until="6"></calls><after-fault function="open" count="2"></after-fault></function><function name="open" retval="-1" errno="EMFILE" calloriginal="false"></function></plan>`,
+}
+
+// FuzzPlanCompileEval is the engine-level target: any faultload that
+// parses must compile and evaluate without panicking, and two
+// evaluators minted from one compiled plan must make identical
+// decisions for an identical call stream (determinism per Plan.Seed).
+func FuzzPlanCompileEval(f *testing.F) {
+	f.Add([]byte(section4Example))
+	for _, seed := range composedSeeds {
+		f.Add([]byte(seed))
+	}
+	set := compatSet()
+	fns := []string{"open", "read", "write", "close", "malloc", "send"}
+	stack := []scenario.StackFrame{{Addr: 0xb824490, Symbol: "readdir"}, {Addr: 0x1000, Symbol: "flush"}}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		plan, err := scenario.Unmarshal(data)
+		if err != nil {
+			t.Skip() // rejected faultloads are Unmarshal's success case
+		}
+		cp, err := scenario.Compile(plan, set)
+		if err != nil {
+			// Unmarshal validates everything Compile checks without a
+			// profile set, so a parsed plan must compile.
+			t.Fatalf("validated plan failed to compile: %v", err)
+		}
+		a, b := cp.NewEvaluator(), cp.NewEvaluator()
+		for i := 0; i < 64; i++ {
+			fn := fns[i%len(fns)]
+			st := stack
+			if i%3 == 0 {
+				st = nil
+			}
+			da := a.OnCallAt(fn, st, uint64(i)*100)
+			db := b.OnCallAt(fn, st, uint64(i)*100)
+			if !reflect.DeepEqual(da, db) {
+				t.Fatalf("call %d (%s): evaluators diverge: %+v vs %+v", i, fn, da, db)
+			}
+			if da.Scanned > cp.TriggerCount(fn) {
+				t.Fatalf("scanned %d > %d indexed triggers for %s", da.Scanned, cp.TriggerCount(fn), fn)
+			}
 		}
 	})
 }

@@ -17,17 +17,55 @@
 //	  </function>
 //	</plan>
 //
-// Every time an intercepted function is called, the relevant triggers are
-// evaluated; if one matches, the associated fault is injected.
+// # Compile, then evaluate
+//
+// A plan is compiled once — Compile(plan, set) — into an immutable
+// CompiledPlan: triggers are indexed per function, retval/errno strings
+// and 0x frame addresses are parsed up front, and random-fault
+// candidates are resolved from the profile set. Every intercepted call
+// then evaluates only the triggers guarding that function (the paper's
+// "every time an intercepted function is called, the relevant triggers
+// are evaluated"), in O(triggers for fn) instead of O(|plan|) —
+// exhaustive faultloads no longer slow every call down. Malformed
+// attributes (retval="x?") are rejected by Unmarshal/Compile with a
+// position-carrying CompileError instead of being silently ignored at
+// fire time. Per-process mutable state — call counts, the fired set,
+// fault counts and the random stream seeded from Plan.Seed — lives in
+// the Evaluators a CompiledPlan mints, so one compiled plan is shared
+// read-only by any number of processes and campaign workers.
+//
+// # Composable conditions
+//
+// Beyond the paper's flat attributes, a trigger can nest a composable
+// condition tree: <and>, <or> and <not> containers over leaves for
+// call-count windows (<calls after/every/until>), virtual-cycle windows
+// (<cycles min/max>), pids (<pid is>), probabilities (<probability
+// pct>), partial backtraces (<stacktrace>) and — for correlated,
+// cascading faultloads — cross-trigger state (<after-fault
+// function="malloc"/> holds once a fault has been injected into
+// malloc). sticky="true" keeps a trigger failing on every call after it
+// first fires. A worked correlated faultload — ENOSPC write failures
+// that start only after the first malloc fault, as a real heap-pressure
+// cascade would:
+//
+//	<plan>
+//	  <function name="malloc" inject="4" retval="0" errno="ENOMEM" once="true"></function>
+//	  <function name="write" retval="-1" errno="ENOSPC" sticky="true">
+//	    <after-fault function="malloc"></after-fault>
+//	  </function>
+//	</plan>
+//
+// Flat attributes and condition elements combine as AND, evaluated in a
+// fixed order (pid, inject, probability, stacktrace, then condition
+// elements in document order) so the number of random draws a partially
+// matching call consumes — and therefore replay — is deterministic.
 package scenario
 
 import (
 	"encoding/xml"
 	"fmt"
-	"math/rand"
 	"sort"
 	"strconv"
-	"strings"
 
 	"lfi/internal/kernel"
 	"lfi/internal/profile"
@@ -73,6 +111,15 @@ type Trigger struct {
 	// is per-application, but our spawn-inheriting interception needs to
 	// pin injections to the parent or the forked child.
 	Pid int `xml:"pid,attr,omitempty"`
+	// Sticky keeps the trigger firing on every subsequent call once it
+	// has fired — a persistent fault (disk full, exhausted heap) rather
+	// than a transient one. Contradicts Once.
+	Sticky bool `xml:"sticky,attr,omitempty"`
+	// Conds is the composable condition tree: any number of condition
+	// elements (<and>, <or>, <not>, <calls>, <cycles>, <pid>,
+	// <probability>, <stacktrace>, <after-fault>) as direct children of
+	// <function>, ANDed with each other and the flat attributes above.
+	Conds []Cond `xml:",any"`
 }
 
 // StackTrace is the partial-backtrace condition of a trigger.
@@ -128,6 +175,13 @@ func (t Trigger) Clone() Trigger {
 		t.Stacktrace = &StackTrace{Frames: append([]string(nil), t.Stacktrace.Frames...)}
 	}
 	t.Modify = append([]Modify(nil), t.Modify...)
+	if t.Conds != nil {
+		conds := make([]Cond, len(t.Conds))
+		for i, c := range t.Conds {
+			conds[i] = c.clone()
+		}
+		t.Conds = conds
+	}
 	return t
 }
 
@@ -140,11 +194,17 @@ func (p *Plan) Marshal() ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-// Unmarshal parses plan XML.
+// Unmarshal parses and validates plan XML. Triggers with unparsable
+// retval/errno attributes or malformed condition trees are rejected
+// here with a position-carrying CompileError — they do not survive to
+// be silently skipped at fire time.
 func Unmarshal(data []byte) (*Plan, error) {
 	var p Plan
 	if err := xml.Unmarshal(data, &p); err != nil {
 		return nil, fmt.Errorf("scenario: unmarshal: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
 	return &p, nil
 }
@@ -294,179 +354,6 @@ func firstErrno(ec profile.ErrorCode) (string, bool) {
 	return "", false
 }
 
-// ---------------------------------------------------------------------------
-// Trigger evaluation
-// ---------------------------------------------------------------------------
-
-// StackFrame describes one backtrace entry for stack-trace triggers.
-type StackFrame struct {
-	Addr   uint32
-	Symbol string
-}
-
-// Decision is the outcome of evaluating the triggers for one call.
-type Decision struct {
-	Inject bool
-	// Trigger indexes the fired trigger within the plan.
-	Trigger int
-	// HasRetval/Retval: value to return instead of calling the original.
-	HasRetval bool
-	Retval    int32
-	// Errno, when HasErrno, must be stored to the errno channel.
-	HasErrno bool
-	Errno    int32
-	// SideEffects from the fault profile to apply (already concrete).
-	SideEffects []profile.SideEffect
-	// CallOriginal passes the (possibly modified) call through.
-	CallOriginal bool
-	Modify       []Modify
-	CallCount    int32
-	// Scanned counts the triggers examined for this call; the controller
-	// charges virtual cycles proportional to it, modelling native
-	// trigger-evaluation cost.
-	Scanned int
-}
-
-// Evaluator evaluates a plan's triggers against a stream of intercepted
-// calls. One evaluator corresponds to one process (call counts are
-// per-process, as with an LD_PRELOADed interceptor's static counters).
-// An evaluator owns all of its mutable state — call counts, fired set
-// and the random stream seeded from Plan.Seed — so concurrent campaigns
-// each construct their own evaluator and never share one; the plan and
-// profile set it reads are treated as immutable.
-type Evaluator struct {
-	plan  *Plan
-	set   profile.Set
-	rng   *rand.Rand
-	count map[string]int32
-	fired map[int]bool
-	pid   int
-}
-
-// NewEvaluator builds an evaluator for the plan. The profile set supplies
-// error codes for random triggers; it may be nil when the plan is fully
-// explicit.
-func NewEvaluator(plan *Plan, set profile.Set) *Evaluator {
-	return &Evaluator{
-		plan:  plan,
-		set:   set,
-		rng:   rand.New(rand.NewSource(plan.Seed)),
-		count: make(map[string]int32),
-		fired: make(map[int]bool),
-	}
-}
-
-// SetPID identifies the process this evaluator serves, for pid-pinned
-// replay triggers.
-func (e *Evaluator) SetPID(pid int) { e.pid = pid }
-
-// CallCount returns the number of calls seen so far for fn.
-func (e *Evaluator) CallCount(fn string) int32 { return e.count[fn] }
-
-// OnCall records one call to fn and evaluates the triggers. stack is the
-// runtime backtrace, innermost frame first.
-func (e *Evaluator) OnCall(fn string, stack []StackFrame) Decision {
-	e.count[fn]++
-	n := e.count[fn]
-	scanned := 0
-	for i := range e.plan.Triggers {
-		t := &e.plan.Triggers[i]
-		if t.Function != fn {
-			continue
-		}
-		scanned++
-		if t.Pid != 0 && t.Pid != e.pid {
-			continue
-		}
-		if t.Once && e.fired[i] {
-			continue
-		}
-		if t.Inject > 0 && t.Inject != n {
-			continue
-		}
-		if t.Probability > 0 && e.rng.Float64()*100 >= t.Probability {
-			continue
-		}
-		if !matchStack(t.Frames(), stack) {
-			continue
-		}
-		e.fired[i] = true
-		d := e.fire(i, t, fn, n)
-		d.Scanned = scanned
-		return d
-	}
-	return Decision{CallCount: n, Scanned: scanned}
-}
-
-func (e *Evaluator) fire(idx int, t *Trigger, fn string, n int32) Decision {
-	d := Decision{
-		Inject:       true,
-		Trigger:      idx,
-		CallOriginal: t.CallOriginal,
-		Modify:       t.Modify,
-		CallCount:    n,
-	}
-	if t.Retval != "" {
-		if v, err := strconv.ParseInt(t.Retval, 0, 32); err == nil {
-			d.HasRetval = true
-			d.Retval = int32(v)
-		}
-	}
-	if v, ok := ParseErrno(t.Errno); ok {
-		d.HasErrno = true
-		d.Errno = v
-	}
-	if t.Random && e.set != nil {
-		if _, pf, ok := e.set.FindFunction(fn); ok && len(pf.ErrorCodes) > 0 {
-			ec := pf.ErrorCodes[e.rng.Intn(len(pf.ErrorCodes))]
-			d.HasRetval = true
-			d.Retval = ec.Retval
-			if len(ec.SideEffects) > 0 {
-				se := ec.SideEffects[e.rng.Intn(len(ec.SideEffects))]
-				d.SideEffects = []profile.SideEffect{se}
-				if se.Type == profile.SideEffectTLS {
-					d.HasErrno = true
-					d.Errno = se.Applied()
-				}
-			}
-		}
-	}
-	// A trigger that neither returns a value nor modifies arguments and
-	// does not call the original would hang the caller; treat it as a
-	// pure pass-through probe.
-	if !d.HasRetval && len(d.Modify) == 0 && !t.CallOriginal && !t.Random {
-		if !d.HasErrno {
-			d.CallOriginal = true
-		} else {
-			// errno-only injection still needs a retval: without a
-			// profile we return -1, the C convention.
-			d.HasRetval = true
-			d.Retval = -1
-		}
-	}
-	return d
-}
-
-// matchStack checks the paper's partial stack-trace condition.
-func matchStack(want []string, got []StackFrame) bool {
-	if len(want) == 0 {
-		return true
-	}
-	if len(want) > len(got) {
-		return false
-	}
-	for i, w := range want {
-		f := got[i]
-		if strings.HasPrefix(w, "0x") || strings.HasPrefix(w, "0X") {
-			v, err := strconv.ParseUint(w[2:], 16, 32)
-			if err != nil || uint32(v) != f.Addr {
-				return false
-			}
-			continue
-		}
-		if w != f.Symbol {
-			return false
-		}
-	}
-	return true
-}
+// Trigger evaluation lives in compile.go: Compile builds an immutable
+// CompiledPlan (per-function index, pre-parsed faults) and Evaluators
+// carry the per-process mutable state.

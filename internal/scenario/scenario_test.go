@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"unicode/utf8"
 
 	"lfi/internal/kernel"
 	"lfi/internal/profile"
@@ -82,8 +83,18 @@ func TestPlanXMLRoundTrip(t *testing.T) {
 
 func TestPlanXMLQuickRoundTrip(t *testing.T) {
 	f := func(fn string, inject int32, retval int32, once bool) bool {
-		if strings.ContainsAny(fn, "<>&\x00") || fn == "" {
+		if strings.ContainsAny(fn, "<>&") || fn == "" || !utf8.ValidString(fn) {
 			return true
+		}
+		// Runes outside the XML character range are replaced with
+		// U+FFFD by the encoder, so identity cannot survive them.
+		for _, r := range fn {
+			valid := r == 0x9 || r == 0xA || r == 0xD ||
+				(r >= 0x20 && r <= 0xD7FF) || (r >= 0xE000 && r <= 0xFFFD) ||
+				(r >= 0x10000 && r <= 0x10FFFF)
+			if !valid {
+				return true
+			}
 		}
 		p := &Plan{Triggers: []Trigger{{
 			Function: fn, Inject: inject,

@@ -367,10 +367,13 @@ func BenchmarkStubSynthesis(b *testing.B) {
 
 // sweepBenchApp models a corpus application: a compute phase (config
 // parsing stand-in) followed by the open/read/close/malloc/write sequence
-// the sweep injects into. The compute loop gives each experiment enough
-// virtual work for campaign scheduling to matter.
+// the sweep injects into. The compute loop is sized like the §2
+// matrix's short config-loading runs: enough virtual work that a run is
+// not free, short enough that per-experiment setup — what the snapshot
+// runtime amortises — is a realistic share of campaign cost.
 const sweepBenchApp = `
 needs "libc.so";
+needs "libbig.so";
 extern int open(byte *path, int flags, int mode);
 extern int close(int fd);
 extern int read(int fd, byte *buf, int n);
@@ -385,7 +388,7 @@ int main(void) {
   byte buf[32];
   byte *p;
   acc = 0;
-  for (i = 0; i < 60000; i = i + 1) { acc = acc + i; }
+  for (i = 0; i < 1000; i = i + 1) { acc = acc + i; }
   fd = open("/data", 0, 0);
   if (fd < 0) { return 2; }
   n = read(fd, buf, 31);
@@ -400,10 +403,19 @@ int main(void) {
 `
 
 // sweepBenchTarget builds the shared target and a profile whose matrix
-// has a dozen (function, error code) experiments.
+// has a dozen (function, error code) experiments. Besides libc the
+// target links a 400-function corpus library it barely uses — the
+// paper's reality, where applications load hundreds of KB of shared
+// library text per process and exercise a sliver of it. Fresh spawns
+// re-copy, re-relocate and re-decode all of it per experiment; the
+// snapshot runtime shares it immutably across restores.
 func sweepBenchTarget(b *testing.B) (core.CampaignConfig, profile.Set) {
 	b.Helper()
 	lc, err := libc.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	big, err := corpus.Generate(corpus.Traits{Name: "libbig.so", Seed: 3, NumFuncs: 400})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -435,9 +447,13 @@ func sweepBenchTarget(b *testing.B) (core.CampaignConfig, profile.Set) {
 		},
 	}}
 	cfg := core.CampaignConfig{
-		Programs:   []*obj.File{lc, app},
+		Programs:   []*obj.File{lc, big.Object, app},
 		Executable: "swept",
 		Files:      map[string][]byte{"/data": []byte("mode=bench\n")},
+		// The app touches a few KB; right-size the address space so
+		// neither executor pays for untouched gigabytes of zeroes.
+		// Both executors get the same options, so the ratio is fair.
+		VM: vm.Options{StackSize: 1 << 16, HeapLimit: 1 << 18},
 	}
 	return cfg, set
 }
@@ -469,6 +485,29 @@ func BenchmarkSweepParallel(b *testing.B) {
 	var entries int
 	for i := 0; i < b.N; i++ {
 		res, err := core.SweepParallel(cfg, set, 0, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		entries = len(res.Entries)
+	}
+	b.ReportMetric(float64(entries), "experiments")
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkSweepSnapshot is the same matrix and worker count on the
+// fork-server runtime: the load pipeline (text copy, relocation,
+// decode, symbol maps, stub synthesis) runs once into a vm.Snapshot and
+// every experiment restores from it in O(writable bytes). The ratio to
+// BenchmarkSweepParallel is the per-experiment-setup share of campaign
+// cost that snapshotting eliminates (BENCH_sweep.json).
+func BenchmarkSweepSnapshot(b *testing.B) {
+	cfg, set := sweepBenchTarget(b)
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	var entries int
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunExperiments(cfg, core.PlanExperiments(set), 0,
+			core.SweepOptions{Workers: workers, Snapshot: true})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -30,6 +30,7 @@ func run() error {
 	txns := flag.Int("txns", 200, "table4 transactions per cell")
 	seed := flag.Int64("seed", 42, "table1 corpus seed")
 	jobs := flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS for sweeps; sequential for the efficiency timing series)")
+	snapshot := flag.Bool("snapshot", false, "run sweeps on the fork-server runtime (restore from one post-load snapshot)")
 	flag.Parse()
 
 	sel := map[string]bool{}
@@ -89,7 +90,7 @@ func run() error {
 	}
 	if sel["robustness"] {
 		section("§2 Robustness comparison")
-		r, err := experiments.Robustness(*jobs)
+		r, err := experiments.Robustness(*jobs, *snapshot)
 		if err != nil {
 			return err
 		}

@@ -12,7 +12,7 @@
 //	lfi build prog.mc -o prog.slef [-exe]
 //	lfi plan -kind random -p 10 -seed 7 -profile libc.profile.xml -o plan.xml
 //	lfi plan -check plan.xml [-profile libc.profile.xml]
-//	lfi sweep -app app.slef -lib libc.slef -profile libc.profile.xml -j 8
+//	lfi sweep -app app.slef -lib libc.slef -profile libc.profile.xml -j 8 -snapshot -prune
 //	lfi disasm lib.slef [-func name]
 //	lfi cfg lib.slef -func name [-dot]
 //	lfi demo
@@ -373,6 +373,8 @@ func cmdSweep(args []string) error {
 	budget := fs.Uint64("budget", 0, "per-run cycle budget (0 = default)")
 	progress := fs.Bool("progress", false, "print live progress to stderr")
 	heur := fs.Bool("heuristics", false, "enable the §3.1 filtering heuristics for in-process profiling")
+	snapshot := fs.Bool("snapshot", false, "fork-server runtime: restore every run from one post-load snapshot")
+	prune := fs.Bool("prune", false, "skip experiments whose function the baseline never calls (coverage-informed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -407,7 +409,10 @@ func cmdSweep(args []string) error {
 		return fmt.Errorf("sweep: no fault profiles")
 	}
 
-	opts := core.SweepOptions{Workers: *jobs, MaxCrashes: *maxCrashes}
+	opts := core.SweepOptions{
+		Workers: *jobs, MaxCrashes: *maxCrashes,
+		Snapshot: *snapshot, PruneUncalled: *prune,
+	}
 	if *progress {
 		opts.Progress = func(p core.SweepProgress) {
 			fmt.Fprintln(os.Stderr, p.String())

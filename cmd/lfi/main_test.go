@@ -185,6 +185,19 @@ func TestCLISweep(t *testing.T) {
 		t.Errorf("in-process-profiled sweep malformed:\n%s", out2)
 	}
 
+	// The fork-server runtime and baseline-informed pruning must render
+	// the exact same report as the fresh-spawn sweep.
+	base := captureStdout(t, func() error {
+		return run([]string{"sweep", "-app", appPath, "-lib", libPath, "-profile", profPath, "-j", "4"})
+	})
+	snap := captureStdout(t, func() error {
+		return run([]string{"sweep", "-app", appPath, "-lib", libPath,
+			"-profile", profPath, "-j", "4", "-snapshot", "-prune"})
+	})
+	if snap != base {
+		t.Errorf("-snapshot -prune report differs from fresh-spawn:\n--- fresh ---\n%s--- snapshot ---\n%s", base, snap)
+	}
+
 	if err := run([]string{"sweep"}); err == nil {
 		t.Error("sweep without -app should fail")
 	}

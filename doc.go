@@ -14,6 +14,23 @@
 // `lfi sweep -j N` and `lfi-bench -j N` expose the pool size; -max-crashes
 // stops a sweep at the N-th crash for triage.
 //
+// Sweeps optionally run on a fork-server snapshot runtime (ZOFI-style):
+// the whole load pipeline — text copy, relocation, instruction decode,
+// symbol maps, stub synthesis for the union of intercepted functions —
+// executes once into an immutable vm.Snapshot, and every experiment
+// (baseline included) restores from it in O(writable bytes), binding
+// only its own compiled faultload; decoded instructions, patched text
+// and symbol tables are shared read-only by all restores. The rendered
+// report stays byte-identical to the fresh-spawn executor's for
+// call-keyed faultloads — everything the sweep matrix generates; see
+// the SweepOptions.Snapshot caveat on <cycles> windows and tight
+// explicit budgets —
+// (`lfi sweep -snapshot`, `lfi-bench -snapshot`; BenchmarkSweepSnapshot
+// vs BenchmarkSweepParallel in BENCH_sweep.json records the campaign
+// throughput gain). Baseline-informed pruning (`lfi sweep -prune`)
+// additionally skips experiments whose functions the coverage-traced
+// baseline proves the workload never calls.
+//
 // The §4 scenario language runs on a compile-then-evaluate trigger
 // engine: scenario.Compile turns a faultload into an immutable
 // CompiledPlan — triggers indexed per function, retvals/errnos/frame

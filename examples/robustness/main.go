@@ -1,10 +1,12 @@
 // Robustness benchmark: the §2 use case of comparing, systematically, the
 // fault-tolerance of different applications. Two implementations of the
 // same config-loading program — one defensive, one sloppy — are swept
-// through every (function, error code) fault in the libc profile, one
-// fresh VM per experiment, scheduled over all CPUs by the parallel
-// campaign engine (core.SweepParallel). The report is byte-identical to a
-// sequential sweep at any worker count.
+// through every (function, error code) fault in the libc profile,
+// scheduled over all CPUs by the campaign engine and run on the
+// fork-server runtime: the load pipeline executes once per app into a
+// vm.Snapshot and every experiment restores from it in O(writable
+// bytes). The report is byte-identical to a sequential fresh-spawn
+// sweep at any worker count.
 //
 //	go run ./examples/robustness
 package main
@@ -19,7 +21,7 @@ import (
 
 func main() {
 	workers := runtime.GOMAXPROCS(0)
-	res, err := experiments.Robustness(workers)
+	res, err := experiments.Robustness(workers, true)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -27,5 +29,5 @@ func main() {
 	fmt.Println()
 	fmt.Println("The defensive build tolerates or detects every injected fault;")
 	fmt.Println("the sloppy build crashes — the systematic comparison §2 envisions,")
-	fmt.Printf("swept with %d parallel campaign workers.\n", workers)
+	fmt.Printf("swept with %d workers restoring from a shared snapshot.\n", workers)
 }

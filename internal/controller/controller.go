@@ -23,13 +23,13 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
 	"strings"
 
-	"lfi/internal/asm"
 	"lfi/internal/obj"
 	"lfi/internal/profile"
 	"lfi/internal/scenario"
@@ -38,6 +38,11 @@ import (
 
 // StubLibName is the module name of the synthesised interceptor library.
 const StubLibName = "liblfi.so"
+
+// ErrNoTriggers reports a faultload that names no functions: there is
+// nothing to synthesise a stub for. Both campaign executors surface it
+// for such experiments, in the same plan-order position.
+var ErrNoTriggers = errors.New("scenario has no triggers")
 
 // evalHostFunc is the host import every stub calls.
 const evalHostFunc = "__lfi_eval"
@@ -147,16 +152,15 @@ func (c *Controller) StubLibrary() (*obj.File, error) {
 	}
 	fns := c.cp.Functions()
 	if len(fns) == 0 {
-		return nil, fmt.Errorf("controller: scenario has no triggers")
+		return nil, fmt.Errorf("controller: %w", ErrNoTriggers)
 	}
-	c.fidToFunc = fns
-	src := GenerateStubSource(fns)
-	f, err := asm.Assemble(StubLibName+".s", src)
+	ss, err := NewStubSet(fns)
 	if err != nil {
-		return nil, fmt.Errorf("controller: synthesising stubs: %w", err)
+		return nil, err
 	}
-	c.stub = f
-	return f, nil
+	c.fidToFunc = ss.fns
+	c.stub = ss.lib
+	return c.stub, nil
 }
 
 // GenerateStubSource emits the interceptor library's assembly: per-function

@@ -1,0 +1,89 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+
+	"lfi/internal/asm"
+	"lfi/internal/obj"
+	"lfi/internal/scenario"
+	"lfi/internal/vm"
+)
+
+// StubSet is a precomputed interception surface: the synthesised stub
+// library for a fixed set of functions plus the fid mapping baked into
+// its stubs. It decouples stub synthesis from the faultload so that a
+// snapshot-based campaign scheduler can assemble the stubs once for the
+// union of every function a sweep will ever intercept, spawn one
+// template system with them preloaded, and then bind a different
+// compiled plan to each restored run — functions the current plan does
+// not name simply evaluate to pass-through.
+//
+// A StubSet is immutable and safe to share across campaigns, restores
+// and goroutines.
+type StubSet struct {
+	fns []string // sorted; fid i is fns[i], matching GenerateStubSource
+	lib *obj.File
+}
+
+// NewStubSet synthesises the interceptor library for the given function
+// set (order and duplicates are irrelevant; the fid order is sorted, as
+// in GenerateStubSource).
+func NewStubSet(fns []string) (*StubSet, error) {
+	seen := make(map[string]bool, len(fns))
+	sorted := make([]string, 0, len(fns))
+	for _, fn := range fns {
+		if fn == "" || seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		sorted = append(sorted, fn)
+	}
+	if len(sorted) == 0 {
+		return nil, fmt.Errorf("controller: stub set has no functions")
+	}
+	sort.Strings(sorted)
+	src := GenerateStubSource(sorted)
+	f, err := asm.Assemble(StubLibName+".s", src)
+	if err != nil {
+		return nil, fmt.Errorf("controller: synthesising stubs: %w", err)
+	}
+	return &StubSet{fns: sorted, lib: f}, nil
+}
+
+// Library returns the synthesised interceptor library (treat as
+// immutable).
+func (ss *StubSet) Library() *obj.File { return ss.lib }
+
+// Functions returns the intercepted function names in fid order.
+func (ss *StubSet) Functions() []string { return append([]string(nil), ss.fns...) }
+
+// InstallTemplate prepares a template system for snapshotting: it
+// registers the stub library and an inert pass-through evaluator host
+// slot, so the template can be spawned (with PreloadList) and frozen
+// before any faultload exists. Each restore then rebinds the slot to a
+// real controller via Controller.Install.
+func (ss *StubSet) InstallTemplate(sys *vm.System) {
+	sys.Register(ss.lib)
+	sys.RegisterHost(evalHostFunc, func(*vm.HostCall) int32 { return 0 })
+}
+
+// PreloadList returns the preload set for SpawnConfig — identical to
+// the controller's, exposed here so template spawns need no controller.
+func (ss *StubSet) PreloadList() []string { return []string{StubLibName} }
+
+// NewWithStubs creates a controller that drives the compiled plan
+// through a prebuilt interception surface. The stub set may cover more
+// functions than the plan names: the extra stubs still count calls and
+// charge the evaluation cost, but never inject. This is the restore
+// half of the fork-server runtime — the stub set and compiled plan are
+// shared immutably while each controller owns only the thin per-run
+// state (evaluators and the injection log).
+func NewWithStubs(ss *StubSet, cp *scenario.CompiledPlan) *Controller {
+	return &Controller{
+		cp:        cp,
+		evals:     make(map[int]*scenario.Evaluator),
+		stub:      ss.lib,
+		fidToFunc: ss.fns,
+	}
+}

@@ -60,6 +60,43 @@
 // scenario.CompiledPlan (PlanExperiments pre-compiles each experiment's
 // single-trigger plan so all runs and workers share it), so sharing is
 // read-only.
+//
+// # Snapshot campaigns
+//
+// With SweepOptions.Snapshot, the executor switches to a fork-server
+// runtime. Its lifecycle per sweep:
+//
+//  1. Template build (once): register programs and kernel files,
+//     synthesise one interceptor stub library for the union of every
+//     function any experiment intercepts, and spawn the executable
+//     with it preloaded — paying text copy, relocation, instruction
+//     decode and symbol-map construction exactly once.
+//  2. Freeze: vm.Snapshot captures the spawned system at the post-load
+//     entry point.
+//  3. Restore (per run, baseline included): Snapshot.Restore mints a
+//     private System in O(writable bytes) — writable data/TLS/stack/
+//     heap segments, registers, kernel FS/FD state and cycle counters
+//     are deep-copied; patched text, decoded instructions, symbol
+//     tables and the whole Image are shared immutably. The run then
+//     binds only its own faultload: a thin controller over the shared
+//     stub surface and compiled plan (controller.NewWithStubs), whose
+//     evaluators and log are the run's entire private state.
+//
+// The concurrency contract: the Snapshot, StubSet and CompiledPlans
+// are immutable and shared by every worker; each restored System and
+// its controller belong to exactly one run and must not outlive it
+// into another. Stubs for functions the current faultload does not
+// name evaluate to pass-through, so the baseline (an empty plan) and
+// every experiment execute the same images — which is what makes the
+// snapshot report byte-identical to the fresh-spawn report, seeded
+// random faultloads and -max-crashes early stops included.
+//
+// SweepOptions.PruneUncalled adds baseline-informed pruning on either
+// executor: the baseline runs once with instruction coverage, and
+// experiments whose faultload only names functions the baseline never
+// executed are committed as not-triggered without spawning a run —
+// sound because the deterministic VM replays the baseline exactly
+// until a fault fires.
 package core
 
 import (
@@ -213,20 +250,22 @@ func (c *Campaign) Controller() *controller.Controller { return c.ctl }
 
 // Run executes to completion (budget 0 = unlimited) and reports.
 func (c *Campaign) Run(budget uint64) (*Report, error) {
-	err := c.sys.Run(budget)
-	rep := &Report{
-		Status: c.proc.Status,
-		Cycles: c.sys.TotalCycles,
-	}
-	if c.ctl != nil {
-		rep.Injections = c.ctl.Log()
-		rep.ReplayPlan = c.ctl.ReplayPlan()
+	err := c.sys.Run(budget) // sequenced: status/cycles are read post-run
+	return assembleReport(err, c.proc.Status, c.sys.TotalCycles, c.ctl)
+}
+
+// assembleReport turns a finished run (fresh-spawn or snapshot-restore)
+// into a Report, folding deadlock and budget exhaustion into the
+// Deadlocked flag.
+func assembleReport(err error, status vm.ExitStatus, cycles uint64, ctl *controller.Controller) (*Report, error) {
+	rep := &Report{Status: status, Cycles: cycles}
+	if ctl != nil {
+		rep.Injections = ctl.Log()
+		rep.ReplayPlan = ctl.ReplayPlan()
 	}
 	switch err {
 	case nil:
-	case vm.ErrDeadlock:
-		rep.Deadlocked = true
-	case vm.ErrBudget:
+	case vm.ErrDeadlock, vm.ErrBudget:
 		rep.Deadlocked = true
 	default:
 		return rep, err

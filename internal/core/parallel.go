@@ -25,6 +25,29 @@ type SweepOptions struct {
 	// Progress, when non-nil, is called after each experiment is
 	// committed to the report, in plan order, from a single goroutine.
 	Progress func(SweepProgress)
+	// Snapshot switches the executor to the fork-server runtime: the
+	// whole load pipeline (text copy, relocation, instruction decode,
+	// symbol maps, stub synthesis for the union of intercepted
+	// functions) runs once into an immutable vm.Snapshot, and every
+	// run — baseline included — restores from it in O(writable bytes),
+	// binding only its own compiled faultload. The rendered report is
+	// byte-identical to the fresh-spawn executor's for faultloads whose
+	// triggers key on calls (inject=, <calls>, probability, stacks,
+	// after-fault — everything PlanExperiments generates), with one
+	// caveat: the shared surface intercepts every swept function in
+	// every run, so virtual cycle counts run slightly higher than under
+	// the fresh executor's single-function stubs. A <cycles>-windowed
+	// trigger or a run sitting exactly at an explicit tight cycle
+	// budget can therefore classify differently; under the default
+	// budget and call-keyed triggers the reports match byte for byte.
+	Snapshot bool
+	// PruneUncalled enables baseline-informed pruning: the baseline
+	// runs once with instruction coverage, and experiments whose
+	// faultload only names functions the baseline never executed are
+	// committed as not-triggered without spawning a run (deterministic
+	// execution guarantees the run would replay the baseline exactly).
+	// The rendered report is unchanged; only the work is skipped.
+	PruneUncalled bool
 }
 
 // SweepProgress is one live progress update of a running sweep.
@@ -62,9 +85,52 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 	if budget == 0 {
 		budget = DefaultSweepBudget
 	}
-	baseline, err := runBaseline(cfg, budget)
+	// A matrix that intercepts nothing — empty, or experiments whose
+	// faultloads name no functions — has nothing a snapshot would
+	// amortise: fall back to the fresh executor so the report matches
+	// it instead of failing to build a stub set.
+	var sr *snapshotRunner
+	if opts.Snapshot {
+		if fns := sweepFunctions(exps); len(fns) > 0 {
+			r, err := newSnapshotRunner(cfg, fns)
+			if err != nil {
+				return nil, err
+			}
+			sr = r
+		}
+	}
+	// The baseline anchors outcome classification. With pruning it also
+	// collects the coverage-derived call set, which needs a fresh
+	// coverage-enabled campaign; otherwise it comes from a snapshot
+	// restore (pass-through stubs leave the exit code unchanged; sr is
+	// nil for an empty matrix even with opts.Snapshot) or a plain fresh
+	// spawn. All three produce the same exit code.
+	var (
+		baseline int32
+		called   map[string]bool
+		err      error
+	)
+	switch {
+	case opts.PruneUncalled:
+		baseline, called, err = baselineCoverage(cfg, budget)
+	case sr != nil:
+		baseline, err = sr.baseline(budget)
+	default:
+		baseline, err = runBaseline(cfg, budget)
+	}
 	if err != nil {
 		return nil, err
+	}
+	run := func(exp Experiment) (SweepEntry, error) {
+		if called != nil {
+			if entry, ok := pruneEntry(&exp, called, baseline); ok {
+				return entry, nil
+			}
+		}
+		if sr != nil {
+			return sr.run(exp, baseline, budget)
+		}
+		return runExperiment(cfg, exp, baseline, budget)
 	}
 	res := &SweepResult{Executable: cfg.Executable, Baseline: baseline}
 
@@ -79,7 +145,7 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 	collect := newCollector(res, len(exps), opts)
 	if workers <= 1 {
 		for _, exp := range exps {
-			entry, err := runExperiment(cfg, exp, baseline, budget)
+			entry, err := run(exp)
 			if err != nil {
 				return nil, err
 			}
@@ -135,7 +201,7 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				entry, err := runExperiment(cfg, j.exp, baseline, budget)
+				entry, err := run(j.exp)
 				select {
 				case results <- outcome{idx: j.idx, entry: entry, err: err}:
 				case <-stop:

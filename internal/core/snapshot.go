@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"lfi/internal/controller"
+	"lfi/internal/isa"
+	"lfi/internal/obj"
+	"lfi/internal/scenario"
+	"lfi/internal/vm"
+)
+
+// snapshotRunner is the fork-server campaign executor. It pays the full
+// load pipeline once — program registration, kernel files, stub
+// synthesis for the union of every function the sweep intercepts, spawn
+// (text copy, relocation, decode, symbol maps) — and freezes the result
+// as a vm.Snapshot. Each experiment, and the baseline, then restores
+// from the snapshot in O(writable bytes) and binds only its own
+// compiled faultload to the shared stub surface.
+//
+// A runner is immutable after construction and safe for concurrent use
+// by any number of sweep workers: the snapshot, stub set and
+// pass-through plan are shared read-only, and every run owns a private
+// restored System plus a thin controller (evaluators and log).
+type snapshotRunner struct {
+	cfg      CampaignConfig
+	snap     *vm.Snapshot
+	stubs    *controller.StubSet
+	passthru *scenario.CompiledPlan // empty plan: the baseline's faultload
+}
+
+// sweepFunctions is the union of every function the sweep's faultloads
+// intercept — the snapshot template's stub surface.
+func sweepFunctions(exps []Experiment) []string {
+	var fns []string
+	for i := range exps {
+		fns = append(fns, experimentFunctions(&exps[i])...)
+	}
+	return fns
+}
+
+// newSnapshotRunner builds the template system for a sweep and
+// snapshots it at the post-load entry point. fns must be non-empty
+// (RunExperiments falls back to the fresh executor otherwise — with
+// nothing to intercept there is nothing a snapshot would amortise).
+func newSnapshotRunner(cfg CampaignConfig, fns []string) (*snapshotRunner, error) {
+	stubs, err := controller.NewStubSet(fns)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot sweep: %w", err)
+	}
+	sys := vm.NewSystem(cfg.VM)
+	for _, f := range cfg.Programs {
+		sys.Register(f)
+	}
+	for path, data := range cfg.Files {
+		sys.Kernel().AddFile(path, data)
+	}
+	stubs.InstallTemplate(sys)
+	if _, err := sys.Spawn(cfg.Executable, vm.SpawnConfig{Preload: stubs.PreloadList()}); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	snap, err := sys.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &snapshotRunner{
+		cfg:      cfg,
+		snap:     snap,
+		stubs:    stubs,
+		passthru: scenario.MustCompile(&scenario.Plan{}, nil),
+	}, nil
+}
+
+// experimentFunctions lists the functions an experiment's faultload
+// intercepts.
+func experimentFunctions(exp *Experiment) []string {
+	switch {
+	case exp.Compiled != nil:
+		return exp.Compiled.Functions()
+	case exp.Plan != nil:
+		return exp.Plan.Functions()
+	}
+	return nil
+}
+
+// exec restores one run from the snapshot, binds the faultload and
+// executes it to completion under the budget.
+func (r *snapshotRunner) exec(cp *scenario.CompiledPlan, budget uint64) (*Report, error) {
+	sys := r.snap.Restore()
+	// PassThrough stays false, mirroring runExperiment's explicit clear:
+	// sweep experiments always activate their faults on both executors.
+	ctl := controller.NewWithStubs(r.stubs, cp)
+	if err := ctl.Install(sys); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	proc := sys.Procs()[0]
+	err := sys.Run(budget) // sequenced: status/cycles are read post-run
+	return assembleReport(err, proc.Status, sys.TotalCycles, ctl)
+}
+
+// baseline runs the clean reference from the snapshot: the shared stub
+// surface with an empty faultload is a pure pass-through, so the exit
+// code matches a fresh uninstrumented spawn.
+func (r *snapshotRunner) baseline(budget uint64) (int32, error) {
+	rep, err := r.exec(r.passthru, budget)
+	if err != nil {
+		return 0, err
+	}
+	return baselineExit(rep)
+}
+
+// run executes one experiment from the snapshot and classifies it —
+// the restore-path twin of runExperiment.
+func (r *snapshotRunner) run(exp Experiment, baseline int32, budget uint64) (SweepEntry, error) {
+	entry := exp.entry()
+	cp := exp.Compiled
+	switch {
+	case cp != nil:
+	case exp.Plan == nil:
+		// The fresh path runs a plan-less experiment uninstrumented and
+		// classifies it not-triggered; the pass-through surface is its
+		// restore-side equivalent (no trigger can fire).
+		cp = r.passthru
+	default:
+		var err error
+		cp, err = scenario.Compile(exp.Plan, r.cfg.Profiles)
+		if err != nil {
+			return entry, fmt.Errorf("core: %w", err)
+		}
+	}
+	// Match the fresh path's contract: a supplied faultload with no
+	// triggers is an error there (the per-experiment stub library would
+	// be empty), so it must fail here too, in the same plan-order
+	// position.
+	if cp != r.passthru && len(cp.Functions()) == 0 {
+		return entry, fmt.Errorf("core: controller: %w", controller.ErrNoTriggers)
+	}
+	rep, err := r.exec(cp, budget)
+	if err != nil {
+		return entry, err
+	}
+	entry.classify(rep, baseline)
+	return entry, nil
+}
+
+// baselineCoverage runs the clean baseline once with instruction
+// coverage enabled and reports its exit code plus every exported
+// function the run executed (in any process, in any loaded module).
+// It feeds baseline-informed pruning: an experiment whose faultload
+// only names functions outside this set can never fire, because the
+// deterministic VM replays the baseline exactly until a fault changes
+// control flow.
+func baselineCoverage(cfg CampaignConfig, budget uint64) (int32, map[string]bool, error) {
+	covCfg := cfg
+	covCfg.Plan = nil
+	covCfg.Compiled = nil
+	covCfg.VM.Coverage = true
+	c, err := NewCampaign(covCfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	rep, err := c.Run(budget)
+	if err != nil {
+		return 0, nil, err
+	}
+	code, err := baselineExit(rep)
+	if err != nil {
+		return 0, nil, err
+	}
+	called := make(map[string]bool)
+	for _, p := range c.System().Procs() {
+		for _, im := range p.Images {
+			for _, sym := range im.File.Symbols {
+				if sym.Kind != obj.SymFunc || !sym.Exported || called[sym.Name] {
+					continue
+				}
+				for off := sym.Off; off < sym.Off+sym.Size; off += isa.Size {
+					if im.Covered(off) {
+						called[sym.Name] = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return code, called, nil
+}
+
+// pruneEntry short-circuits an experiment the baseline proves inert:
+// if none of its faultload's functions were executed by the clean run,
+// the experiment replays the baseline exactly — terminating with the
+// baseline exit code and an empty injection log — so its entry can be
+// synthesised without spawning a run. Experiments with a missing,
+// empty or uncompilable faultload are never pruned; the executor
+// surfaces their outcomes and errors in plan order, exactly as without
+// pruning.
+func pruneEntry(exp *Experiment, called map[string]bool, baseline int32) (SweepEntry, bool) {
+	fns := experimentFunctions(exp)
+	if len(fns) == 0 {
+		return SweepEntry{}, false
+	}
+	for _, fn := range fns {
+		if called[fn] {
+			return SweepEntry{}, false
+		}
+	}
+	// A plan the executor would reject must still abort the sweep —
+	// pruning skips work, never validation.
+	if exp.Compiled == nil && exp.Plan.Validate() != nil {
+		return SweepEntry{}, false
+	}
+	entry := exp.entry()
+	entry.Outcome = OutcomeNotTriggered
+	entry.ExitCode = baseline
+	return entry, true
+}

@@ -189,6 +189,15 @@ func PlanExperiments(set profile.Set) []Experiment {
 	return out
 }
 
+// baselineExit extracts a baseline run's exit code, rejecting crashed
+// or wedged baselines — no classification can anchor on those.
+func baselineExit(rep *Report) (int32, error) {
+	if rep.Status.Signal != 0 || rep.Deadlocked {
+		return 0, fmt.Errorf("core: baseline run is unhealthy: %+v", rep.Status)
+	}
+	return rep.Status.Code, nil
+}
+
 // runBaseline executes the clean run that anchors outcome classification.
 func runBaseline(cfg CampaignConfig, budget uint64) (int32, error) {
 	baseCfg := cfg
@@ -202,10 +211,22 @@ func runBaseline(cfg CampaignConfig, budget uint64) (int32, error) {
 	if err != nil {
 		return 0, err
 	}
-	if baseRep.Status.Signal != 0 || baseRep.Deadlocked {
-		return 0, fmt.Errorf("core: baseline run is unhealthy: %+v", baseRep.Status)
+	return baselineExit(baseRep)
+}
+
+// entry seeds the report row for an experiment's coordinates.
+func (exp *Experiment) entry() SweepEntry {
+	return SweepEntry{
+		Library: exp.Library, Function: exp.Function, Retval: exp.Retval,
+		Errno: exp.Errno, HasErrno: exp.HasErrno,
 	}
-	return baseRep.Status.Code, nil
+}
+
+// classify fills the outcome half of the entry from a finished run.
+func (e *SweepEntry) classify(rep *Report, baseline int32) {
+	e.ExitCode = rep.Status.Code
+	e.Signal = rep.Status.Signal
+	e.Outcome = Classify(rep, baseline)
 }
 
 // runExperiment executes one experiment in a fresh Campaign (its own
@@ -214,10 +235,7 @@ func runBaseline(cfg CampaignConfig, budget uint64) (int32, error) {
 // the shared CampaignConfig and Experiment are only ever read — this is
 // what keeps a many-worker sweep race-free.
 func runExperiment(cfg CampaignConfig, exp Experiment, baseline int32, budget uint64) (SweepEntry, error) {
-	entry := SweepEntry{
-		Library: exp.Library, Function: exp.Function, Retval: exp.Retval,
-		Errno: exp.Errno, HasErrno: exp.HasErrno,
-	}
+	entry := exp.entry()
 	runCfg := cfg
 	runCfg.Plan = exp.Plan
 	runCfg.Compiled = exp.Compiled
@@ -230,9 +248,7 @@ func runExperiment(cfg CampaignConfig, exp Experiment, baseline int32, budget ui
 	if err != nil {
 		return entry, err
 	}
-	entry.ExitCode = rep.Status.Code
-	entry.Signal = rep.Status.Signal
-	entry.Outcome = Classify(rep, baseline)
+	entry.classify(rep, baseline)
 	return entry, nil
 }
 

@@ -75,7 +75,7 @@ func TestTable2SmallRows(t *testing.T) {
 }
 
 func TestRobustnessComparison(t *testing.T) {
-	r, err := Robustness(4)
+	r, err := Robustness(4, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,13 +85,20 @@ func TestRobustnessComparison(t *testing.T) {
 	if r.Crashes("sloppy") == 0 {
 		t.Error("sloppy build should crash under the sweep")
 	}
-	seq, err := Robustness(1)
+	seq, err := Robustness(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Robustness(4, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range r.Apps {
 		if r.Apps[i].Result.Render() != seq.Apps[i].Result.Render() {
 			t.Errorf("%s: parallel and sequential robustness matrices differ", r.Apps[i].Name)
+		}
+		if r.Apps[i].Result.Render() != snap.Apps[i].Result.Render() {
+			t.Errorf("%s: snapshot and fresh-spawn robustness matrices differ", r.Apps[i].Name)
 		}
 	}
 	t.Logf("\n%s", r.Render())

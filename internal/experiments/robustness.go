@@ -73,15 +73,18 @@ type RobustnessApp struct {
 // RobustnessResult is the §2 systematic comparison: the same faultload
 // swept over a defensive and a sloppy implementation.
 type RobustnessResult struct {
-	Workers int
-	Apps    []RobustnessApp
+	Workers  int
+	Snapshot bool
+	Apps     []RobustnessApp
 }
 
 // Robustness runs the §2 robustness benchmark with a parallel campaign
 // scheduler: every (function, error code) experiment is an independent
-// Campaign/vm.System, distributed over the given number of workers
-// (<= 0: GOMAXPROCS). The result is identical at any worker count.
-func Robustness(workers int) (*RobustnessResult, error) {
+// run, distributed over the given number of workers (<= 0: GOMAXPROCS).
+// With snapshot set, runs restore from a per-app vm.Snapshot instead of
+// spawning fresh systems — the fork-server runtime. The rendered result
+// is identical at any worker count and in both runtimes.
+func Robustness(workers int, snapshot bool) (*RobustnessResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -111,7 +114,7 @@ func Robustness(workers int) (*RobustnessResult, error) {
 	p.Functions = kept
 	set := profile.Set{libc.Name: p}
 
-	res := &RobustnessResult{Workers: workers}
+	res := &RobustnessResult{Workers: workers, Snapshot: snapshot}
 	for _, app := range []struct{ name, src string }{
 		{"defensive", defensiveAppSrc},
 		{"sloppy", sloppyAppSrc},
@@ -120,11 +123,13 @@ func Robustness(workers int) (*RobustnessResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		sweep, err := core.SweepParallel(core.CampaignConfig{
+		cfg := core.CampaignConfig{
 			Programs:   []*obj.File{lc, exe},
 			Executable: app.name,
 			Files:      map[string][]byte{"/etc/conf": []byte("mode=safe\n")},
-		}, set, 0, workers)
+		}
+		sweep, err := core.RunExperiments(cfg, core.PlanExperiments(set), 0,
+			core.SweepOptions{Workers: workers, Snapshot: snapshot})
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +151,11 @@ func (r *RobustnessResult) Crashes(name string) int {
 // Render prints both matrices and the comparison verdict.
 func (r *RobustnessResult) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "§2 — robustness comparison (parallel sweep, %d workers)\n", r.Workers)
+	mode := "parallel sweep"
+	if r.Snapshot {
+		mode = "snapshot-restore sweep"
+	}
+	fmt.Fprintf(&b, "§2 — robustness comparison (%s, %d workers)\n", mode, r.Workers)
 	for _, a := range r.Apps {
 		b.WriteString(a.Result.Render())
 	}

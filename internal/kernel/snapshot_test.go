@@ -1,0 +1,102 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSnapshotFileIsolation: writes through a restored kernel must not
+// leak into the template or into sibling restores.
+func TestSnapshotFileIsolation(t *testing.T) {
+	k := New()
+	k.AddFile("/etc/conf", []byte("mode=safe\n"))
+	k.NewProcess(1)
+
+	snap := k.Snapshot()
+	a := snap.Restore()
+	b := snap.Restore()
+
+	fd := a.Open(1, "/etc/conf", ORdwr)
+	if fd < 0 {
+		t.Fatalf("open: errno %d", -fd)
+	}
+	if n, _ := a.Write(1, fd, []byte("CLOBBERED!")); n < 0 {
+		t.Fatalf("write: errno %d", -n)
+	}
+	if n, _ := a.Write(1, fd, []byte("...and grown beyond the original size")); n < 0 {
+		t.Fatalf("write: errno %d", -n)
+	}
+
+	want := []byte("mode=safe\n")
+	for name, kk := range map[string]*Kernel{"template": k, "sibling restore": b} {
+		got, ok := kk.FileData("/etc/conf")
+		if !ok || !bytes.Equal(got, want) {
+			t.Errorf("%s sees %q, want %q", name, got, want)
+		}
+	}
+	if got, _ := a.FileData("/etc/conf"); bytes.Equal(got, want) {
+		t.Error("mutated restore still shows the template contents")
+	}
+}
+
+// TestSnapshotPreservesAliasing: a pipe shared between two descriptor
+// tables must restore as one pipe, not two.
+func TestSnapshotPreservesAliasing(t *testing.T) {
+	k := New()
+	k.NewProcess(1)
+	rfd, wfd, errno := k.Pipe(1)
+	if errno != 0 {
+		t.Fatalf("pipe: errno %d", errno)
+	}
+	k.NewProcess(2)
+	if !k.InstallAt(2, 0, 1, rfd) {
+		t.Fatal("InstallAt failed")
+	}
+
+	r := k.Snapshot().Restore()
+	if n, _ := r.Write(1, wfd, []byte("ping")); n != 4 {
+		t.Fatalf("write to restored pipe: %d", n)
+	}
+	data, n, blocked := r.Read(2, 0, 16)
+	if blocked || n != 4 || string(data) != "ping" {
+		t.Fatalf("read from restored shared pipe: n=%d blocked=%v data=%q", n, blocked, data)
+	}
+	// The template pipe saw none of that traffic.
+	if data, n, _ := k.Read(2, 0, 16); n != 0 || len(data) != 0 {
+		t.Fatalf("template pipe has data: n=%d %q", n, data)
+	}
+	// Closing the restored writer ends the restored reader with EOF —
+	// reader/writer refcounts survived the copy.
+	if ret := r.Close(1, wfd); ret != 0 {
+		t.Fatalf("close: %d", ret)
+	}
+	if _, n, blocked := r.Read(2, 0, 16); blocked || n != 0 {
+		t.Fatalf("restored pipe after writer close: n=%d blocked=%v, want EOF", n, blocked)
+	}
+}
+
+// TestSnapshotListeners: a bound listener restores with its port, and a
+// connect on the restored kernel does not land in the template backlog.
+func TestSnapshotListeners(t *testing.T) {
+	k := New()
+	k.NewProcess(1)
+	sfd := k.Socket(1)
+	if ret := k.Listen(1, sfd, 8080); ret != 0 {
+		t.Fatalf("listen: %d", ret)
+	}
+
+	r := k.Snapshot().Restore()
+	k.NewProcess(2)
+	r.NewProcess(2)
+	cfd := r.Socket(2)
+	if ret := r.Connect(2, cfd, 8080); ret != 0 {
+		t.Fatalf("connect on restore: %d", ret)
+	}
+	if fd, blocked := r.Accept(1, sfd); blocked || fd < 0 {
+		t.Fatalf("accept on restore: fd=%d blocked=%v", fd, blocked)
+	}
+	// The template listener's backlog is still empty.
+	if _, blocked := k.Accept(1, sfd); !blocked {
+		t.Fatal("template listener accepted a connection made on a restore")
+	}
+}

@@ -1,0 +1,100 @@
+package vm
+
+import "testing"
+
+// TestMemFitsOverflow is the regression test for the uint32 wrap in the
+// memory bounds checks: the legacy form (off+uint32(n) > seglen) wraps
+// when off+n crosses 2^32 — reachable with a multi-gigabyte heap (the
+// HeapLimit option is a full uint32) and a large syscall length — so a
+// read that is far out of bounds passed the check and panicked on the
+// slice expression instead of returning a MemoryError.
+func TestMemFitsOverflow(t *testing.T) {
+	seglen := 0x9000_0000 // a 2.25 GiB segment (length only; never allocated)
+	off := uint32(0x8FFF_FFF0)
+	n := int32(0x7000_0020) // a valid positive length
+
+	if legacy := off+uint32(n) > uint32(seglen); legacy {
+		t.Fatalf("precondition: the legacy check must wrap and pass (sum=%#x)", off+uint32(n))
+	}
+	if memFits(seglen, off, int64(n)) {
+		t.Errorf("memFits(%#x, %#x, %#x) = true, want false", seglen, off, n)
+	}
+}
+
+// TestMemFitsTable pins the helper's edges, including the int(len) >
+// 2^32 truncation WriteBytes used to be exposed to.
+func TestMemFitsTable(t *testing.T) {
+	for _, tc := range []struct {
+		seglen int
+		off    uint32
+		n      int64
+		want   bool
+	}{
+		{16, 0, 16, true},
+		{16, 12, 4, true},
+		{16, 12, 5, false},
+		{16, 15, 0, true},
+		{16, 0, -1, false},            // negative length
+		{16, 8, 1 << 32, false},       // uint32(n) would truncate to 0 and pass
+		{16, 8, (1 << 32) + 4, false}, // ... or to 4
+		{0x9000_0000, 0, 0x7FFF_FFFF, true},
+	} {
+		if got := memFits(tc.seglen, tc.off, tc.n); got != tc.want {
+			t.Errorf("memFits(%#x, %#x, %#x) = %v, want %v", tc.seglen, tc.off, tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestReadWriteBytesOutOfRange drives the fixed checks end to end on a
+// real segment: far-out-of-bounds lengths must error, never panic.
+func TestReadWriteBytesOutOfRange(t *testing.T) {
+	p := &Proc{segs: []*segment{
+		{base: 0x1000, data: make([]byte, 64), writable: true, name: "t"},
+	}}
+	if _, err := p.ReadBytes(0x1030, 0x7FFF_FFFF); err == nil {
+		t.Error("ReadBytes with a huge length must fail")
+	}
+	if _, err := p.ReadBytes(0x1030, -1); err == nil {
+		t.Error("ReadBytes with a negative length must fail")
+	}
+	if err := p.WriteBytes(0x103C, make([]byte, 5)); err == nil {
+		t.Error("WriteBytes past the segment end must fail")
+	}
+	if _, err := p.ReadWord(0x103E); err == nil {
+		t.Error("ReadWord straddling the segment end must fail")
+	}
+	if b, err := p.ReadBytes(0x1000, 64); err != nil || len(b) != 64 {
+		t.Errorf("full-segment read: %v, %d bytes", err, len(b))
+	}
+}
+
+// TestReadCStringSegments covers the segment-sliced scanner: strings
+// ending inside a segment, spanning two adjacent segments, running into
+// unmapped memory, and exceeding the 4096-byte cap.
+func TestReadCStringSegments(t *testing.T) {
+	a := &segment{base: 0x1000, data: []byte("hello\x00rest"), name: "a"}
+	// b is bit-adjacent to a: a string may legitimately straddle them.
+	b := &segment{base: a.base + uint32(len(a.data)), data: []byte("tail\x00"), name: "b"}
+	long := &segment{base: 0x9000, data: make([]byte, 5000), name: "long"}
+	for i := range long.data {
+		long.data[i] = 'x'
+	}
+	p := &Proc{segs: []*segment{a, b, long}}
+
+	if s, err := p.ReadCString(0x1000); err != nil || s != "hello" {
+		t.Errorf("in-segment string: %q, %v", s, err)
+	}
+	if s, err := p.ReadCString(0x1006); err != nil || s != "resttail" {
+		t.Errorf("segment-spanning string: %q, %v", s, err)
+	}
+	if _, err := p.ReadCString(0x9000 + 4998); err == nil {
+		t.Error("string running off the last segment must fail")
+	}
+	if _, err := p.ReadCString(0x9000); err == nil {
+		t.Error("unterminated 5000-byte run must exceed the cap and fail")
+	}
+	long.data[4095] = 0
+	if s, err := p.ReadCString(0x9000); err != nil || len(s) != 4095 {
+		t.Errorf("terminator at the cap boundary: len=%d, %v", len(s), err)
+	}
+}

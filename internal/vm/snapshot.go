@@ -1,0 +1,236 @@
+// Snapshot/restore: the fork-server campaign runtime (ZOFI-style).
+//
+// A fault-injection sweep runs thousands of experiments against
+// byte-identical images; only the faultload differs. Building each run
+// from scratch repeats the whole load pipeline — text copy, relocation
+// patching, isa.DecodeAll, symbol-map construction — per experiment.
+// Snapshot splits a spawned System into two halves:
+//
+//   - shared immutable template state: registered programs, patched
+//     text, decoded []isa.Inst, symbol tables and funcsVA (the whole
+//     Image, shared by pointer when coverage is off), read-only
+//     segments, and the frozen kernel template;
+//   - mutable residue, deep-copied per Restore: writable data/TLS/
+//     stack/heap segments, registers, flags, shadow call stack, brk,
+//     kernel FS/FD state, and cycle counters.
+//
+// Restore therefore costs O(writable bytes), not O(program size +
+// decode + relocation). A Snapshot is immutable and safe for concurrent
+// Restore from any number of goroutines; each restored System is as
+// private as a freshly spawned one and may be run, mutated and
+// discarded independently. Host-function slots are copied per restore,
+// so a caller may rebind a host function (RegisterHost) on one restored
+// system — the fork-server idiom the LFI controller uses to attach a
+// per-experiment trigger evaluator — without affecting siblings.
+package vm
+
+import (
+	"errors"
+
+	"lfi/internal/isa"
+	"lfi/internal/kernel"
+	"lfi/internal/obj"
+)
+
+// Snapshot is an immutable template of a System, typically taken right
+// after Spawn (the post-load entry point) and before Run.
+type Snapshot struct {
+	opts        Options
+	programs    map[string]*obj.File
+	hosts       []HostFunc
+	hostIdx     map[string]int
+	kern        *kernel.Snapshot
+	nextPID     int
+	totalCycles uint64
+	procs       []procSnap
+}
+
+// procSnap freezes one process: template images and read-only segments
+// are shared, writable segment bytes are copied into the snapshot.
+type procSnap struct {
+	id        int
+	regs      [isa.NumRegs]uint32
+	pc        uint32
+	flagEQ    bool
+	flagLT    bool
+	images    []*Image
+	segs      []segSnap
+	heapIdx   int
+	brk       uint32
+	exited    bool
+	status    ExitStatus
+	cycles    uint64
+	callStack []Frame
+	cfg       SpawnConfig
+	parentIdx int // index into Snapshot.procs; -1 = no parent
+	reaped    bool
+	blocked   bool
+}
+
+type segSnap struct {
+	base     uint32
+	data     []byte // frozen template bytes; shared on restore iff !writable
+	writable bool
+	name     string
+}
+
+// Snapshot freezes the system's current state into an immutable
+// template. The system itself is left untouched and remains runnable;
+// writable memory is copied out, so later mutations of the live system
+// do not leak into the template.
+func (s *System) Snapshot() (*Snapshot, error) {
+	snap := &Snapshot{
+		opts:        s.opts,
+		programs:    make(map[string]*obj.File, len(s.programs)),
+		hosts:       append([]HostFunc(nil), s.hosts...),
+		hostIdx:     make(map[string]int, len(s.hostIdx)),
+		kern:        s.kern.Snapshot(),
+		nextPID:     s.nextPID,
+		totalCycles: s.TotalCycles,
+	}
+	for name, f := range s.programs {
+		snap.programs[name] = f
+	}
+	for name, idx := range s.hostIdx {
+		snap.hostIdx[name] = idx
+	}
+	procIdx := make(map[*Proc]int, len(s.procs))
+	for i, p := range s.procs {
+		procIdx[p] = i
+	}
+	for _, p := range s.procs {
+		ps := procSnap{
+			id:        p.ID,
+			regs:      p.Regs,
+			pc:        p.PC,
+			flagEQ:    p.flagEQ,
+			flagLT:    p.flagLT,
+			images:    copyImages(p.Images, s.opts.Coverage),
+			heapIdx:   -1,
+			brk:       p.brk,
+			exited:    p.Exited,
+			status:    p.Status,
+			cycles:    p.Cycles,
+			callStack: append([]Frame(nil), p.CallStack...),
+			cfg:       p.cfg,
+			parentIdx: -1,
+			reaped:    p.reaped,
+			blocked:   p.blocked,
+		}
+		if p.parent != nil {
+			idx, ok := procIdx[p.parent]
+			if !ok {
+				return nil, errors.New("vm: snapshot: process parent outside the system")
+			}
+			ps.parentIdx = idx
+		}
+		for i, sg := range p.segs {
+			data := sg.data
+			if sg.writable {
+				data = append([]byte(nil), sg.data...)
+			}
+			ps.segs = append(ps.segs, segSnap{
+				base: sg.base, data: data, writable: sg.writable, name: sg.name,
+			})
+			if sg == p.heap {
+				ps.heapIdx = i
+			}
+		}
+		if p.heap != nil && ps.heapIdx < 0 {
+			return nil, errors.New("vm: snapshot: heap segment not in segment list")
+		}
+		snap.procs = append(snap.procs, ps)
+	}
+	return snap, nil
+}
+
+// Restore mints a fresh runnable System from the template. Only the
+// mutable residue is deep-copied; text, decoded instructions and symbol
+// tables are shared with the template and every sibling restore. The
+// returned system owns private copies of the program registry and
+// host-function table, so RegisterHost/Register on it never races a
+// concurrent sibling.
+func (s *Snapshot) Restore() *System {
+	sys := &System{
+		opts:        s.opts,
+		programs:    make(map[string]*obj.File, len(s.programs)),
+		hosts:       append([]HostFunc(nil), s.hosts...),
+		hostIdx:     make(map[string]int, len(s.hostIdx)),
+		kern:        s.kern.Restore(),
+		nextPID:     s.nextPID,
+		TotalCycles: s.totalCycles,
+	}
+	for name, f := range s.programs {
+		sys.programs[name] = f
+	}
+	for name, idx := range s.hostIdx {
+		sys.hostIdx[name] = idx
+	}
+
+	procs := make([]*Proc, len(s.procs))
+	for i := range s.procs {
+		ps := &s.procs[i]
+		p := &Proc{
+			ID:        ps.id,
+			Sys:       sys,
+			Regs:      ps.regs,
+			PC:        ps.pc,
+			flagEQ:    ps.flagEQ,
+			flagLT:    ps.flagLT,
+			Exited:    ps.exited,
+			Status:    ps.status,
+			Cycles:    ps.cycles,
+			CallStack: append([]Frame(nil), ps.callStack...),
+			brk:       ps.brk,
+			cfg:       ps.cfg,
+			reaped:    ps.reaped,
+			blocked:   ps.blocked,
+		}
+		p.Images = copyImages(ps.images, s.opts.Coverage)
+		for j, sg := range ps.segs {
+			data := sg.data
+			if sg.writable {
+				data = append([]byte(nil), sg.data...)
+			}
+			seg := &segment{base: sg.base, data: data, writable: sg.writable, name: sg.name}
+			p.segs = append(p.segs, seg)
+			if j == ps.heapIdx {
+				p.heap = seg
+			}
+		}
+		procs[i] = p
+	}
+	// Second pass: rebind the process tree (parent pointers, children,
+	// SpawnConfig parents) onto the restored processes.
+	for i := range s.procs {
+		ps := &s.procs[i]
+		if ps.parentIdx >= 0 {
+			parent := procs[ps.parentIdx]
+			procs[i].parent = parent
+			procs[i].cfg.parent = parent
+			parent.children = append(parent.children, procs[i])
+		}
+	}
+	sys.procs = procs
+	return sys
+}
+
+// copyImages freezes or restores an image list. Without coverage the
+// images are immutable after relocation (File, patched text, decoded
+// Insts and symbol tables never change at run time), so the pointers
+// are shared outright. With coverage on, CoverBits is written during
+// execution, so both directions take shallow image copies with private
+// bit vectors: Snapshot must not see coverage from a template that
+// keeps running, and a restore must not see a sibling's.
+func copyImages(images []*Image, coverage bool) []*Image {
+	if !coverage {
+		return images
+	}
+	out := make([]*Image, len(images))
+	for i, im := range images {
+		c := *im
+		c.CoverBits = append([]uint64(nil), im.CoverBits...)
+		out[i] = &c
+	}
+	return out
+}

@@ -17,6 +17,7 @@
 package vm
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -538,6 +539,15 @@ func (p *Proc) seg(addr uint32, write bool) (*segment, error) {
 	return nil, &MemoryError{Addr: addr, Write: write}
 }
 
+// memFits reports whether n bytes starting at off fit inside a segment
+// of seglen bytes. The comparison runs in 64 bits: the natural uint32
+// form (off+uint32(n) > seglen) wraps for large n — e.g. a syscall
+// passing a huge length against a multi-gigabyte heap — passing the
+// bounds check only to panic on the slice expression below it.
+func memFits(seglen int, off uint32, n int64) bool {
+	return n >= 0 && uint64(off)+uint64(n) <= uint64(seglen)
+}
+
 // ReadWord reads a 32-bit little-endian word.
 func (p *Proc) ReadWord(addr uint32) (int32, error) {
 	sg, err := p.seg(addr, false)
@@ -545,7 +555,7 @@ func (p *Proc) ReadWord(addr uint32) (int32, error) {
 		return 0, err
 	}
 	off := addr - sg.base
-	if off+4 > uint32(len(sg.data)) {
+	if !memFits(len(sg.data), off, 4) {
 		return 0, &MemoryError{Addr: addr}
 	}
 	b := sg.data[off:]
@@ -559,7 +569,7 @@ func (p *Proc) WriteWord(addr uint32, v int32) error {
 		return err
 	}
 	off := addr - sg.base
-	if off+4 > uint32(len(sg.data)) {
+	if !memFits(len(sg.data), off, 4) {
 		return &MemoryError{Addr: addr, Write: true}
 	}
 	b := sg.data[off:]
@@ -588,15 +598,12 @@ func (p *Proc) WriteByteAt(addr uint32, v byte) error {
 
 // ReadBytes copies n bytes out of VM memory.
 func (p *Proc) ReadBytes(addr uint32, n int32) ([]byte, error) {
-	if n < 0 {
-		return nil, &MemoryError{Addr: addr}
-	}
 	sg, err := p.seg(addr, false)
 	if err != nil {
 		return nil, err
 	}
 	off := addr - sg.base
-	if off+uint32(n) > uint32(len(sg.data)) {
+	if !memFits(len(sg.data), off, int64(n)) {
 		return nil, &MemoryError{Addr: addr}
 	}
 	return append([]byte(nil), sg.data[off:off+uint32(n)]...), nil
@@ -609,25 +616,35 @@ func (p *Proc) WriteBytes(addr uint32, b []byte) error {
 		return err
 	}
 	off := addr - sg.base
-	if off+uint32(len(b)) > uint32(len(sg.data)) {
+	if !memFits(len(sg.data), off, int64(len(b))) {
 		return &MemoryError{Addr: addr, Write: true}
 	}
 	copy(sg.data[off:], b)
 	return nil
 }
 
-// ReadCString reads a NUL-terminated string (max 4096 bytes).
+// ReadCString reads a NUL-terminated string (max 4096 bytes). It scans
+// whole segment slices rather than resolving one segment per byte —
+// this is the interceptor's string-argument path (every intercepted
+// open/unlink/spawn resolves its path argument through here).
 func (p *Proc) ReadCString(addr uint32) (string, error) {
 	var out []byte
-	for i := 0; i < 4096; i++ {
-		c, err := p.ReadByteAt(addr + uint32(i))
+	for len(out) < 4096 {
+		sg, err := p.seg(addr, false)
 		if err != nil {
 			return "", err
 		}
-		if c == 0 {
-			return string(out), nil
+		b := sg.data[addr-sg.base:]
+		if rem := 4096 - len(out); len(b) > rem {
+			b = b[:rem]
 		}
-		out = append(out, c)
+		if i := bytes.IndexByte(b, 0); i >= 0 {
+			return string(append(out, b[:i]...)), nil
+		}
+		// No terminator before the segment (or scan-limit) boundary:
+		// keep going at the next address, as the byte loop would.
+		out = append(out, b...)
+		addr += uint32(len(b))
 	}
 	return "", errors.New("vm: unterminated string")
 }

@@ -1,0 +1,16 @@
+# Convenience targets; CI runs the same commands (see .github/workflows/ci.yml).
+
+.PHONY: test race bench-vm verify
+
+test:
+	go build ./... && go test ./...
+
+race:
+	go test -race ./internal/core/... ./internal/controller/... ./internal/vm/... ./internal/kernel/...
+
+# Step-vs-block engine comparison (ns/op per kernel + end-to-end sweeps).
+# Run before and after touching internal/vm; baseline in BENCH_vm.json.
+bench-vm:
+	./scripts/benchvm.sh
+
+verify: test race

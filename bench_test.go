@@ -11,9 +11,12 @@ package lfi_test
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"strings"
 	"testing"
 
+	"lfi/internal/asm"
 	"lfi/internal/controller"
 	"lfi/internal/core"
 	"lfi/internal/corpus"
@@ -27,6 +30,16 @@ import (
 	"lfi/internal/scenario"
 	"lfi/internal/vm"
 )
+
+// LFI_ENGINE=step|block pins the VM engine for every system the
+// benchmarks build — the harness-side twin of the cmd binaries' -engine
+// flag. scripts/benchvm.sh uses it to A/B the end-to-end campaign
+// benchmarks (BenchmarkSweepSnapshot and friends) across engines.
+func init() {
+	if err := vm.SetDefaultEngine(os.Getenv("LFI_ENGINE")); err != nil {
+		panic(err) // a typo here would silently A/B block against block
+	}
+}
 
 // benchEnv caches the compiled environment across benchmarks.
 var benchEnv *experiments.Env
@@ -582,6 +595,116 @@ func BenchmarkEvaluatorLargePlan(b *testing.B) {
 			}
 			b.ReportMetric(float64(len(plan.Triggers)), "plan-triggers")
 		})
+	}
+}
+
+// vmExecDispatchKernel is the straight-line dispatch kernel: unrolled,
+// register-independent ALU work in ~100-instruction superblocks — the
+// shape of compiled library code between calls, and the purest measure
+// of per-instruction interpreter overhead (everything the block engine
+// batches: image lookup, bounds check, coverage bit, cycle counters).
+func vmExecDispatchKernel(b *testing.B) *obj.File {
+	b.Helper()
+	body := strings.Repeat(`  mov r1, 12345
+  add r2, 3
+  mov r3, 99
+  add r4, 7
+  sub r5, 1
+  add r1, 11
+`, 16)
+	f, err := asm.Assemble("dispatch.s", `
+.exe guest
+.global main
+.func main
+  mov r0, 0
+.loop:
+`+body+`  add r0, 1
+  cmp r0, 0
+  jne .loop
+  ret
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkVMExec is the instruction-throughput microbench behind
+// BENCH_vm.json. Guests run for exactly b.N cycles per configuration,
+// so ns/op is nanoseconds per guest instruction. Three kernels:
+//
+//   - dispatch: the straight-line ALU kernel, coverage off — raw
+//     per-instruction overhead.
+//   - dispatch-cov: the same kernel with instruction coverage on (the
+//     campaign configuration behind sweep -prune baselines and the
+//     §6.1 coverage experiment); the block engine's >=3x acceptance
+//     target is measured here, where the step engine pays the honest
+//     per-instruction bit-set that block batching eliminates.
+//   - appmix: a MiniC corpus-style compute loop (stack-spill heavy:
+//     ~45% push/pop/load/store) — the conservative bound.
+//
+// AllocsPerOp must be 0 everywhere (asserted hard by TestEngineAllocFree
+// in internal/vm; reported here via -benchmem). scripts/benchvm.sh
+// prints the step-vs-block comparison table.
+func BenchmarkVMExec(b *testing.B) {
+	lc, err := libc.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	appmix, err := minic.Compile("guest", `
+needs "libc.so";
+int main(void) {
+  int i;
+  int acc;
+  byte buf[16];
+  for (i = 0; i < 2000000000; i = i + 1) {
+    acc = acc + i * 3;
+    buf[i & 15] = buf[i & 15] + 1;
+    acc = acc ^ (i >> 2);
+    if (acc < 0) { acc = acc + buf[0]; }
+  }
+  return acc;
+}`, obj.Executable)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dispatch := vmExecDispatchKernel(b)
+	cases := []struct {
+		name     string
+		programs []*obj.File
+		coverage bool
+	}{
+		{"dispatch", []*obj.File{dispatch}, false},
+		{"dispatch-cov", []*obj.File{dispatch}, true},
+		{"appmix", []*obj.File{lc, appmix}, false},
+	}
+	for _, tc := range cases {
+		for _, engine := range []string{vm.EngineStep, vm.EngineBlock} {
+			b.Run(tc.name+"/"+engine, func(b *testing.B) {
+				sys := vm.NewSystem(vm.Options{
+					Engine: engine, Coverage: tc.coverage,
+					StackSize: 1 << 16, HeapLimit: 1 << 16,
+				})
+				for _, f := range tc.programs {
+					sys.Register(f)
+				}
+				if _, err := sys.Spawn("guest", vm.SpawnConfig{}); err != nil {
+					b.Fatal(err)
+				}
+				// Warm the dispatch and segment caches so b.N measures
+				// steady state.
+				if err := sys.RunUntil(nil, 10_000); err != vm.ErrBudget {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				if err := sys.RunUntil(nil, uint64(b.N)); err != vm.ErrBudget {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+			})
+		}
 	}
 }
 

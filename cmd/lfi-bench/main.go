@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"lfi/internal/experiments"
+	"lfi/internal/vm"
 )
 
 func main() {
@@ -31,7 +32,11 @@ func run() error {
 	seed := flag.Int64("seed", 42, "table1 corpus seed")
 	jobs := flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS for sweeps; sequential for the efficiency timing series)")
 	snapshot := flag.Bool("snapshot", false, "run sweeps on the fork-server runtime (restore from one post-load snapshot)")
+	engine := flag.String("engine", "", "VM execution engine: block (default) or step — rerun any experiment on the reference interpreter to cross-check the block engine")
 	flag.Parse()
+	if err := vm.SetDefaultEngine(*engine); err != nil {
+		return err
+	}
 
 	sel := map[string]bool{}
 	if *which == "all" {

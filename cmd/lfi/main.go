@@ -33,6 +33,7 @@ import (
 	"lfi/internal/obj"
 	"lfi/internal/profile"
 	"lfi/internal/scenario"
+	"lfi/internal/vm"
 )
 
 func main() {
@@ -299,8 +300,15 @@ func cmdRun(args []string) error {
 	logPath := fs.String("log", "", "write the injection log here")
 	replayPath := fs.String("replay", "", "write the replay script here")
 	budget := fs.Uint64("budget", 500_000_000, "cycle budget (0 = unlimited)")
+	// -engine=step selects the per-instruction reference interpreter the
+	// block engine is differentially tested against — the escape hatch
+	// for bisecting a suspected engine divergence in the field.
+	engine := fs.String("engine", "", "VM execution engine: block (default) or step (reference interpreter)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := vm.SetDefaultEngine(*engine); err != nil {
+		return fmt.Errorf("run: %w", err)
 	}
 	if *app == "" {
 		return fmt.Errorf("run: -app is required")
@@ -375,8 +383,12 @@ func cmdSweep(args []string) error {
 	heur := fs.Bool("heuristics", false, "enable the §3.1 filtering heuristics for in-process profiling")
 	snapshot := fs.Bool("snapshot", false, "fork-server runtime: restore every run from one post-load snapshot")
 	prune := fs.Bool("prune", false, "skip experiments whose function the baseline never calls (coverage-informed)")
+	engine := fs.String("engine", "", "VM execution engine: block (default) or step (reference interpreter)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if err := vm.SetDefaultEngine(*engine); err != nil {
+		return fmt.Errorf("sweep: %w", err)
 	}
 	if *app == "" {
 		return fmt.Errorf("sweep: -app is required")

@@ -47,6 +47,38 @@
 // correlated faultloads (experiments.Correlated, examples/correlated);
 // `lfi plan -check` validates and lints a faultload.
 //
+// # Execution engine
+//
+// Guest code runs on a block-compiled execution engine (internal/vm,
+// exec.go). At load time each image's relocated, decoded text is split
+// into superblocks — leaders from cfg.StreamLeaders, the profiler's
+// §3.1 leader analysis applied to the whole stream — and the compiled
+// form is immutable, so snapshot restores share it with the template
+// for free. Per dispatched run the interpreter resolves the image once
+// and bounds-checks once; cycles (Proc.Cycles, System.TotalCycles) and
+// instruction coverage are accumulated per block and folded in at
+// block exit, before any control transfer, and a per-process two-entry
+// read/write segment-window cache gives loads, stores and stack
+// push/pop direct little-endian slice access without the segment scan
+// (invalidated when Brk moves the heap's backing array; restores start
+// cold). BenchmarkVMExec records 2.3-3.3x instruction throughput over
+// the legacy per-instruction interpreter depending on kernel, and
+// BenchmarkSweepSnapshot improves ~1.5x end to end (BENCH_vm.json;
+// scripts/benchvm.sh regenerates the comparison).
+//
+// The determinism contract is unchanged and oracle-enforced: both
+// engines are decision-for-decision identical — same round-robin
+// scheduling and time-slice splits (superblocks are divided at the
+// slice boundary), same cycle counts at every observable boundary
+// (host calls, syscalls, budget checks, <cycles> triggers, profiler
+// charging), same coverage bits, same kills on the same instruction,
+// byte-identical sweep reports on both executors at any worker count.
+// A lockstep differential test drives both engines one scheduler round
+// at a time comparing full machine state (internal/vm/exec_test.go),
+// and `-engine=step` on lfi run, lfi sweep and lfi-bench (or
+// LFI_ENGINE=step for the benchmarks) falls back to the reference
+// interpreter to cross-check any result in the field.
+//
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
 // results. The public entry point for programmatic use is internal/core;

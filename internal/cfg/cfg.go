@@ -216,6 +216,41 @@ func Build(p *disasm.Program, entry int32) (*Graph, error) {
 	return g, nil
 }
 
+// StreamLeaders marks basic-block leaders in a fully relocated, linearly
+// decoded instruction stream — the whole-text analogue of Build's phase-1
+// leader discovery, used by the VM's block-compiled execution engine to
+// carve an image's text into superblocks at load time.
+//
+// Where Build explores only instructions reachable from one function
+// entry (it runs on unrelocated per-function disassembly, resolving
+// branch targets through relocations), StreamLeaders sweeps the whole
+// stream: instruction 0, every direct branch or call target that lands
+// inside the stream, and every instruction following a control transfer
+// (isa.Op.Transfers) is a leader. targetIdx translates a branch/call
+// immediate — a virtual address once text is relocated — to an
+// instruction index, reporting false for targets outside this stream
+// (cross-module calls, host-function addresses). Indirect transfers
+// (OpJmpI, OpCallR, OpRet) contribute no targets; an execution engine
+// must therefore tolerate control entering between leaders, exactly as
+// Build tolerates CFG incompleteness (§3.1).
+func StreamLeaders(insts []isa.Inst, targetIdx func(imm int32) (int, bool)) []bool {
+	leaders := make([]bool, len(insts))
+	if len(insts) > 0 {
+		leaders[0] = true
+	}
+	for i, in := range insts {
+		if in.Op.IsBranch() || in.Op == isa.OpCall {
+			if t, ok := targetIdx(in.Imm); ok && t >= 0 && t < len(insts) {
+				leaders[t] = true
+			}
+		}
+		if in.Op.Transfers() && i+1 < len(insts) {
+			leaders[i+1] = true
+		}
+	}
+	return leaders
+}
+
 func (g *Graph) addEdge(from *Block, toOff int32) {
 	to, ok := g.byStart[toOff]
 	if !ok {

@@ -7,8 +7,53 @@ import (
 	"lfi/internal/asm"
 	"lfi/internal/cfg"
 	"lfi/internal/disasm"
+	"lfi/internal/isa"
 	"lfi/internal/obj"
 )
+
+// TestStreamLeaders pins the whole-stream leader analysis the VM's
+// block engine compiles superblocks from: instruction 0, branch and
+// call targets, and every instruction after a control transfer.
+func TestStreamLeaders(t *testing.T) {
+	base := int32(0x100)
+	// idx:  0 mov, 1 je->4, 2 add, 3 call->0, 4 add, 5 syscall, 6 add,
+	//       7 jmp->outside, 8 ret, 9 add
+	insts := []isa.Inst{
+		{Op: isa.OpMovRI, A: isa.R0, Imm: 1},
+		{Op: isa.OpJe, Imm: base + 4*isa.Size},
+		{Op: isa.OpAddRI, A: isa.R0, Imm: 1},
+		{Op: isa.OpCall, Imm: base},
+		{Op: isa.OpAddRI, A: isa.R0, Imm: 2},
+		{Op: isa.OpSyscall},
+		{Op: isa.OpAddRI, A: isa.R0, Imm: 3},
+		{Op: isa.OpJmp, Imm: 0x7000}, // outside the stream: no local leader
+		{Op: isa.OpRet},
+		{Op: isa.OpAddRI, A: isa.R0, Imm: 4},
+	}
+	leaders := cfg.StreamLeaders(insts, func(imm int32) (int, bool) {
+		off := imm - base
+		if off < 0 || off%isa.Size != 0 || int(off/isa.Size) >= len(insts) {
+			return 0, false
+		}
+		return int(off / isa.Size), true
+	})
+	want := map[int]bool{
+		0: true, // entry + call target
+		2: true, // after the conditional branch
+		4: true, // branch target + after call
+		6: true, // after syscall
+		8: true, // after jmp (the jmp target is outside the stream)
+		9: true, // after ret
+	}
+	for i := range insts {
+		if leaders[i] != want[i] {
+			t.Errorf("leaders[%d] = %v, want %v", i, leaders[i], want[i])
+		}
+	}
+	if got := cfg.StreamLeaders(nil, nil); len(got) != 0 {
+		t.Errorf("empty stream: %v leaders", got)
+	}
+}
 
 func build(t *testing.T, src, fn string) (*cfg.Graph, *obj.File) {
 	t.Helper()

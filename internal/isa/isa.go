@@ -239,6 +239,21 @@ func (o Op) Terminates() bool {
 	return o.IsCondBranch()
 }
 
+// Transfers reports whether o ends a straight-line execution run: every
+// block terminator plus calls and syscalls, which hand control to a
+// callee, a host function or the kernel before the next instruction of
+// this stream runs. This is the boundary set the VM's block-compiled
+// execution engine batches cycle and coverage accounting over: between
+// two Transfers instructions execution is linear and unobservable from
+// outside the process.
+func (o Op) Transfers() bool {
+	switch o {
+	case OpCall, OpCallR, OpSyscall:
+		return true
+	}
+	return o.Terminates()
+}
+
 // Inst is one decoded SIA-32 instruction.
 //
 // Encoding layout (little endian):

@@ -102,6 +102,18 @@ func TestOpClassification(t *testing.T) {
 			t.Errorf("%v should not terminate a block", op)
 		}
 	}
+	// Transfers is Terminates plus calls and syscalls — the superblock
+	// boundary set the VM's block engine batches accounting over.
+	for _, op := range []Op{OpRet, OpHalt, OpJmp, OpJmpI, OpJl, OpCall, OpCallR, OpSyscall} {
+		if !op.Transfers() {
+			t.Errorf("%v should end a straight-line run", op)
+		}
+	}
+	for _, op := range []Op{OpMovRI, OpAddRR, OpLoad, OpStoreR, OpPushI, OpPopR, OpCmpRI, OpLea, OpTLSBase, OpDlNext, OpNop} {
+		if op.Transfers() {
+			t.Errorf("%v should not end a straight-line run", op)
+		}
+	}
 }
 
 func TestParseReg(t *testing.T) {

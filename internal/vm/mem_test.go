@@ -1,6 +1,9 @@
 package vm
 
-import "testing"
+import (
+	"encoding/binary"
+	"testing"
+)
 
 // TestMemFitsOverflow is the regression test for the uint32 wrap in the
 // memory bounds checks: the legacy form (off+uint32(n) > seglen) wraps
@@ -66,6 +69,128 @@ func TestReadWriteBytesOutOfRange(t *testing.T) {
 	if b, err := p.ReadBytes(0x1000, 64); err != nil || len(b) != 64 {
 		t.Errorf("full-segment read: %v, %d bytes", err, len(b))
 	}
+}
+
+// TestWordRoundTripBoundaries drives the binary.LittleEndian word paths
+// (cache-window hit and seg()-scan miss alike) at every segment edge:
+// the last aligned word (offset len-4), straddling words (len-3..len-1),
+// address-space wrap cases, and windows primed on a different segment.
+// Each aligned case is a write/read round trip, so the two byte orders
+// cannot drift apart.
+func TestWordRoundTripBoundaries(t *testing.T) {
+	const segLen = 0x100
+	mk := func() *Proc {
+		return &Proc{segs: []*segment{
+			{base: 0x1000, data: make([]byte, segLen), writable: true, name: "w"},
+			{base: 0x2000, data: make([]byte, segLen), name: "ro"},
+			// A segment at the top of the address space (ending just
+			// below 2^32): high-address offset arithmetic must not wrap.
+			{base: 0xFFFF_FE00, data: make([]byte, segLen), writable: true, name: "top"},
+		}}
+	}
+	roundTrip := func(t *testing.T, p *Proc, addr uint32, v int32) {
+		t.Helper()
+		if err := p.WriteWord(addr, v); err != nil {
+			t.Fatalf("WriteWord(%#x): %v", addr, err)
+		}
+		got, err := p.ReadWord(addr)
+		if err != nil || got != v {
+			t.Fatalf("ReadWord(%#x) = %#x, %v; want %#x", addr, uint32(got), err, uint32(v))
+		}
+		// Second read must hit the cache window and agree byte for byte.
+		again, err := p.ReadWord(addr)
+		if err != nil || again != v {
+			t.Fatalf("cached ReadWord(%#x) = %#x, %v", addr, uint32(again), err)
+		}
+	}
+
+	t.Run("last-word", func(t *testing.T) {
+		p := mk()
+		roundTrip(t, p, 0x1000+segLen-4, -0x01020304)
+		roundTrip(t, p, 0xFFFF_FE00+segLen-4, 0x7A7B7C7D) // last word below 2^32
+	})
+	t.Run("straddle", func(t *testing.T) {
+		p := mk()
+		for _, d := range []uint32{3, 2, 1} {
+			addr := uint32(0x1000 + segLen - d)
+			if err := p.WriteWord(addr, 1); err == nil {
+				t.Errorf("WriteWord(len-%d) must fail", d)
+			}
+			if _, err := p.ReadWord(addr); err == nil {
+				t.Errorf("ReadWord(len-%d) must fail", d)
+			}
+			// The top segment: the word would run past the segment end.
+			addr = 0xFFFF_FE00 + (segLen - d)
+			if err := p.WriteWord(addr, 1); err == nil {
+				t.Errorf("WriteWord(wrap len-%d) must fail", d)
+			}
+			if _, err := p.ReadWord(addr); err == nil {
+				t.Errorf("ReadWord(wrap len-%d) must fail", d)
+			}
+		}
+	})
+	t.Run("window-primed-elsewhere", func(t *testing.T) {
+		// A window cached on the top segment must not serve low
+		// addresses (addr-base wraps to a huge offset) and vice versa.
+		p := mk()
+		roundTrip(t, p, 0xFFFF_FE00, 0x11111111)
+		roundTrip(t, p, 0x1000, 0x22222222)
+		roundTrip(t, p, 0xFFFF_FE00+segLen-4, 0x33333333)
+		if v, err := p.ReadWord(0xFFFF_FE00); err != nil || v != 0x11111111 {
+			t.Fatalf("top word clobbered: %#x, %v", uint32(v), err)
+		}
+	})
+	t.Run("read-only-window", func(t *testing.T) {
+		p := mk()
+		binary.LittleEndian.PutUint32(p.segs[1].data[segLen-4:], 0xCAFEBABE)
+		if v, err := p.ReadWord(0x2000 + segLen - 4); err != nil || uint32(v) != 0xCAFEBABE {
+			t.Fatalf("ro read: %#x, %v", uint32(v), err)
+		}
+		if err := p.WriteWord(0x2000, 1); err == nil {
+			t.Fatal("write to read-only segment must fail")
+		}
+		// The failed write must not have installed a write window that
+		// a later write could sneak through.
+		if err := p.WriteWord(0x2000+4, 1); err == nil {
+			t.Fatal("second write to read-only segment must fail")
+		}
+	})
+	t.Run("segment-ending-at-wrap-unreachable", func(t *testing.T) {
+		// A segment whose base+len is exactly 2^32 has always been
+		// unreachable through the seg() scan (contains() wraps); the
+		// cache windows are only ever installed by that scan, so the
+		// fast path preserves the behaviour bit for bit.
+		p := &Proc{segs: []*segment{
+			{base: 0xFFFF_FF00, data: make([]byte, segLen), writable: true, name: "wrap"},
+		}}
+		if err := p.WriteWord(0xFFFF_FF00, 1); err == nil {
+			t.Fatal("segment ending at 2^32 must stay unreachable (legacy parity)")
+		}
+		if _, err := p.ReadByteAt(0xFFFF_FFFF); err == nil {
+			t.Fatal("top byte of wrap segment must stay unreachable (legacy parity)")
+		}
+	})
+	t.Run("byte-boundaries", func(t *testing.T) {
+		p := mk()
+		if err := p.WriteByteAt(0x1000+segLen-1, 0x5A); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := p.ReadByteAt(0x1000 + segLen - 1); err != nil || v != 0x5A {
+			t.Fatalf("byte at len-1: %#x, %v", v, err)
+		}
+		if err := p.WriteByteAt(0x1000+segLen, 1); err == nil {
+			t.Fatal("byte write at len must fail")
+		}
+		if _, err := p.ReadByteAt(0x1000 + segLen); err == nil {
+			t.Fatal("byte read at len must fail")
+		}
+		if err := p.WriteByteAt(0xFFFF_FE00+segLen-1, 0x66); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := p.ReadByteAt(0xFFFF_FE00 + segLen - 1); err != nil || v != 0x66 {
+			t.Fatalf("top byte: %#x, %v", v, err)
+		}
+	})
 }
 
 // TestReadCStringSegments covers the segment-sliced scanner: strings

@@ -7,9 +7,11 @@
 // Snapshot splits a spawned System into two halves:
 //
 //   - shared immutable template state: registered programs, patched
-//     text, decoded []isa.Inst, symbol tables and funcsVA (the whole
-//     Image, shared by pointer when coverage is off), read-only
-//     segments, and the frozen kernel template;
+//     text, decoded []isa.Inst, the compiled superblock table the block
+//     execution engine dispatches from (execCode, built once at
+//     relocation), symbol tables and funcsVA (the whole Image, shared
+//     by pointer when coverage is off), read-only segments, and the
+//     frozen kernel template;
 //   - mutable residue, deep-copied per Restore: writable data/TLS/
 //     stack/heap segments, registers, flags, shadow call stack, brk,
 //     kernel FS/FD state, and cycle counters.
@@ -217,11 +219,14 @@ func (s *Snapshot) Restore() *System {
 
 // copyImages freezes or restores an image list. Without coverage the
 // images are immutable after relocation (File, patched text, decoded
-// Insts and symbol tables never change at run time), so the pointers
-// are shared outright. With coverage on, CoverBits is written during
-// execution, so both directions take shallow image copies with private
-// bit vectors: Snapshot must not see coverage from a template that
-// keeps running, and a restore must not see a sibling's.
+// Insts, the compiled block table and symbol tables never change at
+// run time), so the pointers are shared outright. With coverage on,
+// CoverBits is written during execution, so both directions take
+// shallow image copies with private bit vectors: Snapshot must not see
+// coverage from a template that keeps running, and a restore must not
+// see a sibling's. The shallow copy still shares exec — the block
+// table is derived from Insts alone, so every restore dispatches from
+// the template's compiled form without recompiling.
 func copyImages(images []*Image, coverage bool) []*Image {
 	if !coverage {
 		return images

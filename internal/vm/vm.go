@@ -18,6 +18,7 @@ package vm
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
@@ -95,6 +96,10 @@ type Image struct {
 	text    []byte
 	symVA   map[string]uint32 // exported symbol -> VA
 	funcsVA []vaSym           // sorted by VA, for reverse lookup
+	// exec is the block-compiled form of Insts (see exec.go), built once
+	// after relocation. Like text and Insts it is immutable, so snapshot
+	// restores and coverage shallow-copies share it by pointer.
+	exec *execCode
 }
 
 type vaSym struct {
@@ -195,6 +200,8 @@ type Proc struct {
 	segs     []*segment
 	lastSeg  *segment
 	lastImg  *Image
+	rdc      memWindow // last segment hit by a word/byte read
+	wrc      memWindow // last writable segment hit by a word/byte write
 	brk      uint32
 	heap     *segment
 	blocked  bool
@@ -215,6 +222,27 @@ func (s *segment) contains(addr uint32) bool {
 	return addr >= s.base && addr < s.base+uint32(len(s.data))
 }
 
+// memWindow is one entry of the per-process segment cache: a direct view
+// of a segment's backing slice. Word and byte accesses that land inside
+// the window skip the seg() scan and the MemoryError allocation of the
+// slow path entirely. The zero value is an always-miss window.
+//
+// Windows alias segment data, so in-place mutation (stores, syscalls,
+// host writes) stays coherent; only an operation that swaps a segment's
+// backing array — Brk growing the heap — must invalidate them. Restored
+// and freshly spawned processes start with empty windows.
+type memWindow struct {
+	base uint32
+	data []byte
+}
+
+// invalidateMemCache drops both cache windows; called when a segment's
+// backing array may have been reallocated (Brk).
+func (p *Proc) invalidateMemCache() {
+	p.rdc = memWindow{}
+	p.wrc = memWindow{}
+}
+
 // MemoryError reports an invalid VM memory access.
 type MemoryError struct {
 	Addr  uint32
@@ -230,6 +258,44 @@ func (e *MemoryError) Error() string {
 	return fmt.Sprintf("vm: invalid %s at %#x", op, e.Addr)
 }
 
+// Execution engines. The block engine is the production interpreter;
+// the step engine is the per-instruction reference it is differentially
+// tested against (and the escape hatch should a divergence ever need
+// bisecting in the field: `lfi ... -engine=step`).
+const (
+	// EngineBlock runs predecoded superblocks with per-block image
+	// resolution, segment-cached memory and batched cycle/coverage
+	// accounting (see exec.go). Decision-for-decision identical to
+	// EngineStep: same scheduling, cycle counts at every observable
+	// boundary, coverage bits, exit statuses.
+	EngineBlock = "block"
+	// EngineStep is the legacy one-instruction-at-a-time interpreter.
+	EngineStep = "step"
+)
+
+// DefaultEngine is the engine used when Options.Engine is empty. The
+// cmd binaries' -engine flag sets it process-wide (via SetDefaultEngine)
+// so every System a campaign builds — including snapshot templates —
+// inherits the choice.
+var DefaultEngine = EngineBlock
+
+// SetDefaultEngine validates and installs the process-wide default
+// engine — the one place the -engine flags and the LFI_ENGINE benchmark
+// hook funnel through. Rejecting unknown names matters because the
+// dispatch check is "step or not": a typo would otherwise silently
+// select the block engine and, say, turn an A/B comparison into
+// block-vs-block. The empty string keeps the current default.
+func SetDefaultEngine(engine string) error {
+	switch engine {
+	case "":
+		return nil
+	case EngineBlock, EngineStep:
+		DefaultEngine = engine
+		return nil
+	}
+	return fmt.Errorf("vm: unknown engine %q (want %q or %q)", engine, EngineBlock, EngineStep)
+}
+
 // Options configures a System.
 type Options struct {
 	// HeapLimit bounds per-process heap growth via sys_brk (default 1 MiB).
@@ -240,6 +306,10 @@ type Options struct {
 	Coverage bool
 	// TimeSlice is the round-robin quantum in instructions (default 4096).
 	TimeSlice int
+	// Engine selects the interpreter: EngineBlock or EngineStep
+	// (default DefaultEngine). Both engines are decision-for-decision
+	// identical; see the package doc's determinism contract.
+	Engine string
 }
 
 // System owns the program registry, host functions, kernel and processes.
@@ -265,6 +335,17 @@ func NewSystem(opts Options) *System {
 	}
 	if opts.TimeSlice == 0 {
 		opts.TimeSlice = 4096
+	}
+	switch opts.Engine {
+	case "":
+		opts.Engine = DefaultEngine
+	case EngineBlock, EngineStep:
+	default:
+		// The dispatch check is "step or not", so an unvalidated typo
+		// ("Step", "stpe") would silently select the block engine —
+		// precisely the wrong failure mode for a differential escape
+		// hatch. A bad engine name is a programming error, so fail loud.
+		panic(fmt.Sprintf("vm: unknown engine %q (want %q or %q)", opts.Engine, EngineBlock, EngineStep))
 	}
 	return &System{
 		opts:     opts,
@@ -457,6 +538,10 @@ func (s *System) relocate(p *Proc) error {
 			return fmt.Errorf("vm: %s: %w", f.Name, err)
 		}
 		im.Insts = insts
+		// Compile the block form eagerly: one O(text) pass here, and the
+		// result is immutable, so snapshots can hand it to any number of
+		// concurrently restored systems without synchronisation.
+		im.exec = compileExec(im)
 	}
 	return nil
 }
@@ -548,8 +633,21 @@ func memFits(seglen int, off uint32, n int64) bool {
 	return n >= 0 && uint64(off)+uint64(n) <= uint64(seglen)
 }
 
-// ReadWord reads a 32-bit little-endian word.
+// ReadWord reads a 32-bit little-endian word. The fast path serves the
+// word straight out of a cached segment window — no seg() scan, no
+// error allocation; `addr - base` wraps for addresses below the window,
+// so the single unsigned comparison rejects both sides.
 func (p *Proc) ReadWord(addr uint32) (int32, error) {
+	if off := addr - p.rdc.base; uint64(off)+4 <= uint64(len(p.rdc.data)) {
+		return int32(binary.LittleEndian.Uint32(p.rdc.data[off:])), nil
+	}
+	if off := addr - p.wrc.base; uint64(off)+4 <= uint64(len(p.wrc.data)) {
+		return int32(binary.LittleEndian.Uint32(p.wrc.data[off:])), nil
+	}
+	return p.readWordSlow(addr)
+}
+
+func (p *Proc) readWordSlow(addr uint32) (int32, error) {
 	sg, err := p.seg(addr, false)
 	if err != nil {
 		return 0, err
@@ -558,12 +656,21 @@ func (p *Proc) ReadWord(addr uint32) (int32, error) {
 	if !memFits(len(sg.data), off, 4) {
 		return 0, &MemoryError{Addr: addr}
 	}
-	b := sg.data[off:]
-	return int32(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24), nil
+	p.rdc = memWindow{base: sg.base, data: sg.data}
+	return int32(binary.LittleEndian.Uint32(sg.data[off:])), nil
 }
 
-// WriteWord writes a 32-bit little-endian word.
+// WriteWord writes a 32-bit little-endian word. The write window caches
+// only writable segments, so a hit needs no permission re-check.
 func (p *Proc) WriteWord(addr uint32, v int32) error {
+	if off := addr - p.wrc.base; uint64(off)+4 <= uint64(len(p.wrc.data)) {
+		binary.LittleEndian.PutUint32(p.wrc.data[off:], uint32(v))
+		return nil
+	}
+	return p.writeWordSlow(addr, v)
+}
+
+func (p *Proc) writeWordSlow(addr uint32, v int32) error {
 	sg, err := p.seg(addr, true)
 	if err != nil {
 		return err
@@ -572,26 +679,38 @@ func (p *Proc) WriteWord(addr uint32, v int32) error {
 	if !memFits(len(sg.data), off, 4) {
 		return &MemoryError{Addr: addr, Write: true}
 	}
-	b := sg.data[off:]
-	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	p.wrc = memWindow{base: sg.base, data: sg.data}
+	binary.LittleEndian.PutUint32(sg.data[off:], uint32(v))
 	return nil
 }
 
 // ReadByte reads one byte.
 func (p *Proc) ReadByteAt(addr uint32) (byte, error) {
+	if off := addr - p.rdc.base; uint64(off) < uint64(len(p.rdc.data)) {
+		return p.rdc.data[off], nil
+	}
+	if off := addr - p.wrc.base; uint64(off) < uint64(len(p.wrc.data)) {
+		return p.wrc.data[off], nil
+	}
 	sg, err := p.seg(addr, false)
 	if err != nil {
 		return 0, err
 	}
+	p.rdc = memWindow{base: sg.base, data: sg.data}
 	return sg.data[addr-sg.base], nil
 }
 
 // WriteByte writes one byte.
 func (p *Proc) WriteByteAt(addr uint32, v byte) error {
+	if off := addr - p.wrc.base; uint64(off) < uint64(len(p.wrc.data)) {
+		p.wrc.data[off] = v
+		return nil
+	}
 	sg, err := p.seg(addr, true)
 	if err != nil {
 		return err
 	}
+	p.wrc = memWindow{base: sg.base, data: sg.data}
 	sg.data[addr-sg.base] = v
 	return nil
 }
@@ -665,39 +784,28 @@ var ErrBudget = errors.New("vm: cycle budget exhausted")
 var ErrIdle = errors.New("vm: all processes idle")
 
 // Run schedules all processes round-robin until every process has exited,
-// the cycle budget is exhausted (budget 0 = unlimited), or a deadlock is
-// detected.
+// the cycle budget is exhausted (budget 0 = unlimited, measured against
+// the system's absolute TotalCycles), or a deadlock is detected.
 func (s *System) Run(budget uint64) error {
-	for {
-		alive, progress := 0, false
-		for _, p := range s.procs {
-			if p.Exited {
-				continue
-			}
-			alive++
-			ran := p.runSlice(s.opts.TimeSlice)
-			if ran > 0 {
-				progress = true
-			}
-			if budget > 0 && s.TotalCycles >= budget {
-				return ErrBudget
-			}
-		}
-		if alive == 0 {
-			return nil
-		}
-		if !progress {
-			return ErrDeadlock
-		}
-	}
+	return s.schedule(nil, 0, budget, ErrDeadlock)
 }
 
 // RunUntil schedules processes until cond returns true (checked between
 // time slices), all processes exit (nil), every live process blocks
 // (ErrIdle — the workload driver should feed more input and call again),
-// or the budget is exhausted (ErrBudget; 0 = unlimited).
+// or the budget is exhausted (ErrBudget; 0 = unlimited, measured from
+// the call's starting TotalCycles).
 func (s *System) RunUntil(cond func() bool, budget uint64) error {
-	start := s.TotalCycles
+	return s.schedule(cond, s.TotalCycles, budget, ErrIdle)
+}
+
+// schedule is the one round-robin scheduler loop behind Run and RunUntil
+// (Run is RunUntil(nil, budget) with an absolute budget origin and
+// ErrDeadlock as its no-progress verdict: a wedged Run can never make
+// progress again, while a wedged RunUntil is merely idle until the
+// workload driver feeds more input). Budget exhaustion is checked after
+// every time slice against s.TotalCycles - start.
+func (s *System) schedule(cond func() bool, start, budget uint64, stall error) error {
 	for {
 		if cond != nil && cond() {
 			return nil
@@ -719,29 +827,45 @@ func (s *System) RunUntil(cond func() bool, budget uint64) error {
 			return nil
 		}
 		if !progress {
-			return ErrIdle
+			return stall
 		}
 	}
 }
 
-// runSlice executes up to n instructions; returns how many ran.
+// runSlice executes up to n instructions on the configured engine;
+// returns how many ran. Both engines consume the slice instruction by
+// instruction — a superblock straddling the slice boundary is split, so
+// scheduling (and therefore every cross-process interleaving and budget
+// check) is identical between them.
 func (p *Proc) runSlice(n int) int {
-	ran := 0
-	for i := 0; i < n && !p.Exited; i++ {
-		advanced := p.step()
-		if advanced {
-			ran++
-		} else {
-			break // blocked in a syscall: yield the slice
+	if p.Sys.opts.Engine == EngineStep {
+		ran := 0
+		for i := 0; i < n && !p.Exited; i++ {
+			advanced := p.step()
+			if advanced {
+				ran++
+			} else {
+				break // blocked in a syscall: yield the slice
+			}
 		}
+		return ran
 	}
-	return ran
+	return p.runSliceBlocks(n)
 }
 
 func (p *Proc) kill(sig int32) {
 	p.Exited = true
 	p.Status = ExitStatus{Signal: sig}
 	p.Sys.kern.ReleaseProcess(p.ID)
+}
+
+// failMem kills the process on a faulting memory access. Every memory
+// fault is a SIGSEGV regardless of the underlying error; hoisted out of
+// the interpreter loop (it used to be a per-step closure) so a step
+// allocates nothing.
+func (p *Proc) failMem() bool {
+	p.kill(SigSEGV)
+	return true
 }
 
 func (p *Proc) exit(code int32) {
@@ -775,12 +899,6 @@ func (p *Proc) step() bool {
 	p.Sys.TotalCycles++
 	next := p.PC + isa.Size
 
-	fail := func(err error) bool {
-		_ = err
-		p.kill(SigSEGV)
-		return true
-	}
-
 	switch in.Op {
 	case isa.OpNop:
 	case isa.OpHalt:
@@ -794,41 +912,41 @@ func (p *Proc) step() bool {
 	case isa.OpLoad:
 		v, err := p.ReadWord(p.Regs[in.B] + uint32(in.Imm))
 		if err != nil {
-			return fail(err)
+			return p.failMem()
 		}
 		p.Regs[in.A] = uint32(v)
 	case isa.OpLoadB:
 		v, err := p.ReadByteAt(p.Regs[in.B] + uint32(in.Imm))
 		if err != nil {
-			return fail(err)
+			return p.failMem()
 		}
 		p.Regs[in.A] = uint32(v)
 	case isa.OpStoreR:
 		if err := p.WriteWord(p.Regs[in.A]+uint32(in.Imm), int32(p.Regs[in.B])); err != nil {
-			return fail(err)
+			return p.failMem()
 		}
 	case isa.OpStoreB:
 		if err := p.WriteByteAt(p.Regs[in.A]+uint32(in.Imm), byte(p.Regs[in.B])); err != nil {
-			return fail(err)
+			return p.failMem()
 		}
 	case isa.OpStoreI:
 		if err := p.WriteWord(p.Regs[in.A]+uint32(in.StoreIDisp()), in.Imm); err != nil {
-			return fail(err)
+			return p.failMem()
 		}
 	case isa.OpPushR:
 		p.Regs[isa.SP] -= 4
 		if err := p.WriteWord(p.Regs[isa.SP], int32(p.Regs[in.A])); err != nil {
-			return fail(err)
+			return p.failMem()
 		}
 	case isa.OpPushI:
 		p.Regs[isa.SP] -= 4
 		if err := p.WriteWord(p.Regs[isa.SP], in.Imm); err != nil {
-			return fail(err)
+			return p.failMem()
 		}
 	case isa.OpPopR:
 		v, err := p.ReadWord(p.Regs[isa.SP])
 		if err != nil {
-			return fail(err)
+			return p.failMem()
 		}
 		p.Regs[isa.SP] += 4
 		p.Regs[in.A] = uint32(v)
@@ -929,7 +1047,7 @@ func (p *Proc) step() bool {
 	case isa.OpRet:
 		v, err := p.ReadWord(p.Regs[isa.SP])
 		if err != nil {
-			return fail(err)
+			return p.failMem()
 		}
 		p.Regs[isa.SP] += 4
 		p.PC = uint32(v)
@@ -946,8 +1064,12 @@ func (p *Proc) step() bool {
 	case isa.OpTLSBase:
 		p.Regs[in.A] = im.TLSBase
 	case isa.OpDlNext:
+		// The import index comes from the encoded instruction, which a
+		// crafted object file controls: both bounds must be checked or a
+		// negative Imm would panic the host instead of faulting the
+		// guest (the block engine mirrors this arm exactly).
 		name := ""
-		if int(in.Imm) < len(im.File.Imports) {
+		if in.Imm >= 0 && int(in.Imm) < len(im.File.Imports) {
 			name = im.File.Imports[in.Imm]
 		}
 		va, ok := p.Sys.resolveNext(p, im, name)
@@ -1008,8 +1130,21 @@ func (p *Proc) Brk(newBrk uint32) int32 {
 	if newBrk < heapBase || newBrk > heapBase+p.Sys.opts.HeapLimit {
 		return -kernel.ENOMEM
 	}
-	if newBrk > p.brk {
+	switch {
+	case newBrk > p.brk:
 		p.heap.data = append(p.heap.data, make([]byte, newBrk-p.brk)...)
+		// The append may have moved the heap's backing array; cached
+		// segment windows alias the old one and must not serve it.
+		p.invalidateMemCache()
+	case newBrk < p.brk:
+		// Shrink truncates the segment so len(heap.data) tracks brk:
+		// without this, a shrink-then-grow cycle appends onto the old
+		// high-water buffer, leaving memory beyond brk accessible and
+		// regrown bytes stale instead of zeroed. (The append above
+		// writes zeroes over any reused capacity.) Cached windows hold
+		// the longer length and must be dropped.
+		p.heap.data = p.heap.data[:newBrk-heapBase]
+		p.invalidateMemCache()
 	}
 	p.brk = newBrk
 	return int32(p.brk)

@@ -13,6 +13,7 @@
 //	lfi plan -kind random -p 10 -seed 7 -profile libc.profile.xml -o plan.xml
 //	lfi plan -check plan.xml [-profile libc.profile.xml]
 //	lfi sweep -app app.slef -lib libc.slef -profile libc.profile.xml -j 8 -snapshot -prune
+//	lfi sweep ... -store campaign/ -resume -triage -escalate
 //	lfi disasm lib.slef [-func name]
 //	lfi cfg lib.slef -func name [-dot]
 //	lfi demo
@@ -25,6 +26,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"lfi/internal/campaign"
 	"lfi/internal/cfg"
 	"lfi/internal/core"
 	"lfi/internal/disasm"
@@ -384,6 +386,11 @@ func cmdSweep(args []string) error {
 	snapshot := fs.Bool("snapshot", false, "fork-server runtime: restore every run from one post-load snapshot")
 	prune := fs.Bool("prune", false, "skip experiments whose function the baseline never calls (coverage-informed)")
 	engine := fs.String("engine", "", "VM execution engine: block (default) or step (reference interpreter)")
+	storeDir := fs.String("store", "", "persistent campaign store directory (append-only JSONL, written live)")
+	resume := fs.Bool("resume", false, "skip experiments already completed in -store (report stays byte-identical)")
+	triage := fs.Bool("triage", false, "after the sweep, print crash clusters deduped by stack hash (needs -store)")
+	escalate := fs.Bool("escalate", false, "run a second round of pairwise multi-fault plans minted from single-fault survivors (needs -store)")
+	maxPairs := fs.Int("max-pairs", 0, "cap on escalated pairs (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -430,14 +437,47 @@ func cmdSweep(args []string) error {
 			fmt.Fprintln(os.Stderr, p.String())
 		}
 	}
-	res, err := core.RunExperiments(core.CampaignConfig{
+
+	var store *campaign.Store
+	if *storeDir != "" {
+		if store, err = campaign.Open(*storeDir); err != nil {
+			return err
+		}
+		defer store.Close()
+	} else if *resume || *triage || *escalate {
+		return fmt.Errorf("sweep: -resume, -triage and -escalate need -store")
+	}
+
+	cfgC := core.CampaignConfig{
 		Programs:   programs,
 		Executable: programs[0].Name,
-	}, core.PlanExperiments(set), *budget, opts)
+	}
+	exps := core.PlanExperiments(set)
+	res, err := campaign.Sweep(cfgC, exps, *budget, opts, store, *resume)
 	if err != nil {
 		return err
 	}
 	fmt.Print(res.Render())
+
+	if *triage {
+		fmt.Print(campaign.RenderClusters(campaign.Triage(store.Records())))
+	}
+	if *escalate {
+		surv := campaign.Survivors(exps, store.Completed())
+		second := campaign.Escalate(surv, set, *maxPairs)
+		fmt.Printf("escalation: %d single-fault survivor(s) -> %d pairwise plan(s)\n",
+			len(surv), len(second))
+		if len(second) > 0 {
+			res2, err := campaign.Sweep(cfgC, second, *budget, opts, store, *resume)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res2.Render())
+			if *triage {
+				fmt.Print(campaign.RenderClusters(campaign.Triage(store.Records())))
+			}
+		}
+	}
 	return nil
 }
 

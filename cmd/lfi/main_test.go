@@ -206,6 +206,93 @@ func TestCLISweep(t *testing.T) {
 	}
 }
 
+// TestCLISweepStoreResume: the persistent campaign workflow end to end —
+// a max-crashes-truncated sweep fills the store halfway, the resumed
+// sweep prints a report byte-identical to a fresh full one, and -triage
+// and -escalate render their passes after it.
+func TestCLISweepStoreResume(t *testing.T) {
+	dir := t.TempDir()
+	libPath, profPath := writeDemoAssets(t, dir)
+	// An app with a crash path (unchecked malloc) so -max-crashes can
+	// truncate, plus two distinct tolerated functions (strcmp, strncmp)
+	// so escalation has pairs to mint. No file I/O: the CLI sweep
+	// installs no kernel files, so open would fail in the baseline too.
+	const crashAppSrc = `
+needs "libc.so";
+extern int strcmp(byte *a, byte *b);
+extern int strncmp(byte *a, byte *b, int n);
+extern byte *malloc(int n);
+int main(void) {
+  int r;
+  byte *p;
+  r = strcmp("a", "a");
+  if (r != 0) { r = 0; }        // tolerate injected compare fault
+  r = strncmp("ab", "ab", 2);
+  if (r != 0) { r = 0; }        // tolerate injected compare fault
+  p = malloc(4);
+  p[0] = 'x';                   // BUG: unchecked allocation
+  return 0;
+}
+`
+	srcPath := filepath.Join(dir, "app.mc")
+	if err := os.WriteFile(srcPath, []byte(crashAppSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	appPath := filepath.Join(dir, "app.slef")
+	if err := run([]string{"build", "-exe", "-name", "app", "-o", appPath, srcPath}); err != nil {
+		t.Fatal(err)
+	}
+	base := []string{"sweep", "-app", appPath, "-lib", libPath, "-profile", profPath}
+
+	fresh := captureStdout(t, func() error { return run(append(base, "-j", "4")) })
+
+	storeDir := filepath.Join(dir, "campaign")
+	// Phase 1: the "killed" campaign — truncated by -max-crashes.
+	partial := captureStdout(t, func() error {
+		return run(append(base, "-j", "2", "-max-crashes", "1", "-store", storeDir))
+	})
+	if partial == fresh {
+		t.Fatal("-max-crashes run should be truncated relative to the full sweep")
+	}
+	if _, err := os.Stat(filepath.Join(storeDir, "results.jsonl")); err != nil {
+		t.Fatalf("store not written: %v", err)
+	}
+
+	// Phase 2: resume — byte-identical to the fresh full report.
+	resumed := captureStdout(t, func() error {
+		return run(append(base, "-j", "4", "-store", storeDir, "-resume"))
+	})
+	if resumed != fresh {
+		t.Errorf("resumed report differs from fresh:\n--- fresh ---\n%s--- resumed ---\n%s", fresh, resumed)
+	}
+	// Resume is idempotent and executor-independent.
+	again := captureStdout(t, func() error {
+		return run(append(base, "-j", "1", "-store", storeDir, "-resume", "-snapshot"))
+	})
+	if again != fresh {
+		t.Errorf("snapshot resume differs from fresh:\n%s\nvs\n%s", fresh, again)
+	}
+
+	// Phase 3: triage + escalation render after the (unchanged) report.
+	out := captureStdout(t, func() error {
+		return run(append(base, "-j", "4", "-store", storeDir, "-resume", "-triage", "-escalate"))
+	})
+	if !strings.HasPrefix(out, fresh) {
+		t.Errorf("triage output must follow the unchanged report:\n%s", out)
+	}
+	if !strings.Contains(out, "crash triage:") || !strings.Contains(out, "escalation:") {
+		t.Errorf("missing triage/escalation sections:\n%s", out)
+	}
+
+	// Flags that need the store must say so.
+	if err := run(append(base, "-resume")); err == nil {
+		t.Error("-resume without -store should fail")
+	}
+	if err := run(append(base, "-triage")); err == nil {
+		t.Error("-triage without -store should fail")
+	}
+}
+
 func TestCLIPlanCheck(t *testing.T) {
 	dir := t.TempDir()
 	good := filepath.Join(dir, "good.xml")

@@ -31,6 +31,32 @@
 // additionally skips experiments whose functions the coverage-traced
 // baseline proves the workload never calls.
 //
+// # Persistent campaigns
+//
+// Campaigns are durable (internal/campaign): sweep workers append each
+// completed experiment to an on-disk JSONL store as they finish — one
+// self-contained record per line carrying the faultload's canonical key
+// (scenario.CanonicalKey), outcome, exit status, injection-log digest,
+// crash stack + hash, and cycle/coverage summary — so a campaign killed
+// anywhere (the store recovers a torn trailing line on reopen) resumes
+// from exactly what it had: `lfi sweep -store d -resume` serves
+// completed keys from disk, runs only the remainder, and renders a
+// report byte-identical to a fresh full sweep on both executors at any
+// worker count, -max-crashes early stops included. On top of the store,
+// `-triage` dedups crash records into clusters keyed by crash-stack
+// hash (controller.StackHash) and ranked by reach — how many distinct
+// faultloads arrive at the same failure site — and `-escalate` mints an
+// adaptive second round: single-fault survivors (injected but
+// tolerated) pair into two-fault plans (scenario.Pairwise), opening the
+// multi-fault space proportionally to what round one tolerated rather
+// than quadratically (experiments.Triage, examples/triage). Injection
+// fidelity is part of the same contract: errno stores resolve against
+// the image owning the intercepted function (falling back to the main
+// executable), and failed errno or argument-modification applications
+// are marked on the InjectionRecord (ErrnoFailed, ModifyFailed) and
+// re-attempted by replay scripts, so logs and replays never claim a
+// faultload that was only partially applied.
+//
 // The §4 scenario language runs on a compile-then-evaluate trigger
 // engine: scenario.Compile turns a faultload into an immutable
 // CompiledPlan — triggers indexed per function, retvals/errnos/frame

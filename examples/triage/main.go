@@ -1,0 +1,40 @@
+// Campaign persistence walkthrough: a robustness sweep is "killed" at
+// its first crash, resumed byte-identically from the on-disk store,
+// its crashes deduped into stack-hash clusters ranked by reach, and its
+// single-fault survivors escalated pairwise into a second, multi-fault
+// round — the sweep → triage → escalate loop of a practical injection
+// service.
+//
+//	go run ./examples/triage
+//
+// Pass a directory to keep the store (re-running then resumes from it):
+//
+//	go run ./examples/triage /tmp/campaign
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"lfi/internal/experiments"
+)
+
+func main() {
+	dir := ""
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	} else {
+		tmp, err := os.MkdirTemp("", "lfi-campaign-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	res, err := experiments.Triage(dir, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+}

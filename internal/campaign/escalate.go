@@ -1,0 +1,107 @@
+package campaign
+
+import (
+	"fmt"
+
+	"lfi/internal/core"
+	"lfi/internal/kernel"
+	"lfi/internal/profile"
+	"lfi/internal/scenario"
+)
+
+// DefaultMaxPairs caps an escalation round when the caller does not
+// choose a budget: pairwise growth over survivors is quadratic, and the
+// point of adaptive escalation is opening the multi-fault space
+// proportionally to what round one tolerated, not exhaustively.
+const DefaultMaxPairs = 64
+
+// Survivors selects the escalation candidates from a completed round:
+// experiments whose fault was actually injected (the workload reached
+// the function) yet produced no outcome change — the program swallowed
+// the fault and terminated exactly like the baseline. Those are the
+// paper's untested recovery paths: each tolerated one fault alone, so
+// the open question is whether it tolerates them in combination. The
+// experiments must be the round's plan (their keys index into recs);
+// survivors come back in plan order, which makes everything downstream
+// deterministic.
+func Survivors(exps []core.Experiment, recs map[string]Record) []core.Experiment {
+	var out []core.Experiment
+	for _, exp := range exps {
+		rec, ok := recs[exp.Key()]
+		if !ok {
+			continue
+		}
+		if core.Outcome(rec.Outcome) == core.OutcomeHandled && rec.Injections > 0 {
+			out = append(out, exp)
+		}
+	}
+	return out
+}
+
+// Escalate mints the second sweep round from round-one survivors: every
+// pair of survivors targeting distinct functions becomes one two-fault
+// experiment whose faultload is the pairwise merge of the parents'
+// plans (scenario.Pairwise) — both faults armed in a single run. Pairs
+// are generated in survivor (plan) order and capped at maxPairs
+// (<= 0: DefaultMaxPairs), so the escalation plan is deterministic and
+// never explodes past its budget. set supplies profiles for
+// pre-compiling the merged faultloads; experiments whose merge fails to
+// compile keep a nil Compiled and surface the error when executed.
+//
+// The minted experiment's report coordinates name both parents with
+// their full fault coordinates ("read(-1,EIO)+close(-1,EBADF)") under
+// the first parent's library and retval, so every escalated report row
+// is unambiguous even when two pairs differ only in an errno.
+func Escalate(survivors []core.Experiment, set profile.Set, maxPairs int) []core.Experiment {
+	if maxPairs <= 0 {
+		maxPairs = DefaultMaxPairs
+	}
+	var out []core.Experiment
+	for i := 0; i < len(survivors) && len(out) < maxPairs; i++ {
+		for j := i + 1; j < len(survivors) && len(out) < maxPairs; j++ {
+			a, b := &survivors[i], &survivors[j]
+			if a.Function == b.Function {
+				// Same-function pairs degenerate: both triggers guard the
+				// same first call and only one can fire.
+				continue
+			}
+			plan := scenario.Pairwise(experimentPlan(a), experimentPlan(b))
+			exp := core.Experiment{
+				Library:  a.Library,
+				Function: pairLabel(a) + "+" + pairLabel(b),
+				Retval:   a.Retval,
+				Plan:     plan,
+			}
+			if cp, err := scenario.Compile(plan, set); err == nil {
+				exp.Compiled = cp
+			}
+			out = append(out, exp)
+		}
+	}
+	return out
+}
+
+// pairLabel renders one parent's fault coordinates for the pair row:
+// function plus (retval) or (retval,ERRNO).
+func pairLabel(exp *core.Experiment) string {
+	if !exp.HasErrno {
+		return fmt.Sprintf("%s(%d)", exp.Function, exp.Retval)
+	}
+	name := kernel.ErrnoName(exp.Errno)
+	if name == "" {
+		name = fmt.Sprint(exp.Errno)
+	}
+	return fmt.Sprintf("%s(%d,%s)", exp.Function, exp.Retval, name)
+}
+
+// experimentPlan returns an experiment's faultload, preferring the
+// source plan over the compiled form's backing plan.
+func experimentPlan(exp *core.Experiment) *scenario.Plan {
+	if exp.Plan != nil {
+		return exp.Plan
+	}
+	if exp.Compiled != nil {
+		return exp.Compiled.Plan()
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lfi/internal/core"
+)
+
+// Cluster is one distinct failure site: every crashing experiment whose
+// crash backtrace hashes alike, ranked by how many distinct faultloads
+// reach it. One cluster ≈ one bug; its Reach is how exposed that bug is
+// to the fault space, which is what makes the ranking a triage order.
+type Cluster struct {
+	// StackHash identifies the failure site (controller.StackHash over
+	// the crash backtrace); "unknown" groups crashes with no recorded
+	// stack.
+	StackHash string
+	// CrashStack is the representative backtrace, innermost frame first
+	// (taken from the lexicographically smallest member key, so it is
+	// deterministic across runs).
+	CrashStack []string
+	// Reach counts the distinct faultloads (experiment keys) that crash
+	// here.
+	Reach int
+	// Keys lists the member experiment keys, sorted.
+	Keys []string
+	// Members are the member records, in key order.
+	Members []Record
+}
+
+// unknownCluster groups crash records that carry no stack to hash.
+const unknownCluster = "unknown"
+
+// Triage dedups the store's crash records into clusters by crash-stack
+// hash. Input records are deduplicated by experiment key first (last
+// record wins, matching the resume view), so re-running a campaign
+// never inflates a cluster's reach. The result is fully deterministic:
+// clusters sort by reach descending, then stack hash ascending, and
+// members by key.
+func Triage(recs []Record) []Cluster {
+	latest := make(map[string]Record, len(recs))
+	var order []string
+	for _, r := range recs {
+		if _, seen := latest[r.Key]; !seen {
+			order = append(order, r.Key)
+		}
+		latest[r.Key] = r
+	}
+	byHash := make(map[string][]Record)
+	for _, key := range order {
+		r := latest[key]
+		if core.Outcome(r.Outcome) != core.OutcomeCrash {
+			continue
+		}
+		h := r.StackHash
+		if h == "" {
+			h = unknownCluster
+		}
+		byHash[h] = append(byHash[h], r)
+	}
+	out := make([]Cluster, 0, len(byHash))
+	for h, members := range byHash {
+		sort.Slice(members, func(i, j int) bool { return members[i].Key < members[j].Key })
+		c := Cluster{StackHash: h, Reach: len(members), Members: members}
+		for _, m := range members {
+			c.Keys = append(c.Keys, m.Key)
+		}
+		c.CrashStack = members[0].CrashStack
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Reach != out[j].Reach {
+			return out[i].Reach > out[j].Reach
+		}
+		return out[i].StackHash < out[j].StackHash
+	})
+	return out
+}
+
+// RenderClusters prints the triage report: one block per cluster, most
+// reachable first.
+func RenderClusters(clusters []Cluster) string {
+	var b strings.Builder
+	total := 0
+	for _, c := range clusters {
+		total += c.Reach
+	}
+	fmt.Fprintf(&b, "crash triage: %d crash(es) in %d cluster(s)\n", total, len(clusters))
+	for i, c := range clusters {
+		fmt.Fprintf(&b, "  cluster %d [%s] reach=%d\n", i+1, c.StackHash, c.Reach)
+		if len(c.CrashStack) > 0 {
+			fmt.Fprintf(&b, "    stack: %s\n", strings.Join(c.CrashStack, "<-"))
+		}
+		for _, m := range c.Members {
+			fault := fmt.Sprintf("%s.%s -> %d", m.Library, m.Function, m.Retval)
+			fmt.Fprintf(&b, "    %-40s signal=%d\n", fault, m.Signal)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,278 @@
+package campaign_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"lfi/internal/campaign"
+	"lfi/internal/core"
+	"lfi/internal/libc"
+	"lfi/internal/minic"
+	"lfi/internal/obj"
+	"lfi/internal/profile"
+)
+
+func TestTriageClustersDeterministic(t *testing.T) {
+	recs := []campaign.Record{
+		// Three faultloads reaching the same failure site.
+		{Key: "k1", Library: "l", Function: "malloc", Outcome: "crash", Signal: 11,
+			StackHash: "aaaa", CrashStack: []string{"malloc", "main"}},
+		{Key: "k2", Library: "l", Function: "calloc", Outcome: "crash", Signal: 11,
+			StackHash: "aaaa", CrashStack: []string{"malloc", "main"}},
+		{Key: "k3", Library: "l", Function: "read", Outcome: "crash", Signal: 11,
+			StackHash: "aaaa", CrashStack: []string{"malloc", "main"}},
+		// A distinct site.
+		{Key: "k4", Library: "l", Function: "write", Outcome: "crash", Signal: 6,
+			StackHash: "bbbb", CrashStack: []string{"abort", "flush", "main"}},
+		// Non-crashes never cluster.
+		{Key: "k5", Library: "l", Function: "open", Outcome: "handled"},
+		{Key: "k6", Library: "l", Function: "close", Outcome: "hang"},
+		// A crash with no recorded stack lands in the unknown bucket.
+		{Key: "k7", Library: "l", Function: "pipe", Outcome: "crash", Signal: 11},
+		// Re-recorded key: the later record wins and reach counts it once.
+		{Key: "k2", Library: "l", Function: "calloc", Outcome: "crash", Signal: 11,
+			StackHash: "aaaa", CrashStack: []string{"malloc", "main"}},
+	}
+	clusters := campaign.Triage(recs)
+	if len(clusters) != 3 {
+		t.Fatalf("clusters = %+v", clusters)
+	}
+	if clusters[0].StackHash != "aaaa" || clusters[0].Reach != 3 {
+		t.Errorf("top cluster = %+v, want aaaa with reach 3", clusters[0])
+	}
+	if got := clusters[0].Keys; !reflect.DeepEqual(got, []string{"k1", "k2", "k3"}) {
+		t.Errorf("member keys = %v", got)
+	}
+	if clusters[1].StackHash != "bbbb" || clusters[1].Reach != 1 {
+		t.Errorf("second cluster = %+v", clusters[1])
+	}
+	if clusters[2].StackHash != "unknown" || clusters[2].Reach != 1 {
+		t.Errorf("unknown cluster = %+v", clusters[2])
+	}
+
+	// Deterministic: shuffled input order yields the same clusters
+	// (records for distinct keys commute; triage re-sorts).
+	shuffled := []campaign.Record{recs[4], recs[3], recs[0], recs[6], recs[5], recs[2], recs[1], recs[7]}
+	if again := campaign.Triage(shuffled); !reflect.DeepEqual(again, clusters) {
+		t.Errorf("triage is order-sensitive:\n%+v\nvs\n%+v", again, clusters)
+	}
+
+	out := campaign.RenderClusters(clusters)
+	for _, want := range []string{
+		"5 crash(es) in 3 cluster(s)",
+		"cluster 1 [aaaa] reach=3",
+		"stack: malloc<-main",
+		"l.read -> 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTriageEndToEnd: a real sweep through a store produces at least
+// one crash cluster, identically across a fresh run and a resumed one.
+func TestTriageEndToEnd(t *testing.T) {
+	cfg, set := mixedTarget(t)
+	dir := t.TempDir()
+	s, err := campaign.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.Sweep(cfg, core.PlanExperiments(set), 0,
+		core.SweepOptions{Workers: 4}, s, false); err != nil {
+		t.Fatal(err)
+	}
+	clusters := campaign.Triage(s.Records())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) == 0 {
+		t.Fatal("sweep produced no crash clusters (mixedApp crashes on malloc)")
+	}
+	if len(clusters[0].CrashStack) == 0 || clusters[0].StackHash == "" {
+		t.Errorf("cluster lacks identity: %+v", clusters[0])
+	}
+
+	// A resumed (fully-cached) pass over the same store must triage
+	// identically — the determinism half of the acceptance criteria.
+	s2, err := campaign.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := campaign.Sweep(cfg, core.PlanExperiments(set), 0,
+		core.SweepOptions{Workers: 8}, s2, true); err != nil {
+		t.Fatal(err)
+	}
+	if again := campaign.Triage(s2.Records()); !reflect.DeepEqual(again, clusters) {
+		t.Errorf("triage differs across resume:\n%+v\nvs\n%+v", again, clusters)
+	}
+}
+
+func TestSurvivorsAndEscalate(t *testing.T) {
+	cfg, set := mixedTarget(t)
+	dir := t.TempDir()
+	s, err := campaign.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	exps := core.PlanExperiments(set)
+	if _, err := campaign.Sweep(cfg, exps, 0, core.SweepOptions{Workers: 4}, s, false); err != nil {
+		t.Fatal(err)
+	}
+
+	surv := campaign.Survivors(exps, s.Completed())
+	// mixedApp tolerates read (two error codes) and close faults; open
+	// error-exits, malloc crashes, write is never called.
+	if len(surv) != 3 {
+		t.Fatalf("survivors = %+v", surv)
+	}
+	for _, e := range surv {
+		if e.Function != "read" && e.Function != "close" {
+			t.Errorf("unexpected survivor %s (outcome was not handled-with-injection)", e.Function)
+		}
+	}
+
+	second := campaign.Escalate(surv, set, 0)
+	// Pairs over {read(EIO), read(EINTR), close}: same-function pair
+	// skipped, so read+close twice — labelled with full fault
+	// coordinates so the two rows stay distinguishable.
+	if len(second) != 2 {
+		t.Fatalf("escalated experiments = %+v", second)
+	}
+	wantFns := []string{"read(-1,EIO)+close(-1,EBADF)", "read(-1,EINTR)+close(-1,EBADF)"}
+	for i, e := range second {
+		if e.Function != wantFns[i] {
+			t.Errorf("pair %d coordinates = %q, want %q", i, e.Function, wantFns[i])
+		}
+		if e.Plan == nil || len(e.Plan.Triggers) != 2 {
+			t.Errorf("pair faultload = %+v", e.Plan)
+		}
+		if e.Compiled == nil {
+			t.Errorf("pair faultload not precompiled")
+		}
+	}
+	// Keys must be distinct (different merged faultloads) and stable.
+	if second[0].Key() == second[1].Key() {
+		t.Error("escalated pairs share a key")
+	}
+	if again := campaign.Escalate(surv, set, 0); !reflect.DeepEqual(
+		[]string{again[0].Key(), again[1].Key()},
+		[]string{second[0].Key(), second[1].Key()}) {
+		t.Error("escalation plan is not deterministic")
+	}
+
+	// The cap bounds the quadratic growth.
+	if capped := campaign.Escalate(surv, set, 1); len(capped) != 1 {
+		t.Errorf("maxPairs=1 minted %d pairs", len(capped))
+	}
+
+	// The escalated round executes and renders through the same store:
+	// both faults inject, mixedApp tolerates both, and the rows read as
+	// pairs.
+	res, err := campaign.Sweep(cfg, second, 0, core.SweepOptions{Workers: 2}, s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 2 {
+		t.Fatalf("second-round report = %+v", res)
+	}
+	for _, e := range res.Entries {
+		if e.Outcome != core.OutcomeHandled {
+			t.Errorf("read+close pair outcome = %s (mixedApp tolerates both)", e.Outcome)
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "read(-1,EIO)+close(-1,EBADF)") ||
+		!strings.Contains(out, "read(-1,EINTR)+close(-1,EBADF)") {
+		t.Errorf("pair rows missing or ambiguous:\n%s", out)
+	}
+	// Pair records persisted with injections from both faults.
+	done := s.Completed()
+	rec, ok := done[second[0].Key()]
+	if !ok || rec.Injections != 2 {
+		t.Errorf("pair record = %+v (want both faults injected)", rec)
+	}
+}
+
+// TestEscalateFindsLatentPair: the point of escalation — an app that
+// tolerates each fault alone but crashes when both fire. Round one
+// reports every single fault handled; the escalated round exposes the
+// latent pair.
+func TestEscalateFindsLatentPair(t *testing.T) {
+	const src = `
+needs "libc.so";
+extern int open(byte *path, int flags, int mode);
+extern int read(int fd, byte *buf, int n);
+extern byte *malloc(int n);
+extern tls int errno;
+int main(void) {
+  int fd;
+  int n;
+  byte buf[16];
+  byte *fallback;
+  fd = open("/data", 0, 0);
+  if (fd < 0) { return 2; }
+  fallback = malloc(16);
+  n = read(fd, buf, 15);
+  if (n < 0) {
+    // Recovery path: spill into the fallback buffer — safe alone, but
+    // nobody checked that malloc succeeded.
+    fallback[0] = 'r';
+    n = 0;
+  }
+  return 0;
+}
+`
+	cfg, set := mixedTarget(t)
+	app, err := minic.Compile("app", src, obj.Executable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Programs[1] = app
+	// Restrict the matrix to the two functions of interest.
+	p := *set[libc.Name]
+	var fns []profile.Function
+	for _, fn := range p.Functions {
+		if fn.Name == "read" || fn.Name == "malloc" {
+			fns = append(fns, fn)
+		}
+	}
+	p.Functions = fns
+	pairSet := profile.Set{libc.Name: &p}
+
+	exps := core.PlanExperiments(pairSet)
+	dir := t.TempDir()
+	s, err := campaign.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	first, err := campaign.Sweep(cfg, exps, 0, core.SweepOptions{Workers: 2}, s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := first.Summary()[core.OutcomeCrash]; n != 0 {
+		t.Fatalf("round one must be crash-free (each fault tolerated alone):\n%s", first.Render())
+	}
+
+	surv := campaign.Survivors(exps, s.Completed())
+	second := campaign.Escalate(surv, pairSet, 0)
+	if len(second) == 0 {
+		t.Fatal("no pairs escalated")
+	}
+	res, err := campaign.Sweep(cfg, second, 0, core.SweepOptions{Workers: 2}, s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Summary()[core.OutcomeCrash]; n == 0 {
+		t.Errorf("escalated round missed the latent read+malloc crash:\n%s", res.Render())
+	}
+	// And the new crash is triageable from the same store.
+	clusters := campaign.Triage(s.Records())
+	if len(clusters) == 0 {
+		t.Error("latent-pair crash did not cluster")
+	}
+}

@@ -25,6 +25,7 @@ package controller
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"sort"
 	"strconv"
@@ -61,10 +62,22 @@ type InjectionRecord struct {
 	HasRetval bool
 	Errno     int32
 	HasErrno  bool
-	Modified  []scenario.Modify
-	CallOrig  bool
-	Stack     []string
-	Cycle     uint64
+	// ErrnoFailed is set when the faultload asked for an errno store but
+	// no errno symbol resolved (neither the intercepted function's owning
+	// image nor the main executable exports one). The injection log then
+	// says what really happened instead of silently claiming the full
+	// faultload was applied.
+	ErrnoFailed bool
+	Modified    []scenario.Modify
+	// ModifyFailed lists argument modifications whose target address
+	// could not be read or written (e.g. an out-of-range argument index
+	// reaching past the stack segment). They were requested by the
+	// faultload but NOT applied; replay re-attempts them so the replayed
+	// log fails identically.
+	ModifyFailed []scenario.Modify
+	CallOrig     bool
+	Stack        []string
+	Cycle        uint64
 }
 
 // String renders the record as a log line.
@@ -77,8 +90,14 @@ func (r InjectionRecord) String() string {
 	if r.HasErrno {
 		fmt.Fprintf(&b, " errno=%d", r.Errno)
 	}
+	if r.ErrnoFailed {
+		b.WriteString(" errno-unresolved")
+	}
 	for _, m := range r.Modified {
 		fmt.Fprintf(&b, " modify(arg%d %s %d)", m.Argument, m.Op, m.Value)
+	}
+	for _, m := range r.ModifyFailed {
+		fmt.Fprintf(&b, " modify-failed(arg%d %s %d)", m.Argument, m.Op, m.Value)
 	}
 	if r.CallOrig {
 		b.WriteString(" calloriginal")
@@ -268,11 +287,7 @@ func (c *Controller) evalTrigger(hc *vm.HostCall) int32 {
 		depth = DefaultBacktraceDepth
 	}
 	for _, f := range frames {
-		if f.Symbol != "" {
-			rec.Stack = append(rec.Stack, f.Symbol)
-		} else {
-			rec.Stack = append(rec.Stack, "0x"+strconv.FormatUint(uint64(f.Addr), 16))
-		}
+		rec.Stack = append(rec.Stack, FrameLabel(f.Symbol, f.Addr))
 		if len(rec.Stack) >= depth {
 			break
 		}
@@ -286,11 +301,14 @@ func (c *Controller) evalTrigger(hc *vm.HostCall) int32 {
 		addr := hc.ArgAddr(int(1 + m.Argument))
 		old, err := hc.Proc.ReadWord(addr)
 		if err != nil {
+			rec.ModifyFailed = append(rec.ModifyFailed, m)
 			continue
 		}
-		if err := hc.Proc.WriteWord(addr, m.Apply(old)); err == nil {
-			rec.Modified = append(rec.Modified, m)
+		if err := hc.Proc.WriteWord(addr, m.Apply(old)); err != nil {
+			rec.ModifyFailed = append(rec.ModifyFailed, m)
+			continue
 		}
+		rec.Modified = append(rec.Modified, m)
 	}
 
 	// Side effects from the fault profile (TLS/global stores).
@@ -298,11 +316,11 @@ func (c *Controller) evalTrigger(hc *vm.HostCall) int32 {
 		c.applySideEffect(hc.Proc, se)
 	}
 	// Symbolic errno (errno="EBADF") without a profile side effect:
-	// resolve the exported errno symbol across the loaded images.
+	// store into the errno of the image owning the intercepted function.
 	if d.HasErrno {
-		c.applyErrno(hc.Proc, d.Errno)
 		rec.HasErrno = true
 		rec.Errno = d.Errno
+		rec.ErrnoFailed = !c.applyErrno(hc.Proc, fn, d.Errno)
 	}
 
 	callOriginal := d.CallOriginal || c.PassThrough || !d.HasRetval
@@ -344,17 +362,55 @@ func (c *Controller) applySideEffect(p *vm.Proc, se profile.SideEffect) {
 	}
 }
 
-// applyErrno resolves the canonical exported errno symbol and stores v.
-func (c *Controller) applyErrno(p *vm.Proc, v int32) {
+// applyErrno stores v into the errno owned by the image that defines
+// the intercepted function fn, and reports whether a store happened.
+//
+// With several loaded libraries each exporting errno, "the first errno
+// in image load order" — the old resolution — can be a different
+// library's copy than the one the intercepted function's callers read,
+// so the injected errno silently lands in dead storage. The owner is
+// the first image after the interceptor in symbol search order that
+// exports fn: exactly the definition the stub's dlnext tail-jump would
+// reach, so the store hits the errno its library (and the code paths
+// around the call) actually uses. When the owner exports no errno the
+// main executable's errno is the fallback; when neither resolves the
+// failure is recorded on the InjectionRecord (ErrnoFailed) rather than
+// dropped.
+func (c *Controller) applyErrno(p *vm.Proc, fn string, v int32) bool {
+	if va, ok := errnoTarget(p, fn); ok {
+		return p.WriteWord(va, v) == nil
+	}
+	return false
+}
+
+// errnoTarget resolves the errno word an injection into fn must store
+// to: the owning image's errno, else the main executable's.
+func errnoTarget(p *vm.Proc, fn string) (uint32, bool) {
+	// Mirror dlsym(RTLD_NEXT) from the interceptor: the owner is the
+	// first definition of fn past the stub library in search order.
+	past := false
 	for _, im := range p.Images {
 		if im.File.Name == StubLibName {
+			past = true
+			continue
+		}
+		if !past {
+			continue
+		}
+		if _, owns := im.SymbolVA(fn); !owns {
 			continue
 		}
 		if va, ok := im.SymbolVA("errno"); ok {
-			_ = p.WriteWord(va, v)
-			return
+			return va, true
+		}
+		break // owner found but it exports no errno: fall back
+	}
+	if len(p.Images) > 0 && p.Images[0].File.Name != StubLibName {
+		if va, ok := p.Images[0].SymbolVA("errno"); ok {
+			return va, true
 		}
 	}
+	return 0, false
 }
 
 // backtrace converts the process shadow stack (innermost last) into
@@ -367,6 +423,65 @@ func backtrace(p *vm.Proc) []scenario.StackFrame {
 		out = append(out, scenario.StackFrame{Addr: f.FuncVA, Symbol: f.Symbol})
 	}
 	return out
+}
+
+// FrameLabel renders one backtrace frame for logs, triage stacks and
+// stack hashing: the symbol name, or the hex address for stripped
+// locals. Injection-record stacks and core's crash stacks both go
+// through this renderer — StackHash mixes the two frame streams in one
+// hash space, so a frame must label identically wherever it appears or
+// the same failure site would split into distinct triage clusters.
+func FrameLabel(symbol string, addr uint32) string {
+	if symbol != "" {
+		return symbol
+	}
+	return "0x" + strconv.FormatUint(uint64(addr), 16)
+}
+
+// StackHash digests a crash's identity for triage clustering: a stable
+// 16-hex-digit hash over the dying process's backtrace frames. Two runs
+// crash-alike iff they die with the same stack, regardless of which
+// faultload drove them there — that is what lets a campaign store dedup
+// hundreds of crashing experiments into a handful of distinct failure
+// sites ranked by how many faultloads reach each. When no crash stack
+// is available the innermost context recorded in the injection log (the
+// last injection's backtrace) stands in, so injection-log-only records
+// still cluster. Returns "" when there is nothing to hash.
+func StackHash(crashStack []string, log []InjectionRecord) string {
+	frames := crashStack
+	if len(frames) == 0 {
+		for i := len(log) - 1; i >= 0; i-- {
+			if len(log[i].Stack) > 0 {
+				frames = log[i].Stack
+				break
+			}
+		}
+	}
+	if len(frames) == 0 {
+		return ""
+	}
+	h := fnv.New64a()
+	for _, f := range frames {
+		h.Write([]byte(f))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// LogDigest digests the full injection log — every record's rendered
+// line — into a stable 16-hex-digit value. Campaign stores persist it
+// per experiment so a replayed run can be checked for log fidelity
+// without storing the whole log. Returns "" for an empty log.
+func LogDigest(log []InjectionRecord) string {
+	if len(log) == 0 {
+		return ""
+	}
+	h := fnv.New64a()
+	for _, r := range log {
+		h.Write([]byte(r.String()))
+		h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // WriteLog writes the text injection log (§5.2).
@@ -405,6 +520,11 @@ func (c *Controller) ReplayPlan() *scenario.Plan {
 			t.Stacktrace = &scenario.StackTrace{Frames: append([]string(nil), r.Stack...)}
 		}
 		t.Modify = append(t.Modify, r.Modified...)
+		// Failed modifications are replayed too: their target addresses
+		// are invalid again in the deterministic VM, so the replayed log
+		// records the same ModifyFailed set instead of silently claiming
+		// a cleaner faultload than the original run applied.
+		t.Modify = append(t.Modify, r.ModifyFailed...)
 		out.Triggers = append(out.Triggers, t)
 	}
 	return out

@@ -101,6 +101,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"lfi/internal/controller"
 	"lfi/internal/kernel"
@@ -204,6 +205,17 @@ type Report struct {
 	Cycles     uint64
 	// Deadlocked is set when the run wedged rather than exiting.
 	Deadlocked bool
+	// CrashStack is the dying process's shadow call stack, innermost
+	// frame first (symbol names, hex addresses for stripped locals),
+	// captured when the run terminated on a signal. It is the identity
+	// crash triage clusters on (controller.StackHash); nil for clean
+	// exits and hangs.
+	CrashStack []string
+	// Coverage counts the distinct instructions executed across every
+	// image of every process when the campaign's VM ran with coverage
+	// enabled; 0 otherwise. Campaign stores persist it as the per-run
+	// coverage summary.
+	Coverage int
 }
 
 // NewCampaign builds the system: registers programs, installs kernel
@@ -251,14 +263,21 @@ func (c *Campaign) Controller() *controller.Controller { return c.ctl }
 // Run executes to completion (budget 0 = unlimited) and reports.
 func (c *Campaign) Run(budget uint64) (*Report, error) {
 	err := c.sys.Run(budget) // sequenced: status/cycles are read post-run
-	return assembleReport(err, c.proc.Status, c.sys.TotalCycles, c.ctl)
+	rep, rerr := assembleReport(err, c.proc, c.sys.TotalCycles, c.ctl)
+	if c.cfg.VM.Coverage {
+		rep.Coverage = coveredInsts(c.sys)
+	}
+	return rep, rerr
 }
 
 // assembleReport turns a finished run (fresh-spawn or snapshot-restore)
 // into a Report, folding deadlock and budget exhaustion into the
-// Deadlocked flag.
-func assembleReport(err error, status vm.ExitStatus, cycles uint64, ctl *controller.Controller) (*Report, error) {
-	rep := &Report{Status: status, Cycles: cycles}
+// Deadlocked flag and capturing the crash backtrace on signal deaths.
+func assembleReport(err error, proc *vm.Proc, cycles uint64, ctl *controller.Controller) (*Report, error) {
+	rep := &Report{Status: proc.Status, Cycles: cycles}
+	if proc.Status.Signal != 0 {
+		rep.CrashStack = crashStack(proc)
+	}
 	if ctl != nil {
 		rep.Injections = ctl.Log()
 		rep.ReplayPlan = ctl.ReplayPlan()
@@ -271,4 +290,32 @@ func assembleReport(err error, status vm.ExitStatus, cycles uint64, ctl *control
 		return rep, err
 	}
 	return rep, nil
+}
+
+// crashStack renders the process shadow stack at death as triage
+// frames, innermost first — the controller's frame renderer and
+// orientation, so crash stacks and injection-record stacks hash into
+// the same StackHash space.
+func crashStack(proc *vm.Proc) []string {
+	out := make([]string, 0, len(proc.CallStack))
+	for i := len(proc.CallStack) - 1; i >= 0; i-- {
+		f := proc.CallStack[i]
+		out = append(out, controller.FrameLabel(f.Symbol, f.FuncVA))
+	}
+	return out
+}
+
+// coveredInsts counts executed instructions across every image of every
+// process — the coverage summary persisted per experiment when the
+// campaign runs with vm.Options.Coverage.
+func coveredInsts(sys *vm.System) int {
+	n := 0
+	for _, p := range sys.Procs() {
+		for _, im := range p.Images {
+			for _, w := range im.CoverBits {
+				n += bits.OnesCount64(w)
+			}
+		}
+	}
+	return n
 }

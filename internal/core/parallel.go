@@ -48,6 +48,25 @@ type SweepOptions struct {
 	// execution guarantees the run would replay the baseline exactly).
 	// The rendered report is unchanged; only the work is skipped.
 	PruneUncalled bool
+	// Skip, when non-nil, is consulted once per experiment before any
+	// run is spawned; returning (entry, true) commits the cached entry
+	// in plan order without executing. This is the resume filter of
+	// persistent campaign stores (internal/campaign): completed keys are
+	// served from disk, the rest run, and the reassembled report is
+	// byte-identical to a fresh full sweep. Skipped entries still count
+	// toward MaxCrashes in plan order, so a resumed early-stopped sweep
+	// truncates exactly where a fresh one would. Called from worker
+	// goroutines — implementations must be safe for concurrent use.
+	Skip func(exp *Experiment) (SweepEntry, bool)
+	// OnResult, when non-nil, observes every freshly-executed experiment
+	// from the worker goroutine that ran it — the live feed persistent
+	// stores append to, firing as results complete (before plan-order
+	// reassembly, so arrival order varies with scheduling). rep is nil
+	// when the entry was synthesised without a run (pruned not-triggered
+	// experiments); entries served from Skip are not re-reported.
+	// Called concurrently at Workers > 1 — implementations must be safe
+	// for concurrent use.
+	OnResult func(exp *Experiment, entry SweepEntry, rep *Report)
 }
 
 // SweepProgress is one live progress update of a running sweep.
@@ -122,15 +141,38 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 		return nil, err
 	}
 	run := func(exp Experiment) (SweepEntry, error) {
-		if called != nil {
-			if entry, ok := pruneEntry(&exp, called, baseline); ok {
+		// Resume outranks pruning: a cached entry is the recorded truth
+		// of a real run, while pruning merely predicts one.
+		if opts.Skip != nil {
+			if entry, ok := opts.Skip(&exp); ok {
 				return entry, nil
 			}
 		}
-		if sr != nil {
-			return sr.run(exp, baseline, budget)
+		if called != nil {
+			if entry, ok := pruneEntry(&exp, called, baseline); ok {
+				if opts.OnResult != nil {
+					opts.OnResult(&exp, entry, nil)
+				}
+				return entry, nil
+			}
 		}
-		return runExperiment(cfg, exp, baseline, budget)
+		var (
+			entry SweepEntry
+			rep   *Report
+			err   error
+		)
+		if sr != nil {
+			entry, rep, err = sr.run(exp, baseline, budget)
+		} else {
+			entry, rep, err = runExperiment(cfg, exp, baseline, budget)
+		}
+		if err != nil {
+			return entry, err
+		}
+		if opts.OnResult != nil {
+			opts.OnResult(&exp, entry, rep)
+		}
+		return entry, nil
 	}
 	res := &SweepResult{Executable: cfg.Executable, Baseline: baseline}
 

@@ -95,7 +95,11 @@ func (r *snapshotRunner) exec(cp *scenario.CompiledPlan, budget uint64) (*Report
 	}
 	proc := sys.Procs()[0]
 	err := sys.Run(budget) // sequenced: status/cycles are read post-run
-	return assembleReport(err, proc.Status, sys.TotalCycles, ctl)
+	rep, rerr := assembleReport(err, proc, sys.TotalCycles, ctl)
+	if r.cfg.VM.Coverage {
+		rep.Coverage = coveredInsts(sys)
+	}
+	return rep, rerr
 }
 
 // baseline runs the clean reference from the snapshot: the shared stub
@@ -110,8 +114,9 @@ func (r *snapshotRunner) baseline(budget uint64) (int32, error) {
 }
 
 // run executes one experiment from the snapshot and classifies it —
-// the restore-path twin of runExperiment.
-func (r *snapshotRunner) run(exp Experiment, baseline int32, budget uint64) (SweepEntry, error) {
+// the restore-path twin of runExperiment, returning the run report for
+// OnResult observers alongside the entry.
+func (r *snapshotRunner) run(exp Experiment, baseline int32, budget uint64) (SweepEntry, *Report, error) {
 	entry := exp.entry()
 	cp := exp.Compiled
 	switch {
@@ -125,7 +130,7 @@ func (r *snapshotRunner) run(exp Experiment, baseline int32, budget uint64) (Swe
 		var err error
 		cp, err = scenario.Compile(exp.Plan, r.cfg.Profiles)
 		if err != nil {
-			return entry, fmt.Errorf("core: %w", err)
+			return entry, nil, fmt.Errorf("core: %w", err)
 		}
 	}
 	// Match the fresh path's contract: a supplied faultload with no
@@ -133,14 +138,14 @@ func (r *snapshotRunner) run(exp Experiment, baseline int32, budget uint64) (Swe
 	// be empty), so it must fail here too, in the same plan-order
 	// position.
 	if cp != r.passthru && len(cp.Functions()) == 0 {
-		return entry, fmt.Errorf("core: controller: %w", controller.ErrNoTriggers)
+		return entry, nil, fmt.Errorf("core: controller: %w", controller.ErrNoTriggers)
 	}
 	rep, err := r.exec(cp, budget)
 	if err != nil {
-		return entry, err
+		return entry, nil, err
 	}
 	entry.classify(rep, baseline)
-	return entry, nil
+	return entry, rep, nil
 }
 
 // baselineCoverage runs the clean baseline once with instruction

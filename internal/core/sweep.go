@@ -140,6 +140,22 @@ type Experiment struct {
 	Compiled *scenario.CompiledPlan
 }
 
+// Key is the experiment's canonical identity for persistent campaign
+// stores: the report coordinates plus the faultload's canonical key
+// (scenario.Plan.CanonicalKey). Two experiments share a key iff they
+// would produce the same report row from the same faultload, so a
+// resumed sweep can skip completed keys and still render byte-identical
+// to a fresh run. The key is stable across processes and machines —
+// PlanExperiments is deterministic and plans marshal canonically.
+func (exp *Experiment) Key() string {
+	plan := exp.Plan
+	if plan == nil && exp.Compiled != nil {
+		plan = exp.Compiled.Plan()
+	}
+	return fmt.Sprintf("%s/%s/%d/%d/%t/%s",
+		exp.Library, exp.Function, exp.Retval, exp.Errno, exp.HasErrno, plan.CanonicalKey())
+}
+
 // PlanExperiments expands a profile set into the full experiment matrix —
 // one experiment per (library, function, error code), in deterministic
 // lexicographic library order. This is the generator half of a sweep; the
@@ -230,11 +246,13 @@ func (e *SweepEntry) classify(rep *Report, baseline int32) {
 }
 
 // runExperiment executes one experiment in a fresh Campaign (its own
-// vm.System, controller and evaluator) and classifies the reaction. The
-// compiled plan is immutable and evaluator state is per-campaign, so
-// the shared CampaignConfig and Experiment are only ever read — this is
-// what keeps a many-worker sweep race-free.
-func runExperiment(cfg CampaignConfig, exp Experiment, baseline int32, budget uint64) (SweepEntry, error) {
+// vm.System, controller and evaluator) and classifies the reaction,
+// returning the full run report alongside the entry (for the OnResult
+// observers of persistent campaign stores). The compiled plan is
+// immutable and evaluator state is per-campaign, so the shared
+// CampaignConfig and Experiment are only ever read — this is what keeps
+// a many-worker sweep race-free.
+func runExperiment(cfg CampaignConfig, exp Experiment, baseline int32, budget uint64) (SweepEntry, *Report, error) {
 	entry := exp.entry()
 	runCfg := cfg
 	runCfg.Plan = exp.Plan
@@ -242,14 +260,14 @@ func runExperiment(cfg CampaignConfig, exp Experiment, baseline int32, budget ui
 	runCfg.PassThrough = false
 	c, err := NewCampaign(runCfg)
 	if err != nil {
-		return entry, err
+		return entry, nil, err
 	}
 	rep, err := c.Run(budget)
 	if err != nil {
-		return entry, err
+		return entry, nil, err
 	}
 	entry.classify(rep, baseline)
-	return entry, nil
+	return entry, rep, nil
 }
 
 // Sweep runs one campaign per (function, error code) in the profile set —

@@ -104,6 +104,48 @@ func TestRobustnessComparison(t *testing.T) {
 	t.Logf("\n%s", r.Render())
 }
 
+func TestTriageWalkthrough(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Triage(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ResumeIdentical {
+		t.Error("resumed report must be byte-identical to a fresh full sweep")
+	}
+	if r.PartialEntries == 0 || r.PartialEntries >= r.ResumedEntries {
+		t.Errorf("killed campaign covered %d/%d entries — not a partial store",
+			r.PartialEntries, r.ResumedEntries)
+	}
+	if len(r.Clusters) == 0 {
+		t.Error("sloppy target produced no crash clusters")
+	}
+	if r.Survivors == 0 || r.Second == nil {
+		t.Errorf("escalation round missing: %d survivors, second=%v", r.Survivors, r.Second)
+	}
+	out := r.Render()
+	for _, want := range []string{"crash triage:", "escalation:", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	// Re-running against the same store resumes: the first round is
+	// fully cached, and triage stays deterministic.
+	again, err := Triage(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.First.Render() != r.First.Render() {
+		t.Error("resumed walkthrough report differs")
+	}
+	if len(again.Clusters) != len(r.Clusters) ||
+		(len(r.Clusters) > 0 && again.Clusters[0].StackHash != r.Clusters[0].StackHash) {
+		t.Errorf("triage clusters differ across resumes:\n%+v\nvs\n%+v", again.Clusters, r.Clusters)
+	}
+	t.Logf("\n%s", r.Render())
+}
+
 func TestEfficiencySeries(t *testing.T) {
 	r, err := Efficiency(0)
 	if err != nil {

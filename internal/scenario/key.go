@@ -1,0 +1,54 @@
+// Faultload identity and multi-fault synthesis for persistent
+// campaigns (internal/campaign): a canonical key names a faultload
+// stably across processes and machine restarts, and Pairwise merges two
+// single-fault plans into one correlated multi-fault plan — the
+// escalation planner's second-round unit.
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// CanonicalKey returns a short, stable digest identifying this
+// faultload. Two plans have the same key iff they marshal to the same
+// XML — trigger order, attributes, condition trees and the seed all
+// participate — so the key survives process restarts and is safe to use
+// as the resume identity of a persistent campaign store. A nil plan
+// (an uninstrumented run) has the fixed key "none".
+func (p *Plan) CanonicalKey() string {
+	if p == nil {
+		return "none"
+	}
+	b, err := p.Marshal()
+	if err != nil {
+		// Marshal only fails on values that cannot come from Unmarshal
+		// (e.g. an XML-invalid function name injected programmatically).
+		// Such a plan still deserves a deterministic identity.
+		b = []byte(fmt.Sprintf("unmarshalable:%+v", p))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Pairwise merges two faultloads into one multi-fault plan: all of a's
+// triggers followed by all of b's, deep-cloned so the result shares no
+// state with its parents. This is the adaptive escalation unit — two
+// single-fault survivors combined into a correlated two-fault scenario —
+// but it composes arbitrary plans. When both plans carry a seed, a's
+// wins (the merged plan has one random stream).
+func Pairwise(a, b *Plan) *Plan {
+	out := a.Clone()
+	if out == nil {
+		out = &Plan{}
+	}
+	if b != nil {
+		bc := b.Clone()
+		out.Triggers = append(out.Triggers, bc.Triggers...)
+		if out.Seed == 0 {
+			out.Seed = bc.Seed
+		}
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"testing"
+)
+
+func TestCanonicalKeyStableAndDiscriminating(t *testing.T) {
+	base := func() *Plan {
+		return &Plan{Seed: 3, Triggers: []Trigger{
+			{Function: "read", Inject: 2, Retval: "-1", Errno: "EIO", Once: true},
+			{Function: "write", Probability: 10, Random: true},
+		}}
+	}
+	k1 := base().CanonicalKey()
+	if k2 := base().CanonicalKey(); k2 != k1 {
+		t.Errorf("identical plans key differently: %q vs %q", k1, k2)
+	}
+	// A marshal/unmarshal round trip must preserve the key — resume
+	// compares keys minted in different processes.
+	blob, err := base().Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := rt.CanonicalKey(); k != k1 {
+		t.Errorf("round-tripped key %q != original %q", k, k1)
+	}
+
+	for name, mut := range map[string]func(*Plan){
+		"retval":  func(p *Plan) { p.Triggers[0].Retval = "-2" },
+		"errno":   func(p *Plan) { p.Triggers[0].Errno = "EBADF" },
+		"inject":  func(p *Plan) { p.Triggers[0].Inject = 3 },
+		"seed":    func(p *Plan) { p.Seed = 4 },
+		"order":   func(p *Plan) { p.Triggers[0], p.Triggers[1] = p.Triggers[1], p.Triggers[0] },
+		"dropped": func(p *Plan) { p.Triggers = p.Triggers[:1] },
+	} {
+		p := base()
+		mut(p)
+		if p.CanonicalKey() == k1 {
+			t.Errorf("%s change did not change the key", name)
+		}
+	}
+
+	if (*Plan)(nil).CanonicalKey() != "none" {
+		t.Error("nil plan must key as none")
+	}
+}
+
+func TestPairwiseMergesWithoutSharing(t *testing.T) {
+	a := &Plan{Seed: 7, Triggers: []Trigger{{Function: "read", Inject: 1, Retval: "-1", Once: true}}}
+	b := &Plan{Triggers: []Trigger{{
+		Function: "malloc", Inject: 1, Retval: "0", Once: true,
+		Modify: []Modify{{Argument: 1, Op: "set", Value: 0}},
+	}}}
+	m := Pairwise(a, b)
+	if len(m.Triggers) != 2 || m.Triggers[0].Function != "read" || m.Triggers[1].Function != "malloc" {
+		t.Fatalf("merged plan = %+v", m)
+	}
+	if m.Seed != 7 {
+		t.Errorf("seed = %d, want a's seed 7", m.Seed)
+	}
+	// Deep clone: mutating the merged plan must not reach the parents.
+	m.Triggers[1].Modify[0].Value = 99
+	if b.Triggers[0].Modify[0].Value != 0 {
+		t.Error("Pairwise shares Modify state with its input")
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("merged plan invalid: %v", err)
+	}
+
+	if got := Pairwise(nil, b); len(got.Triggers) != 1 || got.Triggers[0].Function != "malloc" {
+		t.Errorf("Pairwise(nil, b) = %+v", got)
+	}
+	if got := Pairwise(a, nil); len(got.Triggers) != 1 {
+		t.Errorf("Pairwise(a, nil) = %+v", got)
+	}
+	if b.Seed != 0 {
+		t.Errorf("input plan mutated: seed %d", b.Seed)
+	}
+}

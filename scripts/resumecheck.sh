@@ -1,0 +1,88 @@
+#!/bin/sh
+# resumecheck.sh — end-to-end resume-determinism check for the
+# persistent campaign store.
+#
+# Builds the lfi CLI, generates the demo libc + a small target with a
+# crash path, then:
+#
+#   1. runs a fresh full sweep (the reference report);
+#   2. runs the same sweep into a -store, "killed" partway by
+#      -max-crashes 1;
+#   3. resumes from the half-completed store (fresh and snapshot
+#      executors, several worker counts) and diffs every resumed report
+#      against the reference — any byte of difference fails.
+#
+#   ./scripts/resumecheck.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/lfi-resumecheck-XXXXXX")"
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/lfi" ./cmd/lfi
+
+"$work/lfi" demo -o "$work" >/dev/null
+
+cat >"$work/app.mc" <<'EOF'
+needs "libc.so";
+extern int strcmp(byte *a, byte *b);
+extern int strncmp(byte *a, byte *b, int n);
+extern byte *malloc(int n);
+int main(void) {
+  int r;
+  byte *p;
+  r = strcmp("a", "a");
+  if (r != 0) { r = 0; }
+  r = strncmp("ab", "ab", 2);
+  if (r != 0) { r = 0; }
+  p = malloc(4);
+  p[0] = 'x';
+  return 0;
+}
+EOF
+"$work/lfi" build -exe -name app -o "$work/app.slef" "$work/app.mc" >/dev/null
+
+base="-app $work/app.slef -lib $work/libc.slef -profile $work/libc.so.profile.xml"
+
+echo "== fresh full sweep (reference) =="
+# shellcheck disable=SC2086
+"$work/lfi" sweep $base -j 4 >"$work/fresh.txt"
+grep '^summary:' "$work/fresh.txt"
+
+echo "== killed campaign (-max-crashes 1 -> half-completed store) =="
+# shellcheck disable=SC2086
+"$work/lfi" sweep $base -j 2 -max-crashes 1 -store "$work/campaign" >"$work/partial.txt"
+if cmp -s "$work/fresh.txt" "$work/partial.txt"; then
+	echo "resumecheck: FAIL: -max-crashes run was not truncated" >&2
+	exit 1
+fi
+wc -l <"$work/campaign/results.jsonl" | xargs echo "records persisted:"
+
+echo "== resume: every report must be byte-identical to the reference =="
+for mode in "" "-snapshot"; do
+	for j in 1 4 8; do
+		# shellcheck disable=SC2086
+		"$work/lfi" sweep $base -j "$j" $mode -store "$work/campaign" -resume >"$work/resume.txt"
+		if ! cmp -s "$work/fresh.txt" "$work/resume.txt"; then
+			echo "resumecheck: FAIL: resumed report differs (j=$j mode='$mode')" >&2
+			diff "$work/fresh.txt" "$work/resume.txt" >&2 || true
+			exit 1
+		fi
+		echo "ok: j=$j mode='${mode:-fresh-spawn}'"
+	done
+done
+
+echo "== triage + escalation render deterministically =="
+# shellcheck disable=SC2086
+"$work/lfi" sweep $base -j 4 -store "$work/campaign" -resume -triage -escalate >"$work/triage1.txt"
+# shellcheck disable=SC2086
+"$work/lfi" sweep $base -j 8 -store "$work/campaign" -resume -triage -escalate >"$work/triage2.txt"
+if ! cmp -s "$work/triage1.txt" "$work/triage2.txt"; then
+	echo "resumecheck: FAIL: triage/escalation output differs across runs" >&2
+	diff "$work/triage1.txt" "$work/triage2.txt" >&2 || true
+	exit 1
+fi
+grep 'crash triage:' "$work/triage1.txt"
+grep 'escalation:' "$work/triage1.txt"
+
+echo "resumecheck: OK"

@@ -530,6 +530,61 @@ func BenchmarkSweepSnapshot(b *testing.B) {
 	b.ReportMetric(float64(workers), "workers")
 }
 
+// BenchmarkRestoreCoW isolates the per-experiment restore cost the
+// copy-on-write snapshot buys back: a 1 MiB-stack guest that dirties
+// only a couple of pages per run, restored and run to completion per
+// iteration. Under cow (the default) a restore copies page-view
+// headers plus the few dirtied pages; under flat it deep-copies every
+// writable byte. The cow/flat ratio is the low-dirty-ratio speedup
+// recorded in BENCH_sweep.json — per-restore cost must scale with
+// dirtied pages, not writable-segment size.
+func BenchmarkRestoreCoW(b *testing.B) {
+	const dirtySrc = `
+.exe dirty
+.global main
+.func main
+  mov r2, 0
+.loop:
+  push r2
+  add r2, 1
+  cmp r2, 1024
+  jne .loop
+  mov r0, r2
+  halt
+`
+	for _, mode := range []struct {
+		name string
+		flat bool
+	}{{"cow", false}, {"flat", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sys := vm.NewSystem(vm.Options{StackSize: 1 << 20, HeapLimit: 1 << 16, FlatRestore: mode.flat})
+			f, err := asm.Assemble("dirty.s", dirtySrc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.Register(f)
+			if _, err := sys.Spawn("dirty", vm.SpawnConfig{}); err != nil {
+				b.Fatal(err)
+			}
+			snap, err := sys.Snapshot()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := snap.Restore()
+				if err := r.Run(1_000_000); err != nil {
+					b.Fatal(err)
+				}
+				if p := r.Procs()[0]; !p.Exited || p.Status.Code != 1024 {
+					b.Fatalf("bad exit: %+v", p.Status)
+				}
+			}
+		})
+	}
+}
+
 // exhaustiveStylePlan models an exhaustive libc faultload: nfns
 // functions, two (error code) triggers each, none of which fires during
 // the measured calls — the pure per-call trigger-evaluation cost the

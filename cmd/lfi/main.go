@@ -384,6 +384,7 @@ func cmdSweep(args []string) error {
 	progress := fs.Bool("progress", false, "print live progress to stderr")
 	heur := fs.Bool("heuristics", false, "enable the §3.1 filtering heuristics for in-process profiling")
 	snapshot := fs.Bool("snapshot", false, "fork-server runtime: restore every run from one post-load snapshot")
+	cow := fs.Bool("cow", true, "copy-on-write restores: share template pages, copy on first write (with -snapshot; -cow=false deep-copies)")
 	prune := fs.Bool("prune", false, "skip experiments whose function the baseline never calls (coverage-informed)")
 	engine := fs.String("engine", "", "VM execution engine: block (default) or step (reference interpreter)")
 	storeDir := fs.String("store", "", "persistent campaign store directory (append-only JSONL, written live)")
@@ -430,7 +431,7 @@ func cmdSweep(args []string) error {
 
 	opts := core.SweepOptions{
 		Workers: *jobs, MaxCrashes: *maxCrashes,
-		Snapshot: *snapshot, PruneUncalled: *prune,
+		Snapshot: *snapshot, FlatRestore: !*cow, PruneUncalled: *prune,
 	}
 	if *progress {
 		opts.Progress = func(p core.SweepProgress) {

@@ -18,9 +18,10 @@
 // the whole load pipeline — text copy, relocation, instruction decode,
 // symbol maps, stub synthesis for the union of intercepted functions —
 // executes once into an immutable vm.Snapshot, and every experiment
-// (baseline included) restores from it in O(writable bytes), binding
-// only its own compiled faultload; decoded instructions, patched text
-// and symbol tables are shared read-only by all restores. The rendered
+// (baseline included) restores from it copy-on-write, binding only its
+// own compiled faultload; decoded instructions, patched text and symbol
+// tables are shared read-only by all restores, and writable pages are
+// shared until first write (see below). The rendered
 // report stays byte-identical to the fresh-spawn executor's for
 // call-keyed faultloads — everything the sweep matrix generates; see
 // the SweepOptions.Snapshot caveat on <cycles> windows and tight
@@ -80,17 +81,51 @@
 // into superblocks — leaders from cfg.StreamLeaders, the profiler's
 // §3.1 leader analysis applied to the whole stream — and the compiled
 // form is immutable, so snapshot restores share it with the template
-// for free. Per dispatched run the interpreter resolves the image once
-// and bounds-checks once; cycles (Proc.Cycles, System.TotalCycles) and
+// for free. Superblocks chain: direct branches carry compile-time
+// links to their in-image targets, and the dispatch loop follows
+// links (and straight-line fall-through) within the remaining time
+// slice without leaving the image, so a branchy guest resolves its
+// image and materialises its PC once per slice instead of once per
+// block; the links are static per immutable image, never cross a
+// slice boundary, and computed transfers (JmpI/CallR/Ret — including
+// DlNext cross-image calls) exit dispatch, so there is nothing to
+// invalidate. Cycles (Proc.Cycles, System.TotalCycles) and
 // instruction coverage are accumulated per block and folded in at
 // block exit, before any control transfer, and a per-process two-entry
 // read/write segment-window cache gives loads, stores and stack
 // push/pop direct little-endian slice access without the segment scan
 // (invalidated when Brk moves the heap's backing array; restores start
-// cold). BenchmarkVMExec records 2.3-3.3x instruction throughput over
+// cold). BenchmarkVMExec records 2.5-3.2x instruction throughput over
 // the legacy per-instruction interpreter depending on kernel, and
 // BenchmarkSweepSnapshot improves ~1.5x end to end (BENCH_vm.json;
 // scripts/benchvm.sh regenerates the comparison).
+//
+// # Copy-on-write restores
+//
+// Snapshot restores are page-granular copy-on-write (internal/vm,
+// cow.go): Restore hands each writable segment a page table of slice
+// headers aliasing the snapshot's immutable template pages, with an
+// all-clean dirty set — O(pages) headers instead of O(writable bytes)
+// copied. The write barrier lives in the memory slow paths: the
+// segment-window cache only ever hands out write windows over private
+// pages, so the block engine's inline store fast path is barrier-free
+// by construction, and any write reaching a shared page (slow path,
+// WriteBytes, errno stores, stub patching) privatizes that one page —
+// copy, mark dirty, drop any read window aliasing it. "Reset to
+// shared" is free: the next Restore mints a fresh page table off the
+// same template, abandoning the dirty pages to the collector. Brk
+// flattens a CoW heap before resizing, and Options.FlatRestore (`lfi
+// sweep -cow=false`) selects the old deep-copy restore as an escape
+// hatch and A/B reference. The contract is that sharing is never
+// observable: restore-isolation tests interleave writes across
+// sibling restores and require each to stay bit-identical to a fresh
+// spawn while untouched pages stay pointer-equal to the template
+// (TestRestoreCoWIsolation), FuzzRestoreCoW drives random
+// write/brk/run/restore schedules against the same oracle, and
+// cowcheck.sh requires byte-identical sweep reports across
+// fresh-spawn, CoW and flat executors under both engines.
+// BenchmarkRestoreCoW measures 9.6x per restore+run on a low-dirty-
+// ratio guest (BENCH_vm.json "restore").
 //
 // The determinism contract is unchanged and oracle-enforced: both
 // engines are decision-for-decision identical — same round-robin

@@ -41,6 +41,12 @@ type SweepOptions struct {
 	// budget can therefore classify differently; under the default
 	// budget and call-keyed triggers the reports match byte for byte.
 	Snapshot bool
+	// FlatRestore disables the page-granular copy-on-write restore of
+	// the snapshot executor and deep-copies every writable byte per run
+	// instead (the CLI's -cow=false escape hatch). Reports are
+	// byte-identical either way; only the per-experiment cost differs.
+	// Ignored unless Snapshot is set.
+	FlatRestore bool
 	// PruneUncalled enables baseline-informed pruning: the baseline
 	// runs once with instruction coverage, and experiments whose
 	// faultload only names functions the baseline never executed are
@@ -111,6 +117,10 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 	var sr *snapshotRunner
 	if opts.Snapshot {
 		if fns := sweepFunctions(exps); len(fns) > 0 {
+			// cfg is a by-value copy, so flipping the VM option here
+			// never leaks into the caller's config or the fresh-spawn
+			// paths (which build their systems straight from cfg.VM).
+			cfg.VM.FlatRestore = opts.FlatRestore
 			r, err := newSnapshotRunner(cfg, fns)
 			if err != nil {
 				return nil, err

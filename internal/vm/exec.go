@@ -19,7 +19,12 @@
 // return addresses, syscall resume) and still find a valid run.
 //
 // Per dispatched run the engine resolves the image once, bounds-checks
-// once, and executes the run with no per-instruction bookkeeping;
+// once, and executes the run with no per-instruction bookkeeping.
+// Superblock chaining extends the amortisation across runs: each direct
+// branch carries a compile-time link to its in-image target (execCode
+// chain), and the dispatch loop follows links — and straight-line
+// fall-through — without leaving execBlock, so loop-heavy guests pay
+// the image resolution once per time slice instead of once per block;
 // cycles (Proc.Cycles, System.TotalCycles) and coverage are folded in
 // at run exit — before any control transfer, so a host function, a
 // syscall or the scheduler observes exactly the counters the reference
@@ -62,15 +67,31 @@ type execCode struct {
 	// blocks counts distinct leaders — the block-granular unit coverage
 	// and accounting are batched over (exposed for tests and stats).
 	blocks int
+	// chain[i] is the block-to-block successor of a direct branch at i:
+	// the instruction index of its (taken) target when that target is an
+	// aligned address inside this image's text, -1 otherwise. The
+	// dispatch loop follows chain links — and straight-line fall-through
+	// — without re-resolving the owning image or re-checking bounds, so
+	// loop-heavy guests stay inside one dispatch call for a whole time
+	// slice.
+	//
+	// The table needs no runtime invalidation because it is structural:
+	// like ends it is derived from the immutable post-relocation
+	// instruction stream, so snapshot restores share it safely; an
+	// engine switch takes effect at the next slice because chaining
+	// never crosses the slice boundary (the ran/max budget below); and
+	// DlNext-resolved cross-image transfers go through computed jumps
+	// (JmpI/CallR), which always exit the dispatch loop and re-resolve.
+	chain []int32
 }
 
 // compileExec builds the superblock table for a relocated image.
 func compileExec(im *Image) *execCode {
 	insts := im.Insts
-	leaders := cfg.StreamLeaders(insts, func(imm int32) (int, bool) {
-		// Branch/call immediates are virtual addresses after
-		// relocation; only aligned targets inside this image's text are
-		// local leaders (cross-module calls and host addresses are not).
+	// local maps a branch/call immediate to an instruction index iff it
+	// is an aligned virtual address inside this image's text after
+	// relocation (cross-module calls and host addresses are not).
+	local := func(imm int32) (int, bool) {
 		if uint32(imm) < im.TextBase {
 			return 0, false
 		}
@@ -83,13 +104,24 @@ func compileExec(im *Image) *execCode {
 			return 0, false
 		}
 		return idx, true
-	})
-	ec := &execCode{ends: make([]int32, len(insts))}
+	}
+	leaders := cfg.StreamLeaders(insts, local)
+	ec := &execCode{
+		ends:  make([]int32, len(insts)),
+		chain: make([]int32, len(insts)),
+	}
 	for i := len(insts) - 1; i >= 0; i-- {
 		if insts[i].Op.Transfers() || i+1 == len(insts) || leaders[i+1] {
 			ec.ends[i] = int32(i + 1)
 		} else {
 			ec.ends[i] = ec.ends[i+1]
+		}
+		ec.chain[i] = -1
+		switch insts[i].Op {
+		case isa.OpJmp, isa.OpJe, isa.OpJne, isa.OpJl, isa.OpJle, isa.OpJg, isa.OpJge:
+			if t, ok := local(insts[i].Imm); ok {
+				ec.chain[i] = int32(t)
+			}
 		}
 	}
 	for _, l := range leaders {
@@ -140,11 +172,10 @@ func (p *Proc) chargeRun(im *Image, start, last int) {
 // resting state), and kill. Every faulting arm of execBlock must go
 // through here — the charge/park/kill sequence is part of the
 // step-equivalence contract the lockstep oracle enforces.
-func (p *Proc) blockFault(im *Image, idx, k int, sig int32) (int, bool) {
+func (p *Proc) blockFault(im *Image, idx, k int, sig int32) {
 	p.chargeRun(im, idx, idx+k)
 	p.PC = im.TextBase + uint32(idx+k)*isa.Size
 	p.kill(sig)
-	return k + 1, true
 }
 
 // stepOnce delegates one instruction to the reference interpreter —
@@ -174,11 +205,13 @@ func (p *Proc) runSliceBlocks(n int) int {
 	return ran
 }
 
-// execBlock executes one superblock run of at most max instructions.
-// It returns how many instructions advanced and whether the process can
-// keep running this slice (false = blocked in a syscall, PC unchanged).
-// Every path through here is behaviourally identical to iterating
-// step(): same kills, same cycle counts, same coverage, same PC.
+// execBlock executes up to max instructions by dispatching superblock
+// runs and following chain links between them. It returns how many
+// instructions advanced and whether the process can keep running this
+// slice (false = blocked in a syscall, PC unchanged). Every path
+// through here is behaviourally identical to iterating step(): same
+// kills, same cycle counts, same coverage, same PC at every observable
+// boundary.
 func (p *Proc) execBlock(max int) (int, bool) {
 	if p.PC == exitSentinel {
 		p.exit(int32(p.Regs[isa.R0]))
@@ -199,253 +232,306 @@ func (p *Proc) execBlock(max int) (int, bool) {
 		p.kill(SigSEGV)
 		return 1, true
 	}
-	end := int(im.exec.ends[idx])
-	if lim := idx + max; lim < end {
-		end = lim
-	}
+	// The image, its instruction stream and its block table are resolved
+	// once, here. The dispatch loop re-enters at chain targets and
+	// fall-through successors — compile-time-validated indexes into this
+	// same image — without repeating that work. p.PC is materialised
+	// only when control leaves the loop; every exit arm sets it first.
+	ec := im.exec
 	regs := &p.Regs
-	blk := insts[idx:end]
-	for k := 0; k < len(blk); k++ {
-		in := blk[k]
-		switch in.Op {
-		case isa.OpNop:
-
-		case isa.OpMovRI:
-			regs[in.A&regMask] = uint32(in.Imm)
-		case isa.OpMovRR:
-			regs[in.A&regMask] = regs[in.B&regMask]
-		case isa.OpLoad:
-			// Memory ops check the segment windows inline — the method
-			// fast paths are not inlinable, and a call per load would
-			// give back most of the dispatch win on spill-heavy code.
-			addr := regs[in.B&regMask] + uint32(in.Imm)
-			if off := addr - p.rdc.base; uint64(off)+4 <= uint64(len(p.rdc.data)) {
-				regs[in.A&regMask] = binary.LittleEndian.Uint32(p.rdc.data[off:])
-			} else if off := addr - p.wrc.base; uint64(off)+4 <= uint64(len(p.wrc.data)) {
-				regs[in.A&regMask] = binary.LittleEndian.Uint32(p.wrc.data[off:])
-			} else if v, err := p.readWordSlow(addr); err == nil {
-				regs[in.A&regMask] = uint32(v)
-			} else {
-				return p.blockFault(im, idx, k, SigSEGV)
-			}
-		case isa.OpLoadB:
-			addr := regs[in.B&regMask] + uint32(in.Imm)
-			if off := addr - p.rdc.base; uint64(off) < uint64(len(p.rdc.data)) {
-				regs[in.A&regMask] = uint32(p.rdc.data[off])
-			} else if off := addr - p.wrc.base; uint64(off) < uint64(len(p.wrc.data)) {
-				regs[in.A&regMask] = uint32(p.wrc.data[off])
-			} else if v, err := p.ReadByteAt(addr); err == nil {
-				regs[in.A&regMask] = uint32(v)
-			} else {
-				return p.blockFault(im, idx, k, SigSEGV)
-			}
-		case isa.OpStoreR:
-			addr := regs[in.A&regMask] + uint32(in.Imm)
-			if off := addr - p.wrc.base; uint64(off)+4 <= uint64(len(p.wrc.data)) {
-				binary.LittleEndian.PutUint32(p.wrc.data[off:], regs[in.B&regMask])
-			} else if err := p.writeWordSlow(addr, int32(regs[in.B&regMask])); err != nil {
-				return p.blockFault(im, idx, k, SigSEGV)
-			}
-		case isa.OpStoreB:
-			addr := regs[in.A&regMask] + uint32(in.Imm)
-			if off := addr - p.wrc.base; uint64(off) < uint64(len(p.wrc.data)) {
-				p.wrc.data[off] = byte(regs[in.B&regMask])
-			} else if err := p.WriteByteAt(addr, byte(regs[in.B&regMask])); err != nil {
-				return p.blockFault(im, idx, k, SigSEGV)
-			}
-		case isa.OpStoreI:
-			addr := regs[in.A&regMask] + uint32(in.StoreIDisp())
-			if off := addr - p.wrc.base; uint64(off)+4 <= uint64(len(p.wrc.data)) {
-				binary.LittleEndian.PutUint32(p.wrc.data[off:], uint32(in.Imm))
-			} else if err := p.writeWordSlow(addr, in.Imm); err != nil {
-				return p.blockFault(im, idx, k, SigSEGV)
-			}
-		case isa.OpPushR:
-			regs[isa.SP] -= 4
-			if off := regs[isa.SP] - p.wrc.base; uint64(off)+4 <= uint64(len(p.wrc.data)) {
-				binary.LittleEndian.PutUint32(p.wrc.data[off:], regs[in.A&regMask])
-			} else if err := p.writeWordSlow(regs[isa.SP], int32(regs[in.A&regMask])); err != nil {
-				return p.blockFault(im, idx, k, SigSEGV)
-			}
-		case isa.OpPushI:
-			regs[isa.SP] -= 4
-			if off := regs[isa.SP] - p.wrc.base; uint64(off)+4 <= uint64(len(p.wrc.data)) {
-				binary.LittleEndian.PutUint32(p.wrc.data[off:], uint32(in.Imm))
-			} else if err := p.writeWordSlow(regs[isa.SP], in.Imm); err != nil {
-				return p.blockFault(im, idx, k, SigSEGV)
-			}
-		case isa.OpPopR:
-			// Order matters when the destination is SP itself ("pop
-			// sp"): the reference interpreter bumps SP and then assigns
-			// the popped value, so the assignment must come last here
-			// too or the two engines diverge on that guest.
-			if off := regs[isa.SP] - p.wrc.base; uint64(off)+4 <= uint64(len(p.wrc.data)) {
-				v := binary.LittleEndian.Uint32(p.wrc.data[off:])
-				regs[isa.SP] += 4
-				regs[in.A&regMask] = v
-			} else if v, err := p.ReadWord(regs[isa.SP]); err == nil {
-				regs[isa.SP] += 4
-				regs[in.A&regMask] = uint32(v)
-			} else {
-				return p.blockFault(im, idx, k, SigSEGV)
-			}
-
-		case isa.OpAddRI:
-			regs[in.A&regMask] += uint32(in.Imm)
-		case isa.OpAddRR:
-			regs[in.A&regMask] += regs[in.B&regMask]
-		case isa.OpSubRI:
-			regs[in.A&regMask] -= uint32(in.Imm)
-		case isa.OpSubRR:
-			regs[in.A&regMask] -= regs[in.B&regMask]
-		case isa.OpMulRR:
-			regs[in.A&regMask] = uint32(int32(regs[in.A&regMask]) * int32(regs[in.B&regMask]))
-		case isa.OpDivRR:
-			if regs[in.B&regMask] == 0 {
-				return p.blockFault(im, idx, k, SigFPE)
-			}
-			regs[in.A&regMask] = uint32(int32(regs[in.A&regMask]) / int32(regs[in.B&regMask]))
-		case isa.OpModRR:
-			if regs[in.B&regMask] == 0 {
-				return p.blockFault(im, idx, k, SigFPE)
-			}
-			regs[in.A&regMask] = uint32(int32(regs[in.A&regMask]) % int32(regs[in.B&regMask]))
-		case isa.OpAndRI:
-			regs[in.A&regMask] &= uint32(in.Imm)
-		case isa.OpAndRR:
-			regs[in.A&regMask] &= regs[in.B&regMask]
-		case isa.OpOrRI:
-			regs[in.A&regMask] |= uint32(in.Imm)
-		case isa.OpOrRR:
-			regs[in.A&regMask] |= regs[in.B&regMask]
-		case isa.OpXorRI:
-			regs[in.A&regMask] ^= uint32(in.Imm)
-		case isa.OpXorRR:
-			regs[in.A&regMask] ^= regs[in.B&regMask]
-		case isa.OpShlRI:
-			regs[in.A&regMask] <<= uint32(in.Imm) & 31
-		case isa.OpShrRI:
-			regs[in.A&regMask] >>= uint32(in.Imm) & 31
-		case isa.OpNeg:
-			regs[in.A&regMask] = uint32(-int32(regs[in.A&regMask]))
-		case isa.OpNot:
-			regs[in.A&regMask] = ^regs[in.A&regMask]
-
-		case isa.OpCmpRI:
-			a := int32(regs[in.A&regMask])
-			p.flagEQ = a == in.Imm
-			p.flagLT = a < in.Imm
-		case isa.OpCmpRR:
-			a, b := int32(regs[in.A&regMask]), int32(regs[in.B&regMask])
-			p.flagEQ = a == b
-			p.flagLT = a < b
-
-		case isa.OpJmp:
-			p.chargeRun(im, idx, idx+k)
-			p.PC = uint32(in.Imm)
-			return k + 1, true
-		case isa.OpJe, isa.OpJne, isa.OpJl, isa.OpJle, isa.OpJg, isa.OpJge:
-			p.chargeRun(im, idx, idx+k)
-			var taken bool
-			switch in.Op {
-			case isa.OpJe:
-				taken = p.flagEQ
-			case isa.OpJne:
-				taken = !p.flagEQ
-			case isa.OpJl:
-				taken = p.flagLT
-			case isa.OpJle:
-				taken = p.flagLT || p.flagEQ
-			case isa.OpJg:
-				taken = !p.flagLT && !p.flagEQ
-			case isa.OpJge:
-				taken = !p.flagLT
-			}
-			if taken {
-				p.PC = uint32(in.Imm)
-			} else {
-				p.PC = im.TextBase + uint32(idx+k+1)*isa.Size
-			}
-			return k + 1, true
-
-		case isa.OpCall:
-			// Park PC on the call before dispatching: doCall sets PC on
-			// success, and on a push fault it kills with PC at the call —
-			// the step engine's resting state.
-			p.chargeRun(im, idx, idx+k)
-			p.PC = im.TextBase + uint32(idx+k)*isa.Size
-			p.doCall(uint32(in.Imm), p.PC+isa.Size)
-			return k + 1, true
-		case isa.OpCallR:
-			p.chargeRun(im, idx, idx+k)
-			p.PC = im.TextBase + uint32(idx+k)*isa.Size
-			p.doCall(regs[in.A&regMask], p.PC+isa.Size)
-			return k + 1, true
-		case isa.OpJmpI:
-			p.chargeRun(im, idx, idx+k)
-			p.PC = regs[in.A&regMask]
-			return k + 1, true
-		case isa.OpRet:
-			p.chargeRun(im, idx, idx+k)
-			p.PC = im.TextBase + uint32(idx+k)*isa.Size
-			v, err := p.ReadWord(regs[isa.SP])
-			if err != nil {
-				p.kill(SigSEGV)
-				return k + 1, true
-			}
-			regs[isa.SP] += 4
-			p.PC = uint32(v)
-			if len(p.CallStack) > 0 {
-				p.CallStack = p.CallStack[:len(p.CallStack)-1]
-			}
-			return k + 1, true
-
-		case isa.OpHalt:
-			p.chargeRun(im, idx, idx+k)
-			p.PC = im.TextBase + uint32(idx+k)*isa.Size
-			p.exit(int32(regs[isa.R0]))
-			return k + 1, true
-		case isa.OpSyscall:
-			// Park PC on the syscall before trapping: a blocked syscall
-			// (PC unchanged, retried next slice, one cycle per attempt)
-			// and an exiting one (SysExit/SysAbort leave PC in place)
-			// both rest exactly where the step engine rests. The run's
-			// straight-line prefix has already executed and never
-			// replays. doSyscall advances PC itself on completion.
-			p.chargeRun(im, idx, idx+k)
-			p.PC = im.TextBase + uint32(idx+k)*isa.Size
-			if !p.doSyscall(p.PC + isa.Size) {
-				return k, false
-			}
-			return k + 1, true
-
-		case isa.OpLea:
-			regs[in.A&regMask] = uint32(in.Imm)
-		case isa.OpTLSBase:
-			regs[in.A&regMask] = im.TLSBase
-		case isa.OpDlNext:
-			// Both bounds checked: Imm is attacker-controlled via a
-			// crafted object file, and a negative index must fault the
-			// guest, not panic the host (mirrors step()'s arm).
-			name := ""
-			if in.Imm >= 0 && int(in.Imm) < len(im.File.Imports) {
-				name = im.File.Imports[in.Imm]
-			}
-			va, ok := p.Sys.resolveNext(p, im, name)
-			if !ok {
-				return p.blockFault(im, idx, k, SigSEGV)
-			}
-			regs[in.A&regMask] = va
-
-		default:
-			return p.blockFault(im, idx, k, SigSEGV)
+	ran := 0
+dispatch:
+	for {
+		end := int(ec.ends[idx])
+		if lim := idx + (max - ran); lim < end {
+			end = lim
 		}
+		blk := insts[idx:end]
+		for k := 0; k < len(blk); k++ {
+			in := blk[k]
+			switch in.Op {
+			case isa.OpNop:
+
+			case isa.OpMovRI:
+				regs[in.A&regMask] = uint32(in.Imm)
+			case isa.OpMovRR:
+				regs[in.A&regMask] = regs[in.B&regMask]
+			case isa.OpLoad:
+				// Memory ops check the segment windows inline — the method
+				// fast paths are not inlinable, and a call per load would
+				// give back most of the dispatch win on spill-heavy code.
+				addr := regs[in.B&regMask] + uint32(in.Imm)
+				if off := addr - p.rdc.base; uint64(off)+4 <= uint64(len(p.rdc.data)) {
+					regs[in.A&regMask] = binary.LittleEndian.Uint32(p.rdc.data[off:])
+				} else if off := addr - p.wrc.base; uint64(off)+4 <= uint64(len(p.wrc.data)) {
+					regs[in.A&regMask] = binary.LittleEndian.Uint32(p.wrc.data[off:])
+				} else if v, err := p.readWordSlow(addr); err == nil {
+					regs[in.A&regMask] = uint32(v)
+				} else {
+					p.blockFault(im, idx, k, SigSEGV)
+					return ran + k + 1, true
+				}
+			case isa.OpLoadB:
+				addr := regs[in.B&regMask] + uint32(in.Imm)
+				if off := addr - p.rdc.base; uint64(off) < uint64(len(p.rdc.data)) {
+					regs[in.A&regMask] = uint32(p.rdc.data[off])
+				} else if off := addr - p.wrc.base; uint64(off) < uint64(len(p.wrc.data)) {
+					regs[in.A&regMask] = uint32(p.wrc.data[off])
+				} else if v, err := p.ReadByteAt(addr); err == nil {
+					regs[in.A&regMask] = uint32(v)
+				} else {
+					p.blockFault(im, idx, k, SigSEGV)
+					return ran + k + 1, true
+				}
+			case isa.OpStoreR:
+				addr := regs[in.A&regMask] + uint32(in.Imm)
+				if off := addr - p.wrc.base; uint64(off)+4 <= uint64(len(p.wrc.data)) {
+					binary.LittleEndian.PutUint32(p.wrc.data[off:], regs[in.B&regMask])
+				} else if err := p.writeWordSlow(addr, int32(regs[in.B&regMask])); err != nil {
+					p.blockFault(im, idx, k, SigSEGV)
+					return ran + k + 1, true
+				}
+			case isa.OpStoreB:
+				addr := regs[in.A&regMask] + uint32(in.Imm)
+				if off := addr - p.wrc.base; uint64(off) < uint64(len(p.wrc.data)) {
+					p.wrc.data[off] = byte(regs[in.B&regMask])
+				} else if err := p.WriteByteAt(addr, byte(regs[in.B&regMask])); err != nil {
+					p.blockFault(im, idx, k, SigSEGV)
+					return ran + k + 1, true
+				}
+			case isa.OpStoreI:
+				addr := regs[in.A&regMask] + uint32(in.StoreIDisp())
+				if off := addr - p.wrc.base; uint64(off)+4 <= uint64(len(p.wrc.data)) {
+					binary.LittleEndian.PutUint32(p.wrc.data[off:], uint32(in.Imm))
+				} else if err := p.writeWordSlow(addr, in.Imm); err != nil {
+					p.blockFault(im, idx, k, SigSEGV)
+					return ran + k + 1, true
+				}
+			case isa.OpPushR:
+				regs[isa.SP] -= 4
+				if off := regs[isa.SP] - p.wrc.base; uint64(off)+4 <= uint64(len(p.wrc.data)) {
+					binary.LittleEndian.PutUint32(p.wrc.data[off:], regs[in.A&regMask])
+				} else if err := p.writeWordSlow(regs[isa.SP], int32(regs[in.A&regMask])); err != nil {
+					p.blockFault(im, idx, k, SigSEGV)
+					return ran + k + 1, true
+				}
+			case isa.OpPushI:
+				regs[isa.SP] -= 4
+				if off := regs[isa.SP] - p.wrc.base; uint64(off)+4 <= uint64(len(p.wrc.data)) {
+					binary.LittleEndian.PutUint32(p.wrc.data[off:], uint32(in.Imm))
+				} else if err := p.writeWordSlow(regs[isa.SP], in.Imm); err != nil {
+					p.blockFault(im, idx, k, SigSEGV)
+					return ran + k + 1, true
+				}
+			case isa.OpPopR:
+				// Order matters when the destination is SP itself ("pop
+				// sp"): the reference interpreter bumps SP and then assigns
+				// the popped value, so the assignment must come last here
+				// too or the two engines diverge on that guest.
+				if off := regs[isa.SP] - p.wrc.base; uint64(off)+4 <= uint64(len(p.wrc.data)) {
+					v := binary.LittleEndian.Uint32(p.wrc.data[off:])
+					regs[isa.SP] += 4
+					regs[in.A&regMask] = v
+				} else if v, err := p.ReadWord(regs[isa.SP]); err == nil {
+					regs[isa.SP] += 4
+					regs[in.A&regMask] = uint32(v)
+				} else {
+					p.blockFault(im, idx, k, SigSEGV)
+					return ran + k + 1, true
+				}
+
+			case isa.OpAddRI:
+				regs[in.A&regMask] += uint32(in.Imm)
+			case isa.OpAddRR:
+				regs[in.A&regMask] += regs[in.B&regMask]
+			case isa.OpSubRI:
+				regs[in.A&regMask] -= uint32(in.Imm)
+			case isa.OpSubRR:
+				regs[in.A&regMask] -= regs[in.B&regMask]
+			case isa.OpMulRR:
+				regs[in.A&regMask] = uint32(int32(regs[in.A&regMask]) * int32(regs[in.B&regMask]))
+			case isa.OpDivRR:
+				if regs[in.B&regMask] == 0 {
+					p.blockFault(im, idx, k, SigFPE)
+					return ran + k + 1, true
+				}
+				regs[in.A&regMask] = uint32(int32(regs[in.A&regMask]) / int32(regs[in.B&regMask]))
+			case isa.OpModRR:
+				if regs[in.B&regMask] == 0 {
+					p.blockFault(im, idx, k, SigFPE)
+					return ran + k + 1, true
+				}
+				regs[in.A&regMask] = uint32(int32(regs[in.A&regMask]) % int32(regs[in.B&regMask]))
+			case isa.OpAndRI:
+				regs[in.A&regMask] &= uint32(in.Imm)
+			case isa.OpAndRR:
+				regs[in.A&regMask] &= regs[in.B&regMask]
+			case isa.OpOrRI:
+				regs[in.A&regMask] |= uint32(in.Imm)
+			case isa.OpOrRR:
+				regs[in.A&regMask] |= regs[in.B&regMask]
+			case isa.OpXorRI:
+				regs[in.A&regMask] ^= uint32(in.Imm)
+			case isa.OpXorRR:
+				regs[in.A&regMask] ^= regs[in.B&regMask]
+			case isa.OpShlRI:
+				regs[in.A&regMask] <<= uint32(in.Imm) & 31
+			case isa.OpShrRI:
+				regs[in.A&regMask] >>= uint32(in.Imm) & 31
+			case isa.OpNeg:
+				regs[in.A&regMask] = uint32(-int32(regs[in.A&regMask]))
+			case isa.OpNot:
+				regs[in.A&regMask] = ^regs[in.A&regMask]
+
+			case isa.OpCmpRI:
+				a := int32(regs[in.A&regMask])
+				p.flagEQ = a == in.Imm
+				p.flagLT = a < in.Imm
+			case isa.OpCmpRR:
+				a, b := int32(regs[in.A&regMask]), int32(regs[in.B&regMask])
+				p.flagEQ = a == b
+				p.flagLT = a < b
+
+			case isa.OpJmp:
+				// Direct branches chain: a compile-time-validated local
+				// target re-enters the dispatch loop without an image
+				// lookup, as long as the slice budget allows. Non-local
+				// (cross-image or wild) targets exit and re-resolve.
+				p.chargeRun(im, idx, idx+k)
+				ran += k + 1
+				if t := ec.chain[idx+k]; t >= 0 && ran < max {
+					idx = int(t)
+					continue dispatch
+				}
+				p.PC = uint32(in.Imm)
+				return ran, true
+			case isa.OpJe, isa.OpJne, isa.OpJl, isa.OpJle, isa.OpJg, isa.OpJge:
+				p.chargeRun(im, idx, idx+k)
+				ran += k + 1
+				var taken bool
+				switch in.Op {
+				case isa.OpJe:
+					taken = p.flagEQ
+				case isa.OpJne:
+					taken = !p.flagEQ
+				case isa.OpJl:
+					taken = p.flagLT
+				case isa.OpJle:
+					taken = p.flagLT || p.flagEQ
+				case isa.OpJg:
+					taken = !p.flagLT && !p.flagEQ
+				case isa.OpJge:
+					taken = !p.flagLT
+				}
+				if taken {
+					if t := ec.chain[idx+k]; t >= 0 && ran < max {
+						idx = int(t)
+						continue dispatch
+					}
+					p.PC = uint32(in.Imm)
+					return ran, true
+				}
+				// Not taken: chain to the fall-through successor, unless
+				// it lies outside the text — then park PC there and let
+				// the next dispatch fault exactly like the step engine.
+				if next := idx + k + 1; ran < max && next < len(insts) {
+					idx = next
+					continue dispatch
+				}
+				p.PC = im.TextBase + uint32(idx+k+1)*isa.Size
+				return ran, true
+
+			case isa.OpCall:
+				// Park PC on the call before dispatching: doCall sets PC on
+				// success, and on a push fault it kills with PC at the call —
+				// the step engine's resting state.
+				p.chargeRun(im, idx, idx+k)
+				p.PC = im.TextBase + uint32(idx+k)*isa.Size
+				p.doCall(uint32(in.Imm), p.PC+isa.Size)
+				return ran + k + 1, true
+			case isa.OpCallR:
+				p.chargeRun(im, idx, idx+k)
+				p.PC = im.TextBase + uint32(idx+k)*isa.Size
+				p.doCall(regs[in.A&regMask], p.PC+isa.Size)
+				return ran + k + 1, true
+			case isa.OpJmpI:
+				// Computed jumps always exit the dispatch loop — this is
+				// what makes the chain table safe against DlNext-resolved
+				// cross-image transfers without runtime invalidation.
+				p.chargeRun(im, idx, idx+k)
+				p.PC = regs[in.A&regMask]
+				return ran + k + 1, true
+			case isa.OpRet:
+				p.chargeRun(im, idx, idx+k)
+				p.PC = im.TextBase + uint32(idx+k)*isa.Size
+				v, err := p.ReadWord(regs[isa.SP])
+				if err != nil {
+					p.kill(SigSEGV)
+					return ran + k + 1, true
+				}
+				regs[isa.SP] += 4
+				p.PC = uint32(v)
+				if len(p.CallStack) > 0 {
+					p.CallStack = p.CallStack[:len(p.CallStack)-1]
+				}
+				return ran + k + 1, true
+
+			case isa.OpHalt:
+				p.chargeRun(im, idx, idx+k)
+				p.PC = im.TextBase + uint32(idx+k)*isa.Size
+				p.exit(int32(regs[isa.R0]))
+				return ran + k + 1, true
+			case isa.OpSyscall:
+				// Park PC on the syscall before trapping: a blocked syscall
+				// (PC unchanged, retried next slice, one cycle per attempt)
+				// and an exiting one (SysExit/SysAbort leave PC in place)
+				// both rest exactly where the step engine rests. The run's
+				// straight-line prefix has already executed and never
+				// replays. doSyscall advances PC itself on completion.
+				p.chargeRun(im, idx, idx+k)
+				p.PC = im.TextBase + uint32(idx+k)*isa.Size
+				if !p.doSyscall(p.PC + isa.Size) {
+					return ran + k, false
+				}
+				return ran + k + 1, true
+
+			case isa.OpLea:
+				regs[in.A&regMask] = uint32(in.Imm)
+			case isa.OpTLSBase:
+				regs[in.A&regMask] = im.TLSBase
+			case isa.OpDlNext:
+				// Both bounds checked: Imm is attacker-controlled via a
+				// crafted object file, and a negative index must fault the
+				// guest, not panic the host (mirrors step()'s arm).
+				name := ""
+				if in.Imm >= 0 && int(in.Imm) < len(im.File.Imports) {
+					name = im.File.Imports[in.Imm]
+				}
+				va, ok := p.Sys.resolveNext(p, im, name)
+				if !ok {
+					p.blockFault(im, idx, k, SigSEGV)
+					return ran + k + 1, true
+				}
+				regs[in.A&regMask] = va
+
+			default:
+				p.blockFault(im, idx, k, SigSEGV)
+				return ran + k + 1, true
+			}
+		}
+		// Straight-line fall-off: the run ended at a block leader, the
+		// slice boundary, or the last instruction of the image. Fold the
+		// batch and chain into the successor block if the budget allows
+		// and the successor is still inside the text; otherwise park PC
+		// at the next instruction (possibly outside the text — the next
+		// dispatch then faults exactly like the step engine).
+		p.chargeRun(im, idx, end-1)
+		ran += end - idx
+		if ran < max && end < len(insts) {
+			idx = end
+			continue dispatch
+		}
+		p.PC = im.TextBase + uint32(end)*isa.Size
+		return ran, true
 	}
-	// Straight-line fall-off: the run ended at a block leader, the slice
-	// boundary, or the last instruction of the image. Fold the batch and
-	// resume at the next instruction (which may be outside the text — the
-	// next dispatch then faults exactly like the step engine).
-	p.chargeRun(im, idx, end-1)
-	p.PC = im.TextBase + uint32(end)*isa.Size
-	return end - idx, true
 }

@@ -99,7 +99,9 @@ func compareProcs(t testing.TB, round int, a, b *Proc) {
 		t.Fatalf("round %d pid %d: segment count %d != %d", round, a.ID, len(a.segs), len(b.segs))
 	}
 	for i, sg := range a.segs {
-		if sg.base != b.segs[i].base || sg.name != b.segs[i].name || !bytes.Equal(sg.data, b.segs[i].data) {
+		// flatten, not sg.data: either side may be a CoW restore whose
+		// segment lives behind a page table (data == nil).
+		if sg.base != b.segs[i].base || sg.name != b.segs[i].name || !bytes.Equal(sg.flatten(), b.segs[i].flatten()) {
 			t.Fatalf("round %d pid %d: segment %s diverged", round, a.ID, sg.name)
 		}
 	}
@@ -667,51 +669,139 @@ func TestLockstepBudgetAndErrors(t *testing.T) {
 	}
 }
 
+// TestLockstepChainedLoops is the dedicated differential for superblock
+// chaining: a guest that is almost nothing but chainable control flow —
+// hot backward branches (nested loops), alternating taken/not-taken
+// forward conditionals, unconditional forward jumps, and one cross-image
+// call that must break the chain — lockstepped across slice widths that
+// split chains at every possible point (slice 1 = one instruction per
+// dispatch, so chaining never fires; 4096 = whole loop nests chained
+// inside a single execBlock call).
+func TestLockstepChainedLoops(t *testing.T) {
+	lib := `
+.lib libg.so
+.global g
+.func g
+  load r1, [sp+4]
+  add r1, r1
+  add r1, 5
+  mov r0, r1
+  ret
+`
+	exe := `
+.exe chained
+.needs libg.so
+.extern g
+.global main
+.func main
+  mov r5, 0
+  mov r1, 0
+.outer:
+  mov r2, 0
+.inner:
+  add r5, r2
+  add r2, 1
+  cmp r2, 7
+  jl .inner
+  add r1, 1
+  cmp r1, 50
+  jl .outer
+  mov r3, 0
+.fwd:
+  cmp r3, 0
+  jne .odd
+  add r5, 11
+  jmp .join
+.odd:
+  add r5, 3
+.join:
+  add r3, 1
+  cmp r3, 40
+  jl .fwd
+  push r5
+  call g
+  pop r1
+  ret
+`
+	// inner sums 0..6 per outer pass (21*50), the forward chain adds
+	// 11 + 39*3, and g doubles-plus-5: (1050+128)*2+5.
+	want := ExitStatus{Code: 2361}
+	for _, slice := range []int{1, 2, 3, 5, 17, 4096} {
+		for _, cov := range []bool{false, true} {
+			t.Run(fmt.Sprintf("slice%d/cov=%v", slice, cov), func(t *testing.T) {
+				runLockstep(t, lockstepCase{
+					opts:     Options{TimeSlice: slice, Coverage: cov, StackSize: 1 << 13},
+					rounds:   400000,
+					wantExit: &want,
+					build: func(t testing.TB, sys *System, obs *[]hostObs) {
+						sys.Register(assembleSrc(t, lib))
+						sys.Register(assembleSrc(t, exe))
+						installProbe(sys, obs)
+						if _, err := sys.Spawn("chained", SpawnConfig{}); err != nil {
+							t.Fatal(err)
+						}
+					},
+				})
+			})
+		}
+	}
+}
+
 // TestLockstepSnapshotRestore runs the differential over the fork-server
 // path: snapshot the corpus app post-spawn, then lockstep a restored
 // system per engine. Restored images share the template's compiled block
-// cache, so this also proves sharing introduces no cross-run state.
+// cache (including the chain table) and restored segments are CoW
+// overlays of the template's pages, so this also proves both kinds of
+// sharing introduce no cross-run state — at every slice width.
 func TestLockstepSnapshotRestore(t *testing.T) {
-	var obsStep, obsBlock []hostObs
-	mk := func(engine string, obs *[]hostObs) *System {
-		sys := NewSystem(Options{Engine: engine, StackSize: 1 << 14, HeapLimit: 1 << 16, Coverage: true})
-		buildCorpusApp(t, sys, obs)
-		snap, err := sys.Snapshot()
-		if err != nil {
-			t.Fatal(err)
-		}
-		restored := snap.Restore()
-		// The restored system shares host-function slots with the
-		// template; rebind the probe to this run's log, as the
-		// controller rebinds its evaluator per experiment.
-		installProbe(restored, obs)
-		return restored
-	}
-	a := mk(EngineStep, &obsStep)
-	b := mk(EngineBlock, &obsBlock)
-	for _, im := range b.procs[0].Images {
-		if im.exec == nil {
-			t.Fatalf("restored image %s lost its compiled block cache", im.File.Name)
-		}
-	}
-	for round := 0; round < 20000; round++ {
-		doneA := schedRound(a)
-		doneB := schedRound(b)
-		if a.TotalCycles != b.TotalCycles {
-			t.Fatalf("round %d: TotalCycles %d != %d", round, a.TotalCycles, b.TotalCycles)
-		}
-		for i := range a.procs {
-			compareProcs(t, round, a.procs[i], b.procs[i])
-		}
-		if doneA != doneB {
-			t.Fatalf("round %d: done %v vs %v", round, doneA, doneB)
-		}
-		if doneA {
-			if len(obsStep) == 0 || len(obsStep) != len(obsBlock) {
-				t.Fatalf("host observations: %d vs %d", len(obsStep), len(obsBlock))
+	for _, slice := range []int{1, 7, 4096} {
+		t.Run(fmt.Sprintf("slice%d", slice), func(t *testing.T) {
+			var obsStep, obsBlock []hostObs
+			mk := func(engine string, obs *[]hostObs) *System {
+				sys := NewSystem(Options{Engine: engine, TimeSlice: slice, StackSize: 1 << 14, HeapLimit: 1 << 16, Coverage: true})
+				buildCorpusApp(t, sys, obs)
+				snap, err := sys.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				restored := snap.Restore()
+				// The restored system shares host-function slots with the
+				// template; rebind the probe to this run's log, as the
+				// controller rebinds its evaluator per experiment.
+				installProbe(restored, obs)
+				return restored
 			}
-			return
-		}
+			a := mk(EngineStep, &obsStep)
+			b := mk(EngineBlock, &obsBlock)
+			for _, im := range b.procs[0].Images {
+				if im.exec == nil {
+					t.Fatalf("restored image %s lost its compiled block cache", im.File.Name)
+				}
+			}
+			rounds := 20000
+			if slice == 1 {
+				rounds = 400000
+			}
+			for round := 0; round < rounds; round++ {
+				doneA := schedRound(a)
+				doneB := schedRound(b)
+				if a.TotalCycles != b.TotalCycles {
+					t.Fatalf("round %d: TotalCycles %d != %d", round, a.TotalCycles, b.TotalCycles)
+				}
+				for i := range a.procs {
+					compareProcs(t, round, a.procs[i], b.procs[i])
+				}
+				if doneA != doneB {
+					t.Fatalf("round %d: done %v vs %v", round, doneA, doneB)
+				}
+				if doneA {
+					if len(obsStep) == 0 || len(obsStep) != len(obsBlock) {
+						t.Fatalf("host observations: %d vs %d", len(obsStep), len(obsBlock))
+					}
+					return
+				}
+			}
+			t.Fatal("restored guest did not finish")
+		})
 	}
-	t.Fatal("restored guest did not finish")
 }

@@ -130,6 +130,46 @@ func TestSegmentCacheInvalidation(t *testing.T) {
 				t.Fatal("brk(0) is a query; it must not drop the windows")
 			}
 		}},
+		{"cow-privatize-drops-read-window", func(t *testing.T) {
+			// Rebuild the heap as a CoW overlay of a shared template —
+			// the shape a snapshot Restore produces.
+			p := memProc(0)
+			template := make([]byte, 2*pageSize)
+			template[5] = 0xAA
+			p.heap.data = nil
+			p.heap.cow = &cowSeg{
+				length: len(template),
+				pages:  pageViews(template),
+				dirty:  make([]bool, 2),
+			}
+			p.brk = heapBase + uint32(len(template))
+			// Prime the read window on the shared first page.
+			if v, err := p.ReadByteAt(heapBase + 5); err != nil || v != 0xAA {
+				t.Fatalf("template read: %#x, %v", v, err)
+			}
+			if p.rdc.data == nil {
+				t.Fatal("read window not primed")
+			}
+			// The first write to the page copies it; the read window
+			// aliasing the shared view must drop, or the next read keeps
+			// serving template bytes the write no longer reaches.
+			if err := p.WriteByteAt(heapBase+6, 0x42); err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := p.ReadByteAt(heapBase + 6); v != 0x42 {
+				t.Fatalf("read after privatizing write = %#x, want 0x42 (stale shared-page window)", v)
+			}
+			if template[6] != 0 {
+				t.Fatal("write leaked into the shared template page")
+			}
+			// Untouched neighbouring pages stay shared and readable.
+			if v, err := p.ReadByteAt(heapBase + pageSize + 1); err != nil || v != 0 {
+				t.Fatalf("untouched page read: %#x, %v", v, err)
+			}
+			if p.heap.cow.dirty[1] {
+				t.Fatal("untouched page marked dirty")
+			}
+		}},
 		{"window-rejects-other-segment", func(t *testing.T) {
 			p := memProc(64)
 			lo := &segment{base: 0x1000, data: make([]byte, 64), writable: true, name: "lo"}

@@ -16,8 +16,17 @@
 //     stack/heap segments, registers, flags, shadow call stack, brk,
 //     kernel FS/FD state, and cycle counters.
 //
-// Restore therefore costs O(writable bytes), not O(program size +
-// decode + relocation). A Snapshot is immutable and safe for concurrent
+// Mutable segment bytes are not deep-copied per Restore either: the
+// snapshot precomputes a page-view table over each writable segment's
+// frozen bytes, and Restore hands the new process a copy-on-write
+// overlay of those shared pages (see cow.go). A page is copied only on
+// the restored process's first write to it, so a Restore costs O(pages)
+// slice headers up front and O(dirtied pages) over the run's lifetime —
+// not O(writable bytes), and far below O(program size + decode +
+// relocation). Options.FlatRestore disables the overlay and restores
+// full private copies (the -cow=false escape hatch).
+//
+// A Snapshot is immutable and safe for concurrent
 // Restore from any number of goroutines; each restored System is as
 // private as a freshly spawned one and may be run, mutated and
 // discarded independently. Host-function slots are copied per restore,
@@ -72,6 +81,7 @@ type procSnap struct {
 type segSnap struct {
 	base     uint32
 	data     []byte // frozen template bytes; shared on restore iff !writable
+	pages    [][]byte // page views over data; CoW restores copy this table
 	writable bool
 	name     string
 }
@@ -128,11 +138,18 @@ func (s *System) Snapshot() (*Snapshot, error) {
 		}
 		for i, sg := range p.segs {
 			data := sg.data
+			var pages [][]byte
 			if sg.writable {
-				data = append([]byte(nil), sg.data...)
+				// Flatten through copyTo so snapshotting a restored
+				// (CoW) system works, and precompute the shared page
+				// views every Restore will alias.
+				data = make([]byte, sg.length())
+				sg.copyTo(data)
+				pages = pageViews(data)
 			}
 			ps.segs = append(ps.segs, segSnap{
-				base: sg.base, data: data, writable: sg.writable, name: sg.name,
+				base: sg.base, data: data, pages: pages,
+				writable: sg.writable, name: sg.name,
 			})
 			if sg == p.heap {
 				ps.heapIdx = i
@@ -190,11 +207,25 @@ func (s *Snapshot) Restore() *System {
 		}
 		p.Images = copyImages(ps.images, s.opts.Coverage)
 		for j, sg := range ps.segs {
-			data := sg.data
-			if sg.writable {
-				data = append([]byte(nil), sg.data...)
+			seg := &segment{base: sg.base, writable: sg.writable, name: sg.name}
+			switch {
+			case !sg.writable:
+				// Read-only: share the template bytes outright.
+				seg.data = sg.data
+			case s.opts.FlatRestore:
+				seg.data = append([]byte(nil), sg.data...)
+			default:
+				// Copy-on-write: alias the snapshot's shared page views;
+				// the write barrier (Proc.privatize) copies a page on
+				// first write. "Reset to shared" on the next Restore is
+				// free — each restore mints a fresh page table off the
+				// same template, and dirty pages die with their System.
+				seg.cow = &cowSeg{
+					length: len(sg.data),
+					pages:  append([][]byte(nil), sg.pages...),
+					dirty:  make([]bool, len(sg.pages)),
+				}
 			}
-			seg := &segment{base: sg.base, data: data, writable: sg.writable, name: sg.name}
 			p.segs = append(p.segs, seg)
 			if j == ps.heapIdx {
 				p.heap = seg

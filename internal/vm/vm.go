@@ -211,15 +211,21 @@ type Proc struct {
 	reaped   bool
 }
 
+// segment is one mapping of a process address space. Exactly one of
+// two representations backs it: a flat data slice (fresh spawns,
+// read-only segments, flat restores), or a copy-on-write page table
+// (writable segments of a CoW restore — see cow.go). data is nil iff
+// cow is non-nil.
 type segment struct {
 	base     uint32
 	data     []byte
 	writable bool
 	name     string
+	cow      *cowSeg
 }
 
 func (s *segment) contains(addr uint32) bool {
-	return addr >= s.base && addr < s.base+uint32(len(s.data))
+	return addr >= s.base && addr < s.base+uint32(s.length())
 }
 
 // memWindow is one entry of the per-process segment cache: a direct view
@@ -310,6 +316,12 @@ type Options struct {
 	// (default DefaultEngine). Both engines are decision-for-decision
 	// identical; see the package doc's determinism contract.
 	Engine string
+	// FlatRestore disables the page-granular copy-on-write restore:
+	// Snapshot.Restore deep-copies every writable byte per run (the
+	// pre-CoW behaviour, the `-cow=false` escape hatch). Execution is
+	// bit-identical either way; only the memory representation and the
+	// per-restore cost differ.
+	FlatRestore bool
 }
 
 // System owns the program registry, host functions, kernel and processes.
@@ -653,11 +665,27 @@ func (p *Proc) readWordSlow(addr uint32) (int32, error) {
 		return 0, err
 	}
 	off := addr - sg.base
-	if !memFits(len(sg.data), off, 4) {
+	if !memFits(sg.length(), off, 4) {
 		return 0, &MemoryError{Addr: addr}
 	}
-	p.rdc = memWindow{base: sg.base, data: sg.data}
-	return int32(binary.LittleEndian.Uint32(sg.data[off:])), nil
+	if sg.cow == nil {
+		p.rdc = memWindow{base: sg.base, data: sg.data}
+		return int32(binary.LittleEndian.Uint32(sg.data[off:])), nil
+	}
+	// CoW segments get page-granular windows: adjacent pages are not
+	// contiguous in host memory once one of them is privatized.
+	pi, po := off>>pageShift, off&pageMask
+	if pg := sg.cow.pages[pi]; uint64(po)+4 <= uint64(len(pg)) {
+		p.rdc = memWindow{base: sg.base + pi<<pageShift, data: pg}
+		return int32(binary.LittleEndian.Uint32(pg[po:])), nil
+	}
+	// The word straddles a page boundary: assemble it byte-wise
+	// (memFits above proved every byte is in bounds).
+	var w uint32
+	for i := uint32(0); i < 4; i++ {
+		w |= uint32(sg.byteAt(off+i)) << (8 * i)
+	}
+	return int32(w), nil
 }
 
 // WriteWord writes a 32-bit little-endian word. The write window caches
@@ -676,11 +704,29 @@ func (p *Proc) writeWordSlow(addr uint32, v int32) error {
 		return err
 	}
 	off := addr - sg.base
-	if !memFits(len(sg.data), off, 4) {
+	if !memFits(sg.length(), off, 4) {
 		return &MemoryError{Addr: addr, Write: true}
 	}
-	p.wrc = memWindow{base: sg.base, data: sg.data}
-	binary.LittleEndian.PutUint32(sg.data[off:], uint32(v))
+	if sg.cow == nil {
+		p.wrc = memWindow{base: sg.base, data: sg.data}
+		binary.LittleEndian.PutUint32(sg.data[off:], uint32(v))
+		return nil
+	}
+	// The wrc window is only ever installed over an already-private
+	// page, which is what keeps the inline fast paths barrier-free.
+	pi, po := off>>pageShift, off&pageMask
+	pg := p.privatize(sg, pi)
+	if uint64(po)+4 <= uint64(len(pg)) {
+		p.wrc = memWindow{base: sg.base + pi<<pageShift, data: pg}
+		binary.LittleEndian.PutUint32(pg[po:], uint32(v))
+		return nil
+	}
+	// Page-straddling word: privatize both pages, write byte-wise.
+	p.privatize(sg, pi+1)
+	for i := uint32(0); i < 4; i++ {
+		o := off + i
+		sg.cow.pages[o>>pageShift][o&pageMask] = byte(uint32(v) >> (8 * i))
+	}
 	return nil
 }
 
@@ -692,12 +738,23 @@ func (p *Proc) ReadByteAt(addr uint32) (byte, error) {
 	if off := addr - p.wrc.base; uint64(off) < uint64(len(p.wrc.data)) {
 		return p.wrc.data[off], nil
 	}
+	return p.readByteSlow(addr)
+}
+
+func (p *Proc) readByteSlow(addr uint32) (byte, error) {
 	sg, err := p.seg(addr, false)
 	if err != nil {
 		return 0, err
 	}
-	p.rdc = memWindow{base: sg.base, data: sg.data}
-	return sg.data[addr-sg.base], nil
+	off := addr - sg.base
+	if sg.cow == nil {
+		p.rdc = memWindow{base: sg.base, data: sg.data}
+		return sg.data[off], nil
+	}
+	pi := off >> pageShift
+	pg := sg.cow.pages[pi]
+	p.rdc = memWindow{base: sg.base + pi<<pageShift, data: pg}
+	return pg[off&pageMask], nil
 }
 
 // WriteByte writes one byte.
@@ -706,12 +763,24 @@ func (p *Proc) WriteByteAt(addr uint32, v byte) error {
 		p.wrc.data[off] = v
 		return nil
 	}
+	return p.writeByteSlow(addr, v)
+}
+
+func (p *Proc) writeByteSlow(addr uint32, v byte) error {
 	sg, err := p.seg(addr, true)
 	if err != nil {
 		return err
 	}
-	p.wrc = memWindow{base: sg.base, data: sg.data}
-	sg.data[addr-sg.base] = v
+	off := addr - sg.base
+	if sg.cow == nil {
+		p.wrc = memWindow{base: sg.base, data: sg.data}
+		sg.data[off] = v
+		return nil
+	}
+	pi := off >> pageShift
+	pg := p.privatize(sg, pi)
+	p.wrc = memWindow{base: sg.base + pi<<pageShift, data: pg}
+	pg[off&pageMask] = v
 	return nil
 }
 
@@ -722,10 +791,17 @@ func (p *Proc) ReadBytes(addr uint32, n int32) ([]byte, error) {
 		return nil, err
 	}
 	off := addr - sg.base
-	if !memFits(len(sg.data), off, int64(n)) {
+	if !memFits(sg.length(), off, int64(n)) {
 		return nil, &MemoryError{Addr: addr}
 	}
-	return append([]byte(nil), sg.data[off:off+uint32(n)]...), nil
+	if sg.cow == nil {
+		return append([]byte(nil), sg.data[off:off+uint32(n)]...), nil
+	}
+	out := make([]byte, n)
+	for copied := 0; copied < len(out); {
+		copied += copy(out[copied:], sg.view(off+uint32(copied)))
+	}
+	return out, nil
 }
 
 // WriteBytes copies bytes into VM memory.
@@ -735,10 +811,19 @@ func (p *Proc) WriteBytes(addr uint32, b []byte) error {
 		return err
 	}
 	off := addr - sg.base
-	if !memFits(len(sg.data), off, int64(len(b))) {
+	if !memFits(sg.length(), off, int64(len(b))) {
 		return &MemoryError{Addr: addr, Write: true}
 	}
-	copy(sg.data[off:], b)
+	if sg.cow == nil {
+		copy(sg.data[off:], b)
+		return nil
+	}
+	for len(b) > 0 {
+		pg := p.privatize(sg, off>>pageShift)
+		n := copy(pg[off&pageMask:], b)
+		b = b[n:]
+		off += uint32(n)
+	}
 	return nil
 }
 
@@ -753,7 +838,7 @@ func (p *Proc) ReadCString(addr uint32) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		b := sg.data[addr-sg.base:]
+		b := sg.view(addr - sg.base)
 		if rem := 4096 - len(out); len(b) > rem {
 			b = b[:rem]
 		}
@@ -1129,6 +1214,14 @@ func (p *Proc) Brk(newBrk uint32) int32 {
 	}
 	if newBrk < heapBase || newBrk > heapBase+p.Sys.opts.HeapLimit {
 		return -kernel.ENOMEM
+	}
+	// A restored CoW heap flattens before any resize: grow/shrink
+	// reason about one contiguous backing slice, and the resized heap
+	// no longer matches the template's page geometry. Both resize arms
+	// below invalidate the window cache, which also drops any page
+	// views the flatten orphaned.
+	if newBrk != p.brk {
+		p.heap.materialize()
 	}
 	switch {
 	case newBrk > p.brk:

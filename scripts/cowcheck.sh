@@ -1,0 +1,67 @@
+#!/bin/sh
+# cowcheck.sh — end-to-end report-determinism check for the
+# copy-on-write snapshot restore.
+#
+# Builds the lfi CLI, generates the demo libc + a small target, runs a
+# fresh-spawn sweep as the reference report, then sweeps the same
+# matrix under every executor the CLI exposes — fresh-spawn, snapshot
+# with CoW restores (the default) and snapshot with flat deep-copy
+# restores (-cow=false) — at 1, 4 and 8 workers, under both execution
+# engines. Every report must be byte-identical to the reference: the
+# restore representation and the engine are performance choices, never
+# observable ones.
+#
+#   ./scripts/cowcheck.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/lfi-cowcheck-XXXXXX")"
+trap 'rm -rf "$work"' EXIT
+
+go build -o "$work/lfi" ./cmd/lfi
+
+"$work/lfi" demo -o "$work" >/dev/null
+
+cat >"$work/app.mc" <<'EOF'
+needs "libc.so";
+extern int strcmp(byte *a, byte *b);
+extern int strncmp(byte *a, byte *b, int n);
+extern byte *malloc(int n);
+int main(void) {
+  int r;
+  byte *p;
+  r = strcmp("a", "a");
+  if (r != 0) { r = 0; }
+  r = strncmp("ab", "ab", 2);
+  if (r != 0) { r = 0; }
+  p = malloc(4);
+  p[0] = 'x';
+  return 0;
+}
+EOF
+"$work/lfi" build -exe -name app -o "$work/app.slef" "$work/app.mc" >/dev/null
+
+base="-app $work/app.slef -lib $work/libc.slef -profile $work/libc.so.profile.xml"
+
+echo "== fresh-spawn sweep (reference) =="
+# shellcheck disable=SC2086
+"$work/lfi" sweep $base -j 4 >"$work/fresh.txt"
+grep '^summary:' "$work/fresh.txt"
+
+echo "== every executor x worker count x engine must match byte for byte =="
+for engine in block step; do
+	for mode in "" "-snapshot" "-snapshot -cow=false"; do
+		for j in 1 4 8; do
+			# shellcheck disable=SC2086
+			"$work/lfi" sweep $base -engine "$engine" -j "$j" $mode >"$work/got.txt"
+			if ! cmp -s "$work/fresh.txt" "$work/got.txt"; then
+				echo "cowcheck: FAIL: report differs (engine=$engine j=$j mode='${mode:-fresh-spawn}')" >&2
+				diff "$work/fresh.txt" "$work/got.txt" >&2 || true
+				exit 1
+			fi
+			echo "ok: engine=$engine j=$j mode='${mode:-fresh-spawn}'"
+		done
+	done
+done
+
+echo "cowcheck: OK"

@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same commands (see .github/workflows/ci.yml).
 
-.PHONY: test race bench-vm verify
+.PHONY: test race bench-vm bench-memo verify
 
 test:
 	go build ./... && go test ./...
@@ -12,5 +12,11 @@ race:
 # Run before and after touching internal/vm; baseline in BENCH_vm.json.
 bench-vm:
 	./scripts/benchvm.sh
+
+# Prefix-memoization A/B (memoized vs plain snapshot sweep) plus the
+# end-to-end determinism check; baseline in BENCH_sweep.json.
+bench-memo:
+	go test -run '^$$' -bench 'BenchmarkSweepMemo|BenchmarkSweepSnapshot' -benchtime 3s .
+	./scripts/memocheck.sh
 
 verify: test race

@@ -512,7 +512,11 @@ func BenchmarkSweepParallel(b *testing.B) {
 // decode, symbol maps, stub synthesis) runs once into a vm.Snapshot and
 // every experiment restores from it in O(writable bytes). The ratio to
 // BenchmarkSweepParallel is the per-experiment-setup share of campaign
-// cost that snapshotting eliminates (BENCH_sweep.json).
+// cost that snapshotting eliminates (BENCH_sweep.json). Memoization is
+// pinned off: this is the plain-restore reference the BenchmarkSweepMemo
+// A/B compares against (and on this short-prefix 8-experiment matrix
+// the memo's step-wise prefix runs cost more than 2-member groups
+// amortise).
 func BenchmarkSweepSnapshot(b *testing.B) {
 	cfg, set := sweepBenchTarget(b)
 	workers := runtime.GOMAXPROCS(0)
@@ -520,7 +524,7 @@ func BenchmarkSweepSnapshot(b *testing.B) {
 	var entries int
 	for i := 0; i < b.N; i++ {
 		res, err := core.RunExperiments(cfg, core.PlanExperiments(set), 0,
-			core.SweepOptions{Workers: workers, Snapshot: true})
+			core.SweepOptions{Workers: workers, Snapshot: true, NoMemo: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -528,6 +532,126 @@ func BenchmarkSweepSnapshot(b *testing.B) {
 	}
 	b.ReportMetric(float64(entries), "experiments")
 	b.ReportMetric(float64(workers), "workers")
+}
+
+// memoBenchApp is the prefix-memoization bench target: a long compute
+// phase (the paper's config-parse / state-build startup) before the
+// first injectable call. Every experiment of an exhaustive errno sweep
+// replays that startup identically up to its trigger site — exactly the
+// cost prefix memoization shares, once per (function, call) group
+// instead of once per errno variant.
+const memoBenchApp = `
+needs "libc.so";
+needs "libbig.so";
+extern int open(byte *path, int flags, int mode);
+extern int close(int fd);
+extern int read(int fd, byte *buf, int n);
+extern int write(int fd, byte *buf, int n);
+extern byte *malloc(int n);
+extern tls int errno;
+int main(void) {
+  int fd;
+  int n;
+  int i;
+  int acc;
+  byte buf[32];
+  byte *p;
+  acc = 0;
+  for (i = 0; i < 60000; i = i + 1) { acc = acc + i; }
+  fd = open("/data", 0, 0);
+  if (fd < 0) { return 2; }
+  n = read(fd, buf, 31);
+  if (n < 0) { n = 0; }
+  close(fd);
+  p = malloc(64);
+  if (p == 0) { return 7; }
+  p[0] = 'x';
+  write(1, buf, n);
+  return 0;
+}
+`
+
+// memoBenchTarget pairs the heavy-startup app with an exhaustive-style
+// profile: 8 errno variants per function, the §3 documented-errno
+// reality for POSIX I/O calls. 40 experiments over 5 first-fire sites —
+// a memoized sweep runs 5 prefixes where a plain snapshot sweep runs 40.
+func memoBenchTarget(b *testing.B) (core.CampaignConfig, profile.Set) {
+	b.Helper()
+	lc, err := libc.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	big, err := corpus.Generate(corpus.Traits{Name: "libbig.so", Seed: 3, NumFuncs: 400})
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := minic.Compile("memoized", memoBenchApp, obj.Executable)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tls := func(errno int32) []profile.SideEffect {
+		return []profile.SideEffect{{Type: profile.SideEffectTLS, Module: libc.Name, Value: errno}}
+	}
+	codes := func(retval int32, errnos ...int32) []profile.ErrorCode {
+		var out []profile.ErrorCode
+		for _, e := range errnos {
+			out = append(out, profile.ErrorCode{Retval: retval, SideEffects: tls(e)})
+		}
+		return out
+	}
+	set := profile.Set{libc.Name: &profile.Profile{
+		Library: libc.Name,
+		Functions: []profile.Function{
+			{Name: "open", ErrorCodes: codes(-1, 1, 2, 4, 12, 13, 20, 23, 24)},
+			{Name: "read", ErrorCodes: codes(-1, 4, 5, 9, 11, 12, 14, 21, 22)},
+			{Name: "close", ErrorCodes: codes(-1, 4, 5, 9, 11, 14, 22, 23, 25)},
+			{Name: "malloc", ErrorCodes: codes(0, 1, 2, 4, 5, 11, 12, 14, 22)},
+			{Name: "write", ErrorCodes: codes(-1, 4, 5, 9, 11, 14, 22, 27, 28)},
+		},
+	}}
+	cfg := core.CampaignConfig{
+		Programs:   []*obj.File{lc, big.Object, app},
+		Executable: "memoized",
+		Files:      map[string][]byte{"/data": []byte("mode=bench\n")},
+		VM:         vm.Options{StackSize: 1 << 16, HeapLimit: 1 << 18},
+	}
+	return cfg, set
+}
+
+// BenchmarkSweepMemo A/Bs prefix memoization on the heavy-startup
+// exhaustive matrix: memo is the snapshot executor with the prefix
+// cache (the default), nomemo the same executor with -memo=false.
+// Reports are byte-identical (scripts/memocheck.sh); the ratio is the
+// shared-prefix cost the memo cache eliminates, net of its step-wise
+// prefix runs. Recorded in BENCH_sweep.json.
+func BenchmarkSweepMemo(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noMemo bool
+	}{{"memo", false}, {"nomemo", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg, set := memoBenchTarget(b)
+			workers := runtime.GOMAXPROCS(0)
+			b.ResetTimer()
+			var entries, restored int
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunExperiments(cfg, core.PlanExperiments(set), 0,
+					core.SweepOptions{Workers: workers, Snapshot: true, NoMemo: mode.noMemo})
+				if err != nil {
+					b.Fatal(err)
+				}
+				entries = len(res.Entries)
+				if res.Memo != nil {
+					restored = res.Memo.Restored
+				}
+			}
+			b.ReportMetric(float64(entries), "experiments")
+			b.ReportMetric(float64(workers), "workers")
+			if !mode.noMemo {
+				b.ReportMetric(float64(restored), "restored")
+			}
+		})
+	}
 }
 
 // BenchmarkRestoreCoW isolates the per-experiment restore cost the

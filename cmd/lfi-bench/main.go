@@ -32,6 +32,7 @@ func run() error {
 	seed := flag.Int64("seed", 42, "table1 corpus seed")
 	jobs := flag.Int("j", 0, "parallel workers (0 = GOMAXPROCS for sweeps; sequential for the efficiency timing series)")
 	snapshot := flag.Bool("snapshot", false, "run sweeps on the fork-server runtime (restore from one post-load snapshot)")
+	memo := flag.Bool("memo", true, "with -snapshot: share each trigger site's pre-fault prefix across errno variants (prefix memoization)")
 	engine := flag.String("engine", "", "VM execution engine: block (default) or step — rerun any experiment on the reference interpreter to cross-check the block engine")
 	flag.Parse()
 	if err := vm.SetDefaultEngine(*engine); err != nil {
@@ -95,11 +96,16 @@ func run() error {
 	}
 	if sel["robustness"] {
 		section("§2 Robustness comparison")
-		r, err := experiments.Robustness(*jobs, *snapshot)
+		r, err := experiments.Robustness(*jobs, *snapshot, *memo)
 		if err != nil {
 			return err
 		}
 		fmt.Print(r.Render())
+		for _, a := range r.Apps {
+			if a.Result.Memo != nil {
+				fmt.Fprintf(os.Stderr, "%s %s\n", a.Name, a.Result.Memo.String())
+			}
+		}
 	}
 	if sel["correlated"] {
 		section("§4 Correlated faultload")

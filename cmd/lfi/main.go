@@ -385,6 +385,8 @@ func cmdSweep(args []string) error {
 	heur := fs.Bool("heuristics", false, "enable the §3.1 filtering heuristics for in-process profiling")
 	snapshot := fs.Bool("snapshot", false, "fork-server runtime: restore every run from one post-load snapshot")
 	cow := fs.Bool("cow", true, "copy-on-write restores: share template pages, copy on first write (with -snapshot; -cow=false deep-copies)")
+	memo := fs.Bool("memo", true, "prefix memoization: run the shared pre-fault prefix once per trigger site (with -snapshot; report stays byte-identical)")
+	memoBudget := fs.Int64("memo-budget", 0, "prefix snapshot cache budget in bytes (0 = default 256 MiB)")
 	prune := fs.Bool("prune", false, "skip experiments whose function the baseline never calls (coverage-informed)")
 	engine := fs.String("engine", "", "VM execution engine: block (default) or step (reference interpreter)")
 	storeDir := fs.String("store", "", "persistent campaign store directory (append-only JSONL, written live)")
@@ -432,6 +434,7 @@ func cmdSweep(args []string) error {
 	opts := core.SweepOptions{
 		Workers: *jobs, MaxCrashes: *maxCrashes,
 		Snapshot: *snapshot, FlatRestore: !*cow, PruneUncalled: *prune,
+		NoMemo: !*memo, MemoBudget: *memoBudget,
 	}
 	if *progress {
 		opts.Progress = func(p core.SweepProgress) {
@@ -459,6 +462,9 @@ func cmdSweep(args []string) error {
 		return err
 	}
 	fmt.Print(res.Render())
+	if res.Memo != nil {
+		fmt.Fprintln(os.Stderr, res.Memo.String())
+	}
 
 	if *triage {
 		fmt.Print(campaign.RenderClusters(campaign.Triage(store.Records())))
@@ -474,6 +480,9 @@ func cmdSweep(args []string) error {
 				return err
 			}
 			fmt.Print(res2.Render())
+			if res2.Memo != nil {
+				fmt.Fprintln(os.Stderr, res2.Memo.String())
+			}
 			if *triage {
 				fmt.Print(campaign.RenderClusters(campaign.Triage(store.Records())))
 			}

@@ -47,6 +47,22 @@ type SweepOptions struct {
 	// byte-identical either way; only the per-experiment cost differs.
 	// Ignored unless Snapshot is set.
 	FlatRestore bool
+	// NoMemo disables trigger-point prefix memoization. Under Snapshot,
+	// precompiled experiments sharing a deterministic first-fire site
+	// (scenario.FirstFireSite: same function, call number and trigger
+	// count, no probability/after-fault/sticky/pid/cycles conditions)
+	// are grouped: the deterministic prefix up to the site runs once per
+	// group into a mid-execution snapshot + controller checkpoint, and
+	// each member restores from it and runs only its suffix. Reports are
+	// byte-identical either way (scripts/memocheck.sh); the zero value
+	// keeps memoization on — the CLI's `-memo=false` escape hatch sets
+	// this. Ignored unless Snapshot is set.
+	NoMemo bool
+	// MemoBudget caps the memo cache's resident snapshot bytes; 0 means
+	// DefaultMemoBudget. Least-recently-used prefixes are evicted (and
+	// rebuilt on demand) beyond the budget. Ignored when memoization is
+	// inactive.
+	MemoBudget int64
 	// PruneUncalled enables baseline-informed pruning: the baseline
 	// runs once with instruction coverage, and experiments whose
 	// faultload only names functions the baseline never executed are
@@ -79,6 +95,12 @@ type SweepOptions struct {
 type SweepProgress struct {
 	// Done experiments out of Total are committed to the report.
 	Done, Total int
+	// Served is how many of the Done entries were satisfied without a
+	// member-specific execution: resume entries served from the
+	// persistent store (Skip), baseline-pruned experiments, and memoized
+	// experiments served whole from a terminated shared prefix. Done -
+	// Served is the number of experiments actually executed.
+	Served int
 	// Entry is the experiment just committed.
 	Entry SweepEntry
 	// Tally is the cumulative outcome count over committed entries.
@@ -87,9 +109,9 @@ type SweepProgress struct {
 
 // String renders the update as a one-line status.
 func (p SweepProgress) String() string {
-	return fmt.Sprintf("[%d/%d] %s.%s -> %s (crash=%d hang=%d error-exit=%d)",
+	return fmt.Sprintf("[%d/%d] %s.%s -> %s (crash=%d hang=%d error-exit=%d served=%d)",
 		p.Done, p.Total, p.Entry.Library, p.Entry.Function, p.Entry.Outcome,
-		p.Tally[OutcomeCrash], p.Tally[OutcomeHang], p.Tally[OutcomeErrorExit])
+		p.Tally[OutcomeCrash], p.Tally[OutcomeHang], p.Tally[OutcomeErrorExit], p.Served)
 }
 
 // SweepParallel is Sweep distributed over a pool of workers, each running
@@ -126,6 +148,10 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 				return nil, err
 			}
 			sr = r
+			if !opts.NoMemo {
+				sr.memo = newMemoCache(opts.MemoBudget)
+				sr.memo.plan(exps)
+			}
 		}
 	}
 	// The baseline anchors outcome classification. With pruning it also
@@ -150,12 +176,12 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 	if err != nil {
 		return nil, err
 	}
-	run := func(exp Experiment) (SweepEntry, error) {
+	run := func(exp Experiment) (SweepEntry, bool, error) {
 		// Resume outranks pruning: a cached entry is the recorded truth
 		// of a real run, while pruning merely predicts one.
 		if opts.Skip != nil {
 			if entry, ok := opts.Skip(&exp); ok {
-				return entry, nil
+				return entry, true, nil
 			}
 		}
 		if called != nil {
@@ -163,28 +189,32 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 				if opts.OnResult != nil {
 					opts.OnResult(&exp, entry, nil)
 				}
-				return entry, nil
+				return entry, true, nil
 			}
 		}
 		var (
-			entry SweepEntry
-			rep   *Report
-			err   error
+			entry  SweepEntry
+			rep    *Report
+			served bool
+			err    error
 		)
 		if sr != nil {
-			entry, rep, err = sr.run(exp, baseline, budget)
+			entry, rep, served, err = sr.run(exp, baseline, budget)
 		} else {
 			entry, rep, err = runExperiment(cfg, exp, baseline, budget)
 		}
 		if err != nil {
-			return entry, err
+			return entry, served, err
 		}
 		if opts.OnResult != nil {
 			opts.OnResult(&exp, entry, rep)
 		}
-		return entry, nil
+		return entry, served, nil
 	}
 	res := &SweepResult{Executable: cfg.Executable, Baseline: baseline}
+	if sr != nil && sr.memo != nil {
+		defer func() { res.Memo = sr.memo.statsSnapshot() }()
+	}
 
 	workers := opts.Workers
 	if workers <= 0 {
@@ -197,11 +227,11 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 	collect := newCollector(res, len(exps), opts)
 	if workers <= 1 {
 		for _, exp := range exps {
-			entry, err := run(exp)
+			entry, served, err := run(exp)
 			if err != nil {
 				return nil, err
 			}
-			if collect.commit(entry) {
+			if collect.commit(entry, served) {
 				break
 			}
 		}
@@ -213,9 +243,10 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 		exp Experiment
 	}
 	type outcome struct {
-		idx   int
-		entry SweepEntry
-		err   error
+		idx    int
+		entry  SweepEntry
+		served bool
+		err    error
 	}
 	jobs := make(chan job)
 	results := make(chan outcome, workers)
@@ -253,9 +284,9 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				entry, err := run(j.exp)
+				entry, served, err := run(j.exp)
 				select {
-				case results <- outcome{idx: j.idx, entry: entry, err: err}:
+				case results <- outcome{idx: j.idx, entry: entry, served: served, err: err}:
 				case <-stop:
 					return
 				}
@@ -288,7 +319,7 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 			}
 			delete(pending, next)
 			next++
-			if collect.commit(o.entry) {
+			if collect.commit(o.entry, o.served) {
 				stopped = true
 				break
 			}
@@ -304,10 +335,11 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 // collector accumulates in-order entries, drives progress reporting and
 // decides early stop. It is used from a single goroutine.
 type collector struct {
-	res   *SweepResult
-	total int
-	opts  SweepOptions
-	tally map[Outcome]int
+	res    *SweepResult
+	total  int
+	opts   SweepOptions
+	tally  map[Outcome]int
+	served int
 }
 
 func newCollector(res *SweepResult, total int, opts SweepOptions) *collector {
@@ -315,17 +347,23 @@ func newCollector(res *SweepResult, total int, opts SweepOptions) *collector {
 }
 
 // commit appends one in-plan-order entry and reports whether the sweep
-// should stop early.
-func (c *collector) commit(entry SweepEntry) (stop bool) {
+// should stop early. served marks entries satisfied without executing a
+// run (resume cache hits, pruned experiments, shared terminal
+// prefixes), tallied separately from executed experiments.
+func (c *collector) commit(entry SweepEntry, served bool) (stop bool) {
 	c.res.Entries = append(c.res.Entries, entry)
 	c.tally[entry.Outcome]++
+	if served {
+		c.served++
+	}
 	if c.opts.Progress != nil {
 		tally := make(map[Outcome]int, len(c.tally))
 		for k, v := range c.tally {
 			tally[k] = v
 		}
 		c.opts.Progress(SweepProgress{
-			Done: len(c.res.Entries), Total: c.total, Entry: entry, Tally: tally,
+			Done: len(c.res.Entries), Total: c.total, Served: c.served,
+			Entry: entry, Tally: tally,
 		})
 	}
 	return c.opts.MaxCrashes > 0 && c.tally[OutcomeCrash] >= c.opts.MaxCrashes

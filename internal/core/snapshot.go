@@ -27,6 +27,12 @@ type snapshotRunner struct {
 	snap     *vm.Snapshot
 	stubs    *controller.StubSet
 	passthru *scenario.CompiledPlan // empty plan: the baseline's faultload
+	// stubVAs maps each intercepted function to its stub entry address
+	// in the template — the breakpoint targets of prefix memoization.
+	stubVAs map[string]uint32
+	// memo, when non-nil, is the sweep-wide prefix cache (memo.go);
+	// nil runs every experiment in full.
+	memo *memoCache
 }
 
 // sweepFunctions is the union of every function the sweep's faultloads
@@ -56,18 +62,28 @@ func newSnapshotRunner(cfg CampaignConfig, fns []string) (*snapshotRunner, error
 		sys.Kernel().AddFile(path, data)
 	}
 	stubs.InstallTemplate(sys)
-	if _, err := sys.Spawn(cfg.Executable, vm.SpawnConfig{Preload: stubs.PreloadList()}); err != nil {
+	proc, err := sys.Spawn(cfg.Executable, vm.SpawnConfig{Preload: stubs.PreloadList()})
+	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	snap, err := sys.Snapshot()
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	stubVAs := make(map[string]uint32)
+	if im, ok := proc.ImageByName(controller.StubLibName); ok {
+		for _, fn := range stubs.Functions() {
+			if va, ok := im.SymbolVA(fn); ok {
+				stubVAs[fn] = va
+			}
+		}
+	}
 	return &snapshotRunner{
 		cfg:      cfg,
 		snap:     snap,
 		stubs:    stubs,
 		passthru: scenario.MustCompile(&scenario.Plan{}, nil),
+		stubVAs:  stubVAs,
 	}, nil
 }
 
@@ -113,10 +129,33 @@ func (r *snapshotRunner) baseline(budget uint64) (int32, error) {
 	return baselineExit(rep)
 }
 
-// run executes one experiment from the snapshot and classifies it —
-// the restore-path twin of runExperiment, returning the run report for
-// OnResult observers alongside the entry.
-func (r *snapshotRunner) run(exp Experiment, baseline int32, budget uint64) (SweepEntry, *Report, error) {
+// run executes one experiment on the snapshot executor. Precompiled
+// experiments whose faultload has a deterministic first-fire site
+// shared with at least one other experiment go through the prefix memo
+// cache (memo.go); everything else runs in full via runPlain. The
+// served flag is true when the entry was satisfied without a
+// member-specific run (terminated shared prefix).
+func (r *snapshotRunner) run(exp Experiment, baseline int32, budget uint64) (SweepEntry, *Report, bool, error) {
+	if r.memo != nil && exp.Compiled != nil {
+		site, reason := exp.Compiled.FirstFireSite()
+		if reason == "" {
+			key := memoKey{fn: site.Function, call: site.Call, ntrig: exp.Compiled.TriggerCount(site.Function)}
+			if r.memo.groupSize(key) >= 2 {
+				return r.runMemo(exp, key, baseline, budget)
+			}
+			r.memo.note(func(s *MemoStats) { s.Singletons++ })
+		} else {
+			r.memo.note(func(s *MemoStats) { s.Unmemoizable++ })
+		}
+	}
+	entry, rep, err := r.runPlain(exp, baseline, budget)
+	return entry, rep, false, err
+}
+
+// runPlain executes one experiment from the snapshot and classifies it
+// — the restore-path twin of runExperiment, returning the run report
+// for OnResult observers alongside the entry.
+func (r *snapshotRunner) runPlain(exp Experiment, baseline int32, budget uint64) (SweepEntry, *Report, error) {
 	entry := exp.entry()
 	cp := exp.Compiled
 	switch {

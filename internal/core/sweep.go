@@ -83,6 +83,11 @@ type SweepResult struct {
 	Executable string
 	Baseline   int32 // clean-run exit code
 	Entries    []SweepEntry
+	// Memo, when the sweep ran on the memoizing snapshot executor,
+	// carries its prefix-sharing statistics. Deliberately not part of
+	// Render: the rendered report stays byte-identical to a
+	// non-memoized sweep's.
+	Memo *MemoStats
 }
 
 // Summary counts entries per outcome.

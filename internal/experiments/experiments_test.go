@@ -75,7 +75,7 @@ func TestTable2SmallRows(t *testing.T) {
 }
 
 func TestRobustnessComparison(t *testing.T) {
-	r, err := Robustness(4, false)
+	r, err := Robustness(4, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,11 +85,15 @@ func TestRobustnessComparison(t *testing.T) {
 	if r.Crashes("sloppy") == 0 {
 		t.Error("sloppy build should crash under the sweep")
 	}
-	seq, err := Robustness(1, false)
+	seq, err := Robustness(1, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	snap, err := Robustness(4, true)
+	snap, err := Robustness(4, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memo, err := Robustness(4, true, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,6 +103,15 @@ func TestRobustnessComparison(t *testing.T) {
 		}
 		if r.Apps[i].Result.Render() != snap.Apps[i].Result.Render() {
 			t.Errorf("%s: snapshot and fresh-spawn robustness matrices differ", r.Apps[i].Name)
+		}
+		if r.Apps[i].Result.Render() != memo.Apps[i].Result.Render() {
+			t.Errorf("%s: memoized and fresh-spawn robustness matrices differ", r.Apps[i].Name)
+		}
+	}
+	for i := range memo.Apps {
+		st := memo.Apps[i].Result.Memo
+		if st == nil || st.Restored == 0 {
+			t.Errorf("%s: memoized sweep shared no prefixes: %+v", memo.Apps[i].Name, st)
 		}
 	}
 	t.Logf("\n%s", r.Render())

@@ -82,9 +82,11 @@ type RobustnessResult struct {
 // scheduler: every (function, error code) experiment is an independent
 // run, distributed over the given number of workers (<= 0: GOMAXPROCS).
 // With snapshot set, runs restore from a per-app vm.Snapshot instead of
-// spawning fresh systems — the fork-server runtime. The rendered result
-// is identical at any worker count and in both runtimes.
-func Robustness(workers int, snapshot bool) (*RobustnessResult, error) {
+// spawning fresh systems — the fork-server runtime; memo additionally
+// shares each trigger site's pre-fault prefix across its errno variants
+// (prefix memoization). The rendered result is identical at any worker
+// count and in every runtime combination.
+func Robustness(workers int, snapshot, memo bool) (*RobustnessResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -129,7 +131,7 @@ func Robustness(workers int, snapshot bool) (*RobustnessResult, error) {
 			Files:      map[string][]byte{"/etc/conf": []byte("mode=safe\n")},
 		}
 		sweep, err := core.RunExperiments(cfg, core.PlanExperiments(set), 0,
-			core.SweepOptions{Workers: workers, Snapshot: snapshot})
+			core.SweepOptions{Workers: workers, Snapshot: snapshot, NoMemo: !memo})
 		if err != nil {
 			return nil, err
 		}

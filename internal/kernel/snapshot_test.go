@@ -75,6 +75,110 @@ func TestSnapshotPreservesAliasing(t *testing.T) {
 	}
 }
 
+// TestSnapshotMidReadOffset: a snapshot taken between two reads of one
+// open descriptor must freeze the file offset — every restore resumes
+// reading at byte N, not at zero, and advances independently of its
+// siblings and the template. This is the kernel half of mid-execution
+// prefix snapshots (vm.System.RunBreak): the breakpoint routinely lands
+// with files half-consumed.
+func TestSnapshotMidReadOffset(t *testing.T) {
+	k := New()
+	k.AddFile("/data", []byte("abcdefghij"))
+	k.NewProcess(1)
+	fd := k.Open(1, "/data", ORdonly)
+	if fd < 0 {
+		t.Fatalf("open: errno %d", -fd)
+	}
+	if data, n, _ := k.Read(1, fd, 4); n != 4 || string(data) != "abcd" {
+		t.Fatalf("pre-snapshot read: n=%d %q", n, data)
+	}
+
+	snap := k.Snapshot()
+	a := snap.Restore()
+	b := snap.Restore()
+
+	// Both restores resume at offset 4, bit-identically.
+	for name, kk := range map[string]*Kernel{"a": a, "b": b} {
+		if data, n, _ := kk.Read(1, fd, 3); n != 3 || string(data) != "efg" {
+			t.Errorf("restore %s resumed read: n=%d %q, want \"efg\"", name, n, data)
+		}
+	}
+	// a reads on; b's offset is its own and stays at 7.
+	if data, n, _ := a.Read(1, fd, 10); n != 3 || string(data) != "hij" {
+		t.Errorf("restore a tail read: n=%d %q, want \"hij\"", n, data)
+	}
+	if data, n, _ := b.Read(1, fd, 1); n != 1 || string(data) != "h" {
+		t.Errorf("restore b offset moved with sibling: n=%d %q, want \"h\"", n, data)
+	}
+	// The template's offset is still 4.
+	if data, n, _ := k.Read(1, fd, 2); n != 2 || string(data) != "ef" {
+		t.Errorf("template offset drifted: n=%d %q, want \"ef\"", n, data)
+	}
+}
+
+// TestSnapshotMidWriteOffset: a descriptor opened for write restores
+// with its write position intact, so a restored run keeps appending
+// where the prefix stopped instead of clobbering byte 0.
+func TestSnapshotMidWriteOffset(t *testing.T) {
+	k := New()
+	k.AddFile("/log", nil)
+	k.NewProcess(1)
+	fd := k.Open(1, "/log", OWronly)
+	if fd < 0 {
+		t.Fatalf("open: errno %d", -fd)
+	}
+	if n, _ := k.Write(1, fd, []byte("pre:")); n != 4 {
+		t.Fatalf("write: %d", n)
+	}
+
+	r := k.Snapshot().Restore()
+	if n, _ := r.Write(1, fd, []byte("post")); n != 4 {
+		t.Fatalf("restored write: %d", n)
+	}
+	if got, _ := r.FileData("/log"); string(got) != "pre:post" {
+		t.Errorf("restored file = %q, want \"pre:post\"", got)
+	}
+	if got, _ := k.FileData("/log"); string(got) != "pre:" {
+		t.Errorf("template file = %q, want \"pre:\"", got)
+	}
+}
+
+// TestSnapshotInFlightPipe: a pipe with buffered, half-drained bytes at
+// snapshot time must restore with exactly the undrained remainder — in
+// order, once per restore, invisible to the template.
+func TestSnapshotInFlightPipe(t *testing.T) {
+	k := New()
+	k.NewProcess(1)
+	rfd, wfd, errno := k.Pipe(1)
+	if errno != 0 {
+		t.Fatalf("pipe: errno %d", errno)
+	}
+	if n, _ := k.Write(1, wfd, []byte("12345678")); n != 8 {
+		t.Fatalf("write: %d", n)
+	}
+	if data, n, _ := k.Read(1, rfd, 3); n != 3 || string(data) != "123" {
+		t.Fatalf("pre-snapshot drain: n=%d %q", n, data)
+	}
+
+	snap := k.Snapshot()
+	a := snap.Restore()
+	b := snap.Restore()
+	// Each restore holds its own copy of the 5 in-flight bytes.
+	for name, kk := range map[string]*Kernel{"a": a, "b": b} {
+		if data, n, blocked := kk.Read(1, rfd, 16); blocked || n != 5 || string(data) != "45678" {
+			t.Errorf("restore %s in-flight bytes: n=%d blocked=%v %q, want \"45678\"", name, n, blocked, data)
+		}
+		// Drained once: a second read blocks (writer still open).
+		if _, n, blocked := kk.Read(1, rfd, 1); !blocked || n != 0 {
+			t.Errorf("restore %s re-read: n=%d blocked=%v, want blocked", name, n, blocked)
+		}
+	}
+	// The template still holds all 5 bytes.
+	if data, n, _ := k.Read(1, rfd, 16); n != 5 || string(data) != "45678" {
+		t.Errorf("template in-flight bytes: n=%d %q, want \"45678\"", n, data)
+	}
+}
+
 // TestSnapshotListeners: a bound listener restores with its port, and a
 // connect on the restored kernel does not land in the template backlog.
 func TestSnapshotListeners(t *testing.T) {

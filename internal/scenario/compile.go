@@ -572,5 +572,17 @@ func Lint(plan *Plan, set profile.Set) []string {
 			})
 		}
 	}
+	// One warning per blocking condition kind: snapshot sweeps cannot
+	// share the pre-fault prefix of a plan whose first fire site is not
+	// statically deterministic, and fall back to replaying the whole run
+	// from the entry snapshot.
+	memoWarned := make(map[string]bool)
+	for i := range plan.Triggers {
+		t := &plan.Triggers[i]
+		if b := memoBlocker(t); b != "" && !memoWarned[b] {
+			memoWarned[b] = true
+			warn(i, t.Function, "%s condition makes the plan non-memoizable: snapshot sweeps fall back to the entry snapshot", b)
+		}
+	}
 	return warns
 }

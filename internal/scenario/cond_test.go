@@ -365,8 +365,8 @@ func TestLint(t *testing.T) {
 		{Function: "write", Retval: "-1", Conds: []Cond{AfterFault("malloc")}},
 	}}
 	warns := Lint(plan, nil)
-	if len(warns) != 2 {
-		t.Fatalf("warnings = %v, want 2", warns)
+	if len(warns) != 4 {
+		t.Fatalf("warnings = %v, want 4", warns)
 	}
 	if !strings.Contains(warns[0], "no profile supplies error codes") {
 		t.Errorf("warns[0] = %q", warns[0])
@@ -374,13 +374,35 @@ func TestLint(t *testing.T) {
 	if !strings.Contains(warns[1], `no trigger targets "malloc"`) {
 		t.Errorf("warns[1] = %q", warns[1])
 	}
-	// With a covering profile and a malloc trigger, the lint is clean.
+	// Probability and after-fault both force the entry-snapshot
+	// fallback, one warning per condition kind.
+	if !strings.Contains(warns[2], "probability condition makes the plan non-memoizable") {
+		t.Errorf("warns[2] = %q", warns[2])
+	}
+	if !strings.Contains(warns[3], "after-fault condition makes the plan non-memoizable") {
+		t.Errorf("warns[3] = %q", warns[3])
+	}
+	// With a covering profile and a malloc trigger, only the
+	// memoizability warnings remain.
 	plan2 := &Plan{Triggers: []Trigger{
 		{Function: "read", Probability: 10, Random: true},
 		{Function: "malloc", Inject: 1, Retval: "0"},
 		{Function: "write", Retval: "-1", Conds: []Cond{AfterFault("malloc")}},
 	}}
-	if warns := Lint(plan2, demoSet()); len(warns) != 0 {
+	warns2 := Lint(plan2, demoSet())
+	if len(warns2) != 2 {
+		t.Fatalf("warnings = %v, want 2", warns2)
+	}
+	for _, w := range warns2 {
+		if !strings.Contains(w, "non-memoizable") {
+			t.Errorf("unexpected warning: %q", w)
+		}
+	}
+	// A deterministic single-function plan lints clean.
+	plan3 := &Plan{Triggers: []Trigger{
+		{Function: "malloc", Inject: 2, Retval: "0", Once: true},
+	}}
+	if warns := Lint(plan3, demoSet()); len(warns) != 0 {
 		t.Errorf("unexpected warnings: %v", warns)
 	}
 }

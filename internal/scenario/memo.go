@@ -1,0 +1,185 @@
+// Static first-fire-site analysis for prefix-memoized sweeps.
+//
+// A sweep's snapshot executor can share the deterministic execution
+// prefix of many experiments — everything up to the moment a faultload
+// first becomes fireable — by checkpointing the guest just before that
+// point once and restoring every group member from the checkpoint. That
+// is only sound when the analyzer can prove, statically, that (a) no
+// trigger of the plan can fire before a specific (function, call-N)
+// site, and (b) evaluating calls 1..N-1 is observably identical across
+// every plan mapped to the same site: same per-call cycle charge (a
+// function of the per-function trigger count), no injections, and no
+// random draws (a <probability> condition consumes the seeded stream on
+// every examined call, so its mere presence rules memoization out;
+// random="true" faults draw only at fire time and stay memoizable).
+package scenario
+
+// FireSite is a deterministic first-fire site: no trigger of the
+// analyzed plan can fire before the Call-th intercepted call (1-based,
+// counted per process) to Function.
+type FireSite struct {
+	Function string
+	Call     int32
+}
+
+// FirstFireSite conservatively maps a plan to the deterministic site of
+// its earliest possible injection. The empty reason means the plan is
+// memoizable: a sweep may run any same-shaped plan to just before the
+// site and reuse the resulting state for every plan sharing the site.
+// A non-empty reason names what forces the fallback to the entry
+// snapshot: "probability", "after-fault", "sticky", "pid", "cycles",
+// "triggers target multiple functions", or "no triggers".
+//
+// The site is a lower bound, not an exact fire point — conditions the
+// analyzer does not model (stacktrace, <calls> windows inside <or>)
+// only make the real first fire later, which is safe: the shared prefix
+// just ends earlier than it ideally could.
+func FirstFireSite(p *Plan) (FireSite, string) {
+	if p == nil || len(p.Triggers) == 0 {
+		return FireSite{}, "no triggers"
+	}
+	fn := p.Triggers[0].Function
+	var site int32
+	for i := range p.Triggers {
+		t := &p.Triggers[i]
+		if t.Function != fn {
+			return FireSite{}, "triggers target multiple functions"
+		}
+		if b := memoBlocker(t); b != "" {
+			return FireSite{}, b
+		}
+		if c := earliestCall(t); site == 0 || c < site {
+			site = c
+		}
+	}
+	return FireSite{Function: fn, Call: site}, ""
+}
+
+// memoBlocker reports why one trigger rules out prefix memoization
+// ("" = it does not): probability consumes random draws on examined
+// calls before the fire, after-fault couples the trigger to other
+// triggers' fire history, sticky makes the first fire site load-bearing
+// for every later call, and pid/cycles windows depend on runtime state
+// the analyzer does not model.
+func memoBlocker(t *Trigger) string {
+	switch {
+	case t.Sticky:
+		return "sticky"
+	case t.Probability > 0:
+		return "probability"
+	case t.Pid != 0:
+		return "pid"
+	}
+	blocked := ""
+	for i := range t.Conds {
+		t.Conds[i].walk(func(c *Cond) {
+			if blocked != "" {
+				return
+			}
+			switch c.XMLName.Local {
+			case condProb:
+				blocked = "probability"
+			case condAfterFault:
+				blocked = "after-fault"
+			case condPid:
+				blocked = "pid"
+			case condCycles:
+				blocked = "cycles"
+			}
+		})
+		if blocked != "" {
+			break
+		}
+	}
+	return blocked
+}
+
+// earliestCall lower-bounds the first call number at which the trigger
+// could fire. inject="n" is an exact n-th-call match, and top-level
+// <calls> conditions (including those under top-level <and> chains) are
+// ANDed with it, so their `after` bounds raise the floor; conditions
+// nested under <or>/<not> are ignored (conservative — they can only be
+// modeled as "might hold on any call").
+func earliestCall(t *Trigger) int32 {
+	n := int32(1)
+	if t.Inject > 0 && t.Inject > n {
+		n = t.Inject
+	}
+	var visit func(c *Cond)
+	visit = func(c *Cond) {
+		switch c.XMLName.Local {
+		case condAnd:
+			for i := range c.Kids {
+				visit(&c.Kids[i])
+			}
+		case condCalls:
+			if c.After+1 > n {
+				n = c.After + 1
+			}
+		}
+	}
+	for i := range t.Conds {
+		visit(&t.Conds[i])
+	}
+	return n
+}
+
+// FirstFireSite applies the static analyzer to the compiled plan's
+// source faultload; see the package-level FirstFireSite.
+func (cp *CompiledPlan) FirstFireSite() (FireSite, string) {
+	return FirstFireSite(cp.plan)
+}
+
+// EvalState is the exportable mutable state of an Evaluator: per-
+// function call counts, per-trigger once-latches and per-function fault
+// counts. State/SetState move it between evaluators of the same
+// CompiledPlan so a restored mid-execution snapshot resumes trigger
+// decisions bit-identically.
+//
+// The seeded random stream is deliberately not part of the state: the
+// transfer contract covers evaluation prefixes that consumed no
+// randomness — no <probability> conditions examined, no random faults
+// fired — which is exactly the class FirstFireSite admits, and there a
+// freshly seeded stream is bit-identical to the donor's.
+type EvalState struct {
+	Count  map[string]int32
+	Fired  map[int]bool
+	Faults map[string]int32
+}
+
+// State deep-copies the evaluator's mutable state.
+func (e *Evaluator) State() EvalState {
+	st := EvalState{
+		Count:  make(map[string]int32, len(e.count)),
+		Fired:  make(map[int]bool, len(e.fired)),
+		Faults: make(map[string]int32, len(e.faults)),
+	}
+	for k, v := range e.count {
+		st.Count[k] = v
+	}
+	for k, v := range e.fired {
+		st.Fired[k] = v
+	}
+	for k, v := range e.faults {
+		st.Faults[k] = v
+	}
+	return st
+}
+
+// SetState overwrites the evaluator's mutable state with a deep copy of
+// st, so many evaluators may be seeded from one exported state without
+// sharing maps.
+func (e *Evaluator) SetState(st EvalState) {
+	e.count = make(map[string]int32, len(st.Count))
+	e.fired = make(map[int]bool, len(st.Fired))
+	e.faults = make(map[string]int32, len(st.Faults))
+	for k, v := range st.Count {
+		e.count[k] = v
+	}
+	for k, v := range st.Fired {
+		e.fired[k] = v
+	}
+	for k, v := range st.Faults {
+		e.faults[k] = v
+	}
+}

@@ -43,8 +43,14 @@ import (
 	"lfi/internal/obj"
 )
 
-// Snapshot is an immutable template of a System, typically taken right
-// after Spawn (the post-load entry point) and before Run.
+// Snapshot is an immutable template of a System. The classic use takes
+// it right after Spawn (the post-load entry point) and before Run, but
+// any stopped System snapshots exactly: registers, CoW page tables,
+// kernel FS/FD/pipe state, cycle counters and — when RunBreak froze the
+// system mid-slice — the scheduler's position inside the interrupted
+// round, so a restored system replays the slice boundaries of an
+// unbroken run. Mid-execution snapshots are what the sweep memoizer
+// mints at a plan's first-fire site.
 type Snapshot struct {
 	opts        Options
 	programs    map[string]*obj.File
@@ -53,7 +59,25 @@ type Snapshot struct {
 	kern        *kernel.Snapshot
 	nextPID     int
 	totalCycles uint64
+	resume      *schedResume
 	procs       []procSnap
+}
+
+// Footprint estimates the bytes a snapshot keeps alive on its own —
+// the writable segment copies plus page-view headers. Read-only
+// segments, images and decoded instructions are shared with the
+// template system and not counted. This is the unit of the sweep memo
+// cache's byte budget.
+func (s *Snapshot) Footprint() int64 {
+	n := int64(4096) // struct + kernel clone overhead, approximately
+	for i := range s.procs {
+		for _, sg := range s.procs[i].segs {
+			if sg.writable {
+				n += int64(len(sg.data)) + int64(len(sg.pages))*24
+			}
+		}
+	}
+	return n
 }
 
 // procSnap freezes one process: template images and read-only segments
@@ -99,6 +123,10 @@ func (s *System) Snapshot() (*Snapshot, error) {
 		kern:        s.kern.Snapshot(),
 		nextPID:     s.nextPID,
 		totalCycles: s.TotalCycles,
+	}
+	if s.resume != nil {
+		r := *s.resume
+		snap.resume = &r
 	}
 	for name, f := range s.programs {
 		snap.programs[name] = f
@@ -178,6 +206,10 @@ func (s *Snapshot) Restore() *System {
 		kern:        s.kern.Restore(),
 		nextPID:     s.nextPID,
 		TotalCycles: s.totalCycles,
+	}
+	if s.resume != nil {
+		r := *s.resume
+		sys.resume = &r
 	}
 	for name, f := range s.programs {
 		sys.programs[name] = f

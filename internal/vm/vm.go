@@ -333,6 +333,12 @@ type System struct {
 	kern     *kernel.Kernel
 	procs    []*Proc
 	nextPID  int
+	// resume, when non-nil, is the partially-completed scheduler round a
+	// RunBreak stop left behind; the next schedule call finishes it
+	// before starting fresh rounds. Snapshot/Restore carry it so a
+	// system restored from a mid-execution snapshot replays the exact
+	// slice boundaries of an unbroken run.
+	resume *schedResume
 	// TotalCycles accumulates cycles across all processes.
 	TotalCycles uint64
 }
@@ -891,6 +897,9 @@ func (s *System) RunUntil(cond func() bool, budget uint64) error {
 // workload driver feeds more input). Budget exhaustion is checked after
 // every time slice against s.TotalCycles - start.
 func (s *System) schedule(cond func() bool, start, budget uint64, stall error) error {
+	if err, done := s.resumeRound(start, budget, stall); done {
+		return err
+	}
 	for {
 		if cond != nil && cond() {
 			return nil
@@ -915,6 +924,160 @@ func (s *System) schedule(cond func() bool, start, budget uint64, stall error) e
 			return stall
 		}
 	}
+}
+
+// schedResume freezes the scheduler's position inside a partially
+// completed round — the state RunBreak leaves behind when it stops the
+// system mid-slice at a breakpoint. The next schedule call consumes it:
+// the interrupted process finishes its remaining slice first, then the
+// rest of that round's processes take full slices, and only then do
+// fresh rounds begin. That way every later slice boundary, budget check
+// and cross-process interleaving lands on exactly the cycle it would
+// have in an unbroken run.
+type schedResume struct {
+	procIdx   int  // round position: the process that was mid-slice
+	sliceLeft int  // instructions left in its interrupted slice
+	alive     int  // live processes already counted this round (procIdx included)
+	progress  bool // whether the round made progress before the stop
+	nprocs    int  // processes in the round when it started (later spawns join the next)
+}
+
+// resumeRound finishes a round interrupted by RunBreak. It returns
+// done=true when the scheduler must stop inside the resumed round
+// (budget exhausted, all processes exited, or no progress) and
+// done=false when the round completed and normal rounds should follow.
+func (s *System) resumeRound(start, budget uint64, stall error) (error, bool) {
+	r := s.resume
+	if r == nil {
+		return nil, false
+	}
+	s.resume = nil
+	alive, progress := r.alive, r.progress
+	n := r.nprocs
+	if n > len(s.procs) {
+		n = len(s.procs)
+	}
+	for i := r.procIdx; i < n; i++ {
+		p := s.procs[i]
+		slice := s.opts.TimeSlice
+		if i == r.procIdx {
+			slice = r.sliceLeft
+		} else {
+			if p.Exited {
+				continue
+			}
+			alive++
+		}
+		if p.runSlice(slice) > 0 {
+			progress = true
+		}
+		if budget > 0 && s.TotalCycles-start >= budget {
+			return ErrBudget, true
+		}
+	}
+	if alive == 0 {
+		return nil, true
+	}
+	if !progress {
+		return stall, true
+	}
+	return nil, false
+}
+
+// breakState tracks breakpoint arrivals for one process during RunBreak.
+// atVA suppresses double counting when a slice ends (or a blocked
+// syscall retries) with the PC parked on the breakpoint address.
+type breakState struct {
+	count int32
+	atVA  bool
+}
+
+// RunBreak runs like Run(budget) but stops the whole system just before
+// the target-th arrival of any process's PC at va (arrivals are counted
+// across all processes). On a hit it returns (true, nil) with the
+// system frozen before the instruction at va executes and the
+// scheduler's mid-round position recorded, so Snapshot/Restore/Run
+// continues with slice boundaries, budget checks and interleavings
+// identical to an unbroken Run — the memoized-sweep prefix contract.
+// When every process exits (nil), the system deadlocks (ErrDeadlock) or
+// the budget runs out (ErrBudget) before the arrival, it returns
+// (false, err) with cycle accounting identical to Run's.
+//
+// The instruction at va must not be able to block (true for interceptor
+// stub prologues, whose first instruction is a lea). The prefix executes
+// on the step engine regardless of Options.Engine — both engines are
+// decision-for-decision identical, so the stopped state is the one
+// either engine reaches.
+func (s *System) RunBreak(va uint32, target int32, budget uint64) (bool, error) {
+	if target <= 0 {
+		return false, fmt.Errorf("vm: RunBreak target %d not positive", target)
+	}
+	states := make(map[*Proc]*breakState)
+	for {
+		alive, progress := 0, false
+		nprocs := len(s.procs)
+		for i := 0; i < nprocs; i++ {
+			p := s.procs[i]
+			if p.Exited {
+				continue
+			}
+			alive++
+			st := states[p]
+			if st == nil {
+				st = &breakState{}
+				states[p] = st
+			}
+			ran, hit := p.runSliceBreak(s.opts.TimeSlice, va, target, st)
+			if ran > 0 {
+				progress = true
+			}
+			if hit {
+				s.resume = &schedResume{
+					procIdx:   i,
+					sliceLeft: s.opts.TimeSlice - ran,
+					alive:     alive,
+					progress:  progress,
+					nprocs:    nprocs,
+				}
+				return true, nil
+			}
+			if budget > 0 && s.TotalCycles >= budget {
+				return false, ErrBudget
+			}
+		}
+		if alive == 0 {
+			return false, nil
+		}
+		if !progress {
+			return false, ErrDeadlock
+		}
+	}
+}
+
+// runSliceBreak is the step engine's runSlice with an arrival check
+// before every instruction. It returns how many instructions ran and
+// whether the target arrival was reached (the instruction at va not yet
+// executed).
+func (p *Proc) runSliceBreak(n int, va uint32, target int32, st *breakState) (int, bool) {
+	ran := 0
+	for ran < n && !p.Exited {
+		if p.PC == va {
+			if !st.atVA {
+				st.atVA = true
+				st.count++
+				if st.count == target {
+					return ran, true
+				}
+			}
+		} else {
+			st.atVA = false
+		}
+		if !p.step() {
+			break // blocked in a syscall: yield the slice
+		}
+		ran++
+	}
+	return ran, false
 }
 
 // runSlice executes up to n instructions on the configured engine;

@@ -284,6 +284,35 @@ func checkPlan(path string, set profile.Set) error {
 	for _, fn := range fns {
 		fmt.Printf("  %-20s %d trigger(s) evaluated per call\n", fn, cp.TriggerCount(fn))
 	}
+	// Fault-model classification: name each stateful degradation so the
+	// author sees what the plan arms, then report memoizability — the
+	// sweep property degradations interact with.
+	for i := range plan.Triggers {
+		t := &plan.Triggers[i]
+		if t.Delay != nil {
+			fmt.Printf("  trigger %d (%s): latency injection: +%d cycles at the call boundary per fire\n",
+				i, t.Function, t.Delay.Cycles)
+		}
+		if t.Exhaust != nil {
+			switch t.Exhaust.Resource {
+			case scenario.ResourceDisk:
+				fmt.Printf("  trigger %d (%s): disk exhaustion: ENOSPC after %d post-fire bytes\n",
+					i, t.Function, t.Exhaust.After)
+			case scenario.ResourceFDs:
+				fmt.Printf("  trigger %d (%s): fd pressure: EMFILE beyond %d free descriptors at fire\n",
+					i, t.Function, t.Exhaust.Slots)
+			}
+		}
+	}
+	if site, reason := cp.FirstFireSite(); reason == "" {
+		fmt.Printf("memo: deterministic first-fire site %s@call %d — snapshot sweeps share the pre-fault prefix\n",
+			site.Function, site.Call)
+		if plan.Stateful() {
+			fmt.Println("memo: stateful degradation arms at fire time: the shared prefix stays pre-fire, each suffix is private")
+		}
+	} else {
+		fmt.Printf("memo: non-memoizable (%s): snapshot sweeps fall back to the entry snapshot\n", reason)
+	}
 	if warns := scenario.Lint(plan, set); len(warns) > 0 {
 		fmt.Println("warnings:")
 		for _, w := range warns {
@@ -388,6 +417,7 @@ func cmdSweep(args []string) error {
 	memo := fs.Bool("memo", true, "prefix memoization: run the shared pre-fault prefix once per trigger site (with -snapshot; report stays byte-identical)")
 	memoBudget := fs.Int64("memo-budget", 0, "prefix snapshot cache budget in bytes (0 = default 256 MiB)")
 	prune := fs.Bool("prune", false, "skip experiments whose function the baseline never calls (coverage-informed)")
+	faults := fs.String("faults", "errno", "fault models to sweep: errno (error-return stores), degradation (latency + resource exhaustion), or all")
 	engine := fs.String("engine", "", "VM execution engine: block (default) or step (reference interpreter)")
 	storeDir := fs.String("store", "", "persistent campaign store directory (append-only JSONL, written live)")
 	resume := fs.Bool("resume", false, "skip experiments already completed in -store (report stays byte-identical)")
@@ -396,6 +426,20 @@ func cmdSweep(args []string) error {
 	maxPairs := fs.Int("max-pairs", 0, "cap on escalated pairs (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// -memo/-memo-budget only act on the snapshot executor. They default
+	// on, so only an explicitly passed flag without -snapshot is a
+	// contradiction worth failing fast on (it used to be silently
+	// ignored).
+	if !*snapshot {
+		explicit := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if explicit["memo"] && *memo {
+			return fmt.Errorf("sweep: -memo needs -snapshot (prefix memoization runs on the snapshot executor)")
+		}
+		if explicit["memo-budget"] {
+			return fmt.Errorf("sweep: -memo-budget needs -snapshot (prefix memoization runs on the snapshot executor)")
+		}
 	}
 	if err := vm.SetDefaultEngine(*engine); err != nil {
 		return fmt.Errorf("sweep: %w", err)
@@ -456,7 +500,17 @@ func cmdSweep(args []string) error {
 		Programs:   programs,
 		Executable: programs[0].Name,
 	}
-	exps := core.PlanExperiments(set)
+	var exps []core.Experiment
+	switch *faults {
+	case "errno":
+		exps = core.PlanExperiments(set)
+	case "degradation":
+		exps = core.DegradationExperiments(set)
+	case "all":
+		exps = append(core.PlanExperiments(set), core.DegradationExperiments(set)...)
+	default:
+		return fmt.Errorf("sweep: unknown -faults %q (want errno, degradation or all)", *faults)
+	}
 	res, err := campaign.Sweep(cfgC, exps, *budget, opts, store, *resume)
 	if err != nil {
 		return err

@@ -357,3 +357,79 @@ func TestCLIErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestCLISweepMemoFlagContradictions: -memo/-memo-budget act on the
+// snapshot executor only, so passing them without -snapshot fails fast
+// instead of being silently ignored. Validation runs before any asset
+// loads, so a bogus app path proves the error is the flag check's.
+func TestCLISweepMemoFlagContradictions(t *testing.T) {
+	for _, args := range [][]string{
+		{"sweep", "-app", "/nonexistent", "-memo"},
+		{"sweep", "-app", "/nonexistent", "-memo=true"},
+		{"sweep", "-app", "/nonexistent", "-memo-budget", "1"},
+		{"sweep", "-app", "/nonexistent", "-memo=false", "-memo-budget", "4096"},
+	} {
+		err := run(args)
+		if err == nil || !strings.Contains(err.Error(), "needs -snapshot") {
+			t.Errorf("args %v: err = %v, want needs -snapshot", args, err)
+		}
+	}
+	// Explicitly disabling memoization without -snapshot is consistent,
+	// not a contradiction: the command proceeds past flag validation
+	// (and then fails on the unreadable app, not the flags).
+	err := run([]string{"sweep", "-app", "/nonexistent", "-memo=false"})
+	if err == nil || strings.Contains(err.Error(), "needs -snapshot") {
+		t.Errorf("-memo=false without -snapshot rejected: %v", err)
+	}
+}
+
+// TestCLISweepFaultModels: -faults selects the experiment matrix —
+// degradation rows render fault labels instead of retval/errno
+// coordinates, and -faults all is the concatenation of both sweeps.
+func TestCLISweepFaultModels(t *testing.T) {
+	dir := t.TempDir()
+	libPath, profPath := writeDemoAssets(t, dir)
+	srcPath := filepath.Join(dir, "app.mc")
+	if err := os.WriteFile(srcPath, []byte(cliAppSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	appPath := filepath.Join(dir, "app.slef")
+	if err := run([]string{"build", "-exe", "-name", "app", "-o", appPath, srcPath}); err != nil {
+		t.Fatal(err)
+	}
+
+	degr := captureStdout(t, func() error {
+		return run([]string{"sweep", "-app", appPath, "-lib", libPath,
+			"-profile", profPath, "-faults", "degradation", "-j", "4", "-snapshot"})
+	})
+	for _, want := range []string{"delay=", "exhaust=disk:after=", "exhaust=fds:slots="} {
+		if !strings.Contains(degr, want) {
+			t.Errorf("degradation sweep missing %q:\n%s", want, degr)
+		}
+	}
+	if strings.Contains(degr, "errno=") {
+		t.Errorf("degradation sweep rendered errno coordinates:\n%s", degr)
+	}
+
+	// Degradation reports are engine- and worker-independent, like
+	// errno reports.
+	degr2 := captureStdout(t, func() error {
+		return run([]string{"sweep", "-app", appPath, "-lib", libPath,
+			"-profile", profPath, "-faults", "degradation", "-j", "1"})
+	})
+	if degr2 != degr {
+		t.Errorf("degradation report differs across executors:\n--- snapshot j4 ---\n%s--- fresh j1 ---\n%s", degr, degr2)
+	}
+
+	all := captureStdout(t, func() error {
+		return run([]string{"sweep", "-app", appPath, "-lib", libPath,
+			"-profile", profPath, "-faults", "all", "-j", "4", "-snapshot"})
+	})
+	if !strings.Contains(all, "errno=") || !strings.Contains(all, "exhaust=disk:after=") {
+		t.Errorf("-faults all missing a model family:\n%s", all)
+	}
+
+	if err := run([]string{"sweep", "-app", appPath, "-faults", "bogus"}); err == nil {
+		t.Error("unknown -faults value should fail")
+	}
+}

@@ -163,6 +163,49 @@
 // BENCH_sweep.json); the same record documents when it does not pay
 // (short prefixes, 2-member groups).
 //
+// # Fault models
+//
+// Beyond error-return stores (a retval + errno substituted at the call
+// boundary — the paper's §2/§4 model), the scenario grammar carries
+// stateful degradation fault models that change what the kernel does
+// after the trigger fires:
+//
+//   - <delay cycles="N"> charges N guest cycles at the intercepted call
+//     boundary before the original (or the errno return) proceeds.
+//     Cycle budgets, <cycles> windows and hang classification see the
+//     latency honestly: a delay at or past the sweep budget models "the
+//     call never returns" and classifies as a hang.
+//   - <exhaust resource="disk" after="K"> arms a kernel byte quota at
+//     fire time: after K more bytes are written, Write fails with
+//     ENOSPC (the final write is capped short, as a filling disk
+//     allows) and node-creating Open fails likewise.
+//   - <exhaust resource="fds" slots="K"> shrinks the effective
+//     descriptor-table headroom to K free slots at fire time; every
+//     later allocation (open, dup, pipe, socket, accept — one shared
+//     install path) fails with EMFILE once the shrunk cap binds.
+//
+// Degradation-only triggers compile to pass-through probes: the
+// original call proceeds against the degraded kernel, so the observed
+// failure is the kernel's own (a real short write, a real EMFILE from
+// the descriptor allocator), not a substituted retval — and both models
+// compose with errno faults on the same or other triggers
+// (campaign.Escalate pairs exhaustion with errno survivors). The armed
+// quota/limit plus written/tripped counters are part of kernel resource
+// state proper: Snapshot/Restore clone them bit-identically, controller
+// checkpoints carry them across memoized prefix restores, replay plans
+// (controller.ReplayPlan) re-arm them at the recorded call sites, and
+// campaign records persist which resources were armed and whether they
+// tripped. Prefix memoization remains valid — the fire site is static
+// (FirstFireSite ignores delay/exhaust payloads) and degradation acts
+// only at or after the fire, so the shared prefix is strictly pre-fire
+// (Plan.Stateful documents the reasoning); faultcheck.sh enforces
+// byte-identical degradation reports across engines, worker counts,
+// fresh/CoW/flat restores, memo settings, -resume and replay.
+// `lfi sweep -faults degradation` runs the per-function degradation
+// matrix (`-faults all` concatenates it with the errno matrix), and
+// experiments.FaultModels (BENCH_faults.json) compares the two models'
+// outcome profiles over the corpus.
+//
 // The determinism contract is unchanged and oracle-enforced: both
 // engines are decision-for-decision identical — same round-robin
 // scheduling and time-slice splits (superblocks are divided at the

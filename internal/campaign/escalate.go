@@ -82,8 +82,11 @@ func Escalate(survivors []core.Experiment, set profile.Set, maxPairs int) []core
 }
 
 // pairLabel renders one parent's fault coordinates for the pair row:
-// function plus (retval) or (retval,ERRNO).
+// function plus (retval), (retval,ERRNO), or the degradation label.
 func pairLabel(exp *core.Experiment) string {
+	if exp.Fault != "" {
+		return fmt.Sprintf("%s(%s)", exp.Function, exp.Fault)
+	}
 	if !exp.HasErrno {
 		return fmt.Sprintf("%s(%d)", exp.Function, exp.Retval)
 	}

@@ -33,6 +33,10 @@ type Record struct {
 	Retval   int32  `json:"retval"`
 	Errno    int32  `json:"errno,omitempty"`
 	HasErrno bool   `json:"has_errno,omitempty"`
+	// Fault is the degradation fault-model label (core.SweepEntry.Fault);
+	// empty for error-return experiments, so pre-degradation stores
+	// parse (and resume) unchanged.
+	Fault    string `json:"fault,omitempty"`
 	Outcome  string `json:"outcome"`
 	ExitCode int32  `json:"exit_code"`
 	Signal   int32  `json:"signal,omitempty"`
@@ -44,6 +48,13 @@ type Record struct {
 	CrashStack []string `json:"crash_stack,omitempty"`
 	Cycles     uint64   `json:"cycles,omitempty"`
 	Coverage   int      `json:"coverage,omitempty"`
+
+	// Degradation payload: total injected latency, which resources were
+	// armed ("disk", "fds", or "disk,fds"), and whether any armed
+	// degradation actually failed an operation.
+	DelayCycles    uint64 `json:"delay_cycles,omitempty"`
+	Exhausted      string `json:"exhausted,omitempty"`
+	ExhaustTripped bool   `json:"exhaust_tripped,omitempty"`
 }
 
 // NewRecord distils one executed experiment into its persistent form.
@@ -57,6 +68,7 @@ func NewRecord(exp *core.Experiment, entry core.SweepEntry, rep *core.Report) Re
 		Retval:   entry.Retval,
 		Errno:    entry.Errno,
 		HasErrno: entry.HasErrno,
+		Fault:    entry.Fault,
 		Outcome:  string(entry.Outcome),
 		ExitCode: entry.ExitCode,
 		Signal:   entry.Signal,
@@ -70,6 +82,21 @@ func NewRecord(exp *core.Experiment, entry core.SweepEntry, rep *core.Report) Re
 			r.CrashStack = rep.CrashStack
 			r.StackHash = controller.StackHash(rep.CrashStack, rep.Injections)
 		}
+		for _, inj := range rep.Injections {
+			r.DelayCycles += inj.DelayCycles
+		}
+		degr := rep.Degradation
+		if degr.DiskArmed {
+			r.Exhausted = "disk"
+		}
+		if degr.FDsArmed {
+			if r.Exhausted != "" {
+				r.Exhausted += ",fds"
+			} else {
+				r.Exhausted = "fds"
+			}
+		}
+		r.ExhaustTripped = degr.Tripped()
 	}
 	return r
 }
@@ -83,6 +110,7 @@ func (r Record) Entry() core.SweepEntry {
 		Retval:   r.Retval,
 		Errno:    r.Errno,
 		HasErrno: r.HasErrno,
+		Fault:    r.Fault,
 		Outcome:  core.Outcome(r.Outcome),
 		ExitCode: r.ExitCode,
 		Signal:   r.Signal,

@@ -7,9 +7,18 @@
 // SeedCheckpoint replays it into a fresh per-experiment controller
 // before the restored system runs, so post-restore trigger decisions
 // and logs are bit-identical to an unbroken run.
+//
+// The checkpoint also carries the kernel's armed degradation state
+// (disk quota, fd pressure): a memoized prefix is strictly pre-fire so
+// the state is normally zero, but the round trip keeps the invariant
+// honest — whatever the kernel had armed when the checkpoint was taken
+// is re-armed before the restored suffix runs.
 package controller
 
-import "lfi/internal/scenario"
+import (
+	"lfi/internal/kernel"
+	"lfi/internal/scenario"
+)
 
 // Checkpoint is the controller state frozen alongside a mid-execution
 // vm.Snapshot. It is immutable once taken and may seed any number of
@@ -17,11 +26,17 @@ import "lfi/internal/scenario"
 type Checkpoint struct {
 	evals map[int]scenario.EvalState
 	log   []InjectionRecord
+	degr  kernel.DegradationState
 }
 
+// Degradation returns the kernel degradation state frozen in the
+// checkpoint (zero when nothing was armed).
+func (ck *Checkpoint) Degradation() kernel.DegradationState { return ck.degr }
+
 // Checkpoint exports the controller's mutable campaign state: a deep
-// copy of every process evaluator's state plus the injection log so
-// far.
+// copy of every process evaluator's state, the injection log so far,
+// and — when the controller is installed on a system — the kernel's
+// armed degradation state.
 func (c *Controller) Checkpoint() *Checkpoint {
 	ck := &Checkpoint{
 		evals: make(map[int]scenario.EvalState, len(c.evals)),
@@ -30,13 +45,18 @@ func (c *Controller) Checkpoint() *Checkpoint {
 	for pid, ev := range c.evals {
 		ck.evals[pid] = ev.State()
 	}
+	if c.sys != nil {
+		ck.degr = c.sys.Kernel().Degradation()
+	}
 	return ck
 }
 
 // SeedCheckpoint primes this controller with a checkpoint exported from
 // another controller over a same-shaped plan: evaluators are minted for
 // every checkpointed process and seeded with deep copies of its state,
-// and the injection log is replaced by the checkpoint's prefix. Must be
+// the injection log is replaced by the checkpoint's prefix, and the
+// checkpoint's kernel degradation state is applied — immediately when
+// the controller is already installed, otherwise at Install. Must be
 // called before the controller sees its first intercepted call.
 //
 // The random stream is NOT transferred (see scenario.EvalState), so the
@@ -47,4 +67,10 @@ func (c *Controller) SeedCheckpoint(ck *Checkpoint) {
 		c.evaluatorFor(pid).SetState(st)
 	}
 	c.log = append(c.log[:0], ck.log...)
+	if c.sys != nil {
+		c.sys.Kernel().SetDegradation(ck.degr)
+	} else {
+		degr := ck.degr
+		c.pendingDegr = &degr
+	}
 }

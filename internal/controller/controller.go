@@ -31,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 
+	"lfi/internal/kernel"
 	"lfi/internal/obj"
 	"lfi/internal/profile"
 	"lfi/internal/scenario"
@@ -78,6 +79,16 @@ type InjectionRecord struct {
 	CallOrig     bool
 	Stack        []string
 	Cycle        uint64
+	// DelayCycles is injected latency charged at the call boundary
+	// (the <delay> fault model); 0 when none.
+	DelayCycles uint64
+	// ExhaustResource names the resource-exhaustion degradation armed by
+	// this injection (scenario.ResourceDisk or scenario.ResourceFDs);
+	// empty when none. ExhaustAfter/ExhaustSlots carry the model's
+	// parameter so replay re-arms the identical degradation.
+	ExhaustResource string
+	ExhaustAfter    int64
+	ExhaustSlots    int32
 }
 
 // String renders the record as a log line.
@@ -92,6 +103,15 @@ func (r InjectionRecord) String() string {
 	}
 	if r.ErrnoFailed {
 		b.WriteString(" errno-unresolved")
+	}
+	if r.DelayCycles > 0 {
+		fmt.Fprintf(&b, " delay=%d", r.DelayCycles)
+	}
+	switch r.ExhaustResource {
+	case scenario.ResourceDisk:
+		fmt.Fprintf(&b, " exhaust=disk:after=%d", r.ExhaustAfter)
+	case scenario.ResourceFDs:
+		fmt.Fprintf(&b, " exhaust=fds:slots=%d", r.ExhaustSlots)
 	}
 	for _, m := range r.Modified {
 		fmt.Fprintf(&b, " modify(arg%d %s %d)", m.Argument, m.Op, m.Value)
@@ -123,6 +143,13 @@ type Controller struct {
 	stub      *obj.File
 	evals     map[int]*scenario.Evaluator
 	log       []InjectionRecord
+	// sys is the system this controller is installed on — the route to
+	// the kernel for arming resource-exhaustion degradations and for
+	// capturing their state in checkpoints.
+	sys *vm.System
+	// pendingDegr is checkpointed degradation state seeded before
+	// Install; Install applies it to the system's kernel.
+	pendingDegr *kernel.DegradationState
 	// PassThrough forces every decision to call the original function
 	// after trigger evaluation — used by the overhead experiments
 	// (Tables 3 and 4), which must let the workload complete.
@@ -231,6 +258,13 @@ func (c *Controller) Install(sys *vm.System) error {
 	}
 	sys.Register(stub)
 	sys.RegisterHost(evalHostFunc, c.evalTrigger)
+	c.sys = sys
+	if c.pendingDegr != nil {
+		// A checkpoint seeded before Install carried armed degradation
+		// state; apply it now that the kernel is reachable.
+		sys.Kernel().SetDegradation(*c.pendingDegr)
+		c.pendingDegr = nil
+	}
 	return nil
 }
 
@@ -281,6 +315,29 @@ func (c *Controller) evalTrigger(hc *vm.HostCall) int32 {
 		Function:  fn,
 		CallCount: d.CallCount,
 		Cycle:     hc.Proc.Cycles,
+	}
+	if d.DelayCycles > 0 {
+		// Latency injection: charge the delay in virtual time at the
+		// call boundary, before the original proceeds or the errno
+		// return happens — cycle budgets, <cycles> windows and hang
+		// classification all see it honestly.
+		rec.DelayCycles = d.DelayCycles
+		hc.ChargeCycles(d.DelayCycles)
+	}
+	if ex := d.Exhaust; ex != nil {
+		// Resource exhaustion: arm the stateful degradation in the
+		// kernel. From here on the kernel itself fails operations
+		// (ENOSPC/EMFILE) — no further controller involvement.
+		rec.ExhaustResource = ex.Resource
+		kern := hc.Proc.Sys.Kernel()
+		switch ex.Resource {
+		case scenario.ResourceDisk:
+			rec.ExhaustAfter = ex.After
+			kern.ArmDiskQuota(ex.After)
+		case scenario.ResourceFDs:
+			rec.ExhaustSlots = ex.Slots
+			kern.ArmFDPressure(hc.Proc.ID, ex.Slots)
+		}
 	}
 	depth := c.BacktraceDepth
 	if depth <= 0 {
@@ -515,6 +572,15 @@ func (c *Controller) ReplayPlan() *scenario.Plan {
 		}
 		if r.HasErrno {
 			t.Errno = strconv.Itoa(int(r.Errno))
+		}
+		if r.DelayCycles > 0 {
+			t.Delay = &scenario.Delay{Cycles: r.DelayCycles}
+		}
+		switch r.ExhaustResource {
+		case scenario.ResourceDisk:
+			t.Exhaust = &scenario.Exhaust{Resource: scenario.ResourceDisk, After: r.ExhaustAfter}
+		case scenario.ResourceFDs:
+			t.Exhaust = &scenario.Exhaust{Resource: scenario.ResourceFDs, Slots: r.ExhaustSlots}
 		}
 		if c.ReplayStacks && len(r.Stack) > 0 {
 			t.Stacktrace = &scenario.StackTrace{Frames: append([]string(nil), r.Stack...)}

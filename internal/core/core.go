@@ -216,6 +216,10 @@ type Report struct {
 	Cycles     uint64
 	// Deadlocked is set when the run wedged rather than exiting.
 	Deadlocked bool
+	// Degradation is the kernel's resource-degradation state at end of
+	// run: which exhaustion faults were armed and whether they actually
+	// failed an operation (tripped). Zero when the faultload armed none.
+	Degradation kernel.DegradationState
 	// CrashStack is the dying process's shadow call stack, innermost
 	// frame first (symbol names, hex addresses for stripped locals),
 	// captured when the run terminated on a signal. It is the identity
@@ -286,6 +290,9 @@ func (c *Campaign) Run(budget uint64) (*Report, error) {
 // Deadlocked flag and capturing the crash backtrace on signal deaths.
 func assembleReport(err error, proc *vm.Proc, cycles uint64, ctl *controller.Controller) (*Report, error) {
 	rep := &Report{Status: proc.Status, Cycles: cycles}
+	if proc.Sys != nil {
+		rep.Degradation = proc.Sys.Kernel().Degradation()
+	}
 	if proc.Status.Signal != 0 {
 		rep.CrashStack = crashStack(proc)
 	}

@@ -53,13 +53,19 @@ func Classify(rep *Report, baseline int32) Outcome {
 	}
 }
 
-// SweepEntry is one (function, error code) experiment.
+// SweepEntry is one (function, fault) experiment: an error-return store
+// (Retval/Errno) or, when Fault is set, a stateful degradation.
 type SweepEntry struct {
 	Library  string
 	Function string
 	Retval   int32
 	Errno    int32
 	HasErrno bool
+	// Fault, when non-empty, labels a degradation fault model
+	// ("delay=N", "exhaust=disk:after=K", "exhaust=fds:slots=K") in
+	// place of the retval/errno coordinates. Empty for error-return
+	// experiments, so their report rows render exactly as before.
+	Fault    string
 	Outcome  Outcome
 	ExitCode int32
 	Signal   int32
@@ -67,13 +73,18 @@ type SweepEntry struct {
 
 // String renders the entry as a report line.
 func (e SweepEntry) String() string {
-	fault := fmt.Sprintf("%s.%s -> %d", e.Library, e.Function, e.Retval)
-	if e.HasErrno {
-		name := kernel.ErrnoName(e.Errno)
-		if name == "" {
-			name = fmt.Sprint(e.Errno)
+	var fault string
+	if e.Fault != "" {
+		fault = fmt.Sprintf("%s.%s %s", e.Library, e.Function, e.Fault)
+	} else {
+		fault = fmt.Sprintf("%s.%s -> %d", e.Library, e.Function, e.Retval)
+		if e.HasErrno {
+			name := kernel.ErrnoName(e.Errno)
+			if name == "" {
+				name = fmt.Sprint(e.Errno)
+			}
+			fault += " errno=" + name
 		}
-		fault += " errno=" + name
 	}
 	return fmt.Sprintf("%-46s %s", fault, e.Outcome)
 }
@@ -132,6 +143,9 @@ type Experiment struct {
 	Retval   int32
 	Errno    int32
 	HasErrno bool
+	// Fault labels a degradation fault model (see SweepEntry.Fault);
+	// empty for error-return experiments.
+	Fault string
 	// Plan is the faultload for this run. PlanExperiments builds a
 	// deterministic once-on-first-call trigger; hand-built experiments
 	// may use any plan, including seeded random triggers (the per-run
@@ -157,8 +171,15 @@ func (exp *Experiment) Key() string {
 	if plan == nil && exp.Compiled != nil {
 		plan = exp.Compiled.Plan()
 	}
-	return fmt.Sprintf("%s/%s/%d/%d/%t/%s",
+	key := fmt.Sprintf("%s/%s/%d/%d/%t/%s",
 		exp.Library, exp.Function, exp.Retval, exp.Errno, exp.HasErrno, plan.CanonicalKey())
+	if exp.Fault != "" {
+		// Degradation experiments append their fault label; error-return
+		// keys keep the historical five-segment shape, so stores written
+		// by earlier campaigns resume unchanged.
+		key += "/" + exp.Fault
+	}
+	return key
 }
 
 // PlanExperiments expands a profile set into the full experiment matrix —
@@ -210,6 +231,80 @@ func PlanExperiments(set profile.Set) []Experiment {
 	return out
 }
 
+// Degradation fault-model parameters used by DegradationExperiments.
+// They pick the harshest point of each model so one sweep answers "what
+// happens when this resource degrades at this call site":
+const (
+	// DegradationDelayCycles stalls the intercepted call past the
+	// default per-run budget — the call effectively never returns, the
+	// ZOFI-style timing fault — so a fired delay under the default
+	// budget classifies as a hang. Sweeps with a larger explicit budget
+	// see a slow call instead.
+	DegradationDelayCycles = DefaultSweepBudget
+	// DegradationDiskBytes = 0: the disk is full from the moment the
+	// trigger fires; the next write or creating open fails with ENOSPC.
+	DegradationDiskBytes = 0
+	// DegradationFDSlots = 0: the fd table saturates at fire time; the
+	// fired call's own descriptor allocation (and every later one)
+	// fails with EMFILE.
+	DegradationFDSlots = 0
+)
+
+// DegradationExperiments expands a profile set into the stateful
+// degradation matrix: for every profiled function, one latency
+// injection, one disk-exhaustion and one fd-pressure experiment, each
+// armed on the function's first call (pass-through triggers — the
+// original proceeds against the degraded kernel). The generator is
+// deterministic in the same lexicographic order as PlanExperiments,
+// so degradation sweeps shard, resume and memoize identically.
+func DegradationExperiments(set profile.Set) []Experiment {
+	var out []Experiment
+	libs := make([]string, 0, len(set))
+	for lib := range set {
+		libs = append(libs, lib)
+	}
+	sort.Strings(libs)
+	for _, lib := range libs {
+		for _, fn := range set[lib].Functions {
+			models := []struct {
+				label   string
+				trigger scenario.Trigger
+			}{
+				{
+					label: fmt.Sprintf("delay=%d", DegradationDelayCycles),
+					trigger: scenario.Trigger{
+						Function: fn.Name, Inject: 1, Once: true,
+						Delay: &scenario.Delay{Cycles: DegradationDelayCycles},
+					},
+				},
+				{
+					label: fmt.Sprintf("exhaust=disk:after=%d", DegradationDiskBytes),
+					trigger: scenario.Trigger{
+						Function: fn.Name, Inject: 1, Once: true,
+						Exhaust: &scenario.Exhaust{Resource: scenario.ResourceDisk, After: DegradationDiskBytes},
+					},
+				},
+				{
+					label: fmt.Sprintf("exhaust=fds:slots=%d", DegradationFDSlots),
+					trigger: scenario.Trigger{
+						Function: fn.Name, Inject: 1, Once: true,
+						Exhaust: &scenario.Exhaust{Resource: scenario.ResourceFDs, Slots: DegradationFDSlots},
+					},
+				},
+			}
+			for _, m := range models {
+				exp := Experiment{Library: lib, Function: fn.Name, Fault: m.label}
+				exp.Plan = &scenario.Plan{Triggers: []scenario.Trigger{m.trigger}}
+				if cp, err := scenario.Compile(exp.Plan, set); err == nil {
+					exp.Compiled = cp
+				}
+				out = append(out, exp)
+			}
+		}
+	}
+	return out
+}
+
 // baselineExit extracts a baseline run's exit code, rejecting crashed
 // or wedged baselines — no classification can anchor on those.
 func baselineExit(rep *Report) (int32, error) {
@@ -239,7 +334,7 @@ func runBaseline(cfg CampaignConfig, budget uint64) (int32, error) {
 func (exp *Experiment) entry() SweepEntry {
 	return SweepEntry{
 		Library: exp.Library, Function: exp.Function, Retval: exp.Retval,
-		Errno: exp.Errno, HasErrno: exp.HasErrno,
+		Errno: exp.Errno, HasErrno: exp.HasErrno, Fault: exp.Fault,
 	}
 }
 

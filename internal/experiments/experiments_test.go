@@ -337,3 +337,49 @@ func contains(s []string, v string) bool {
 	}
 	return false
 }
+
+func TestFaultModelsComparison(t *testing.T) {
+	r, err := FaultModels(4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline: one retry absorbs a one-shot errno fault on write,
+	// but not a disk that stays full — the error-return matrix calls
+	// the retrying writer robust where the stateful model does not.
+	if got := r.Outcome("retrying", "write", "errno"); got != "handled" {
+		t.Errorf("retrying/write under errno = %s, want handled", got)
+	}
+	if got := r.Outcome("retrying", "write", "exhaust=disk:after=0"); got != "error-exit" {
+		t.Errorf("retrying/write under disk exhaustion = %s, want error-exit", got)
+	}
+	if got := r.Outcome("checking", "write", "errno"); got != "error-exit" {
+		t.Errorf("checking/write under errno = %s, want error-exit", got)
+	}
+	// A stalled call hangs either app; no error-return fault can.
+	if got := r.Outcome("retrying", "write", "delay=200000000"); got != "hang" {
+		t.Errorf("retrying/write under delay = %s, want hang", got)
+	}
+	if r.Masked("retrying") == 0 {
+		t.Error("errno model masked no stateful failures of the retrying writer")
+	}
+	// Deterministic across executors and worker counts.
+	seq, err := FaultModels(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.Apps {
+		if r.Apps[i].Errno.Render() != seq.Apps[i].Errno.Render() {
+			t.Errorf("%s: errno matrix differs across executors", r.Apps[i].Name)
+		}
+		if r.Apps[i].Degradation.Render() != seq.Apps[i].Degradation.Render() {
+			t.Errorf("%s: degradation matrix differs across executors", r.Apps[i].Name)
+		}
+	}
+	report := r.Render()
+	for _, want := range []string{"error-return matrix", "degradation matrix", "masked by one-shot errno model"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	t.Logf("\n%s", report)
+}

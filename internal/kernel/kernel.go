@@ -34,6 +34,9 @@ type Kernel struct {
 	fs        map[string]*inode
 	tables    map[int]*fdTable // pid -> descriptors
 	listeners map[int32]*listener
+	// ex is the armed resource-degradation state (exhaust.go): disk
+	// quota and fd pressure injected by the LFI controller.
+	ex exhaustState
 }
 
 type inode struct {
@@ -145,8 +148,22 @@ func (k *Kernel) table(pid int) *fdTable {
 	return t
 }
 
-func (t *fdTable) install(f *file) int32 {
-	if len(t.files) >= MaxFDs {
+// install places an open-file description at the next free descriptor
+// of t, enforcing the table cap (caller holds k.mu). The cap is MaxFDs,
+// shrunk to the armed fd-pressure limit when that degradation is in
+// effect; EMFILE under the shrunk limit marks the degradation tripped.
+// This is the single descriptor-allocation authority — Open, Pipe, Dup,
+// Socket and Accept all go through it, so the boundary check cannot
+// drift between paths.
+func (k *Kernel) install(t *fdTable, f *file) int32 {
+	max := MaxFDs
+	if k.ex.fdsArmed && k.ex.fdsLimit < max {
+		max = k.ex.fdsLimit
+	}
+	if len(t.files) >= max {
+		if max < MaxFDs {
+			k.ex.fdsTripped = true
+		}
 		return -EMFILE
 	}
 	fd := t.next
@@ -156,6 +173,32 @@ func (t *fdTable) install(f *file) int32 {
 	t.next = fd + 1
 	t.files[fd] = f
 	return fd
+}
+
+// Dup implements sys_dup: fd's open-file description is installed at
+// the next free descriptor, sharing position and pipe/socket identity.
+// Returns the new fd or -errno; at the table cap it fails with EMFILE —
+// the same check as every other allocation path.
+func (k *Kernel) Dup(pid int, fd int32) int32 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	t := k.table(pid)
+	f := t.files[fd]
+	if f == nil {
+		return -EBADF
+	}
+	nfd := k.install(t, f)
+	if nfd < 0 {
+		return nfd
+	}
+	if f.kind == filePipe {
+		if f.rdEnd {
+			f.pipe.readers++
+		} else {
+			f.pipe.writers++
+		}
+	}
+	return nfd
 }
 
 // InstallAt force-installs a shared open file at a specific descriptor in
@@ -187,6 +230,12 @@ func (k *Kernel) Open(pid int, path string, flags int32) int32 {
 		if flags&OCreat == 0 {
 			return -ENOENT
 		}
+		// Creating a node consumes disk metadata: under an exhausted
+		// quota the create itself fails, like a full file system.
+		if k.diskRemaining() <= 0 {
+			k.ex.diskTripped = true
+			return -ENOSPC
+		}
 		node = &inode{}
 		k.fs[path] = node
 	}
@@ -197,7 +246,7 @@ func (k *Kernel) Open(pid int, path string, flags int32) int32 {
 	if flags&OAppend != 0 {
 		f.pos = int32(len(node.data))
 	}
-	return k.table(pid).install(f)
+	return k.install(k.table(pid), f)
 }
 
 // Unlink implements sys_unlink.
@@ -307,6 +356,19 @@ func (k *Kernel) Write(pid int, fd int32, data []byte) (ret int32, blocked bool)
 		if f.flags&3 == ORdonly {
 			return -EBADF, false
 		}
+		// Armed disk quota: fail with ENOSPC once exhausted, and cap the
+		// last write to the remaining bytes (a partial write, as POSIX
+		// allows on a filling disk). Zero-length writes always succeed.
+		if len(data) > 0 {
+			rem := k.diskRemaining()
+			if rem <= 0 {
+				k.ex.diskTripped = true
+				return -ENOSPC, false
+			}
+			if int64(len(data)) > rem {
+				data = data[:rem]
+			}
+		}
 		end := int(f.pos) + len(data)
 		if end > len(f.node.data) {
 			grown := make([]byte, end)
@@ -315,6 +377,9 @@ func (k *Kernel) Write(pid int, fd int32, data []byte) (ret int32, blocked bool)
 		}
 		copy(f.node.data[f.pos:], data)
 		f.pos += int32(len(data))
+		if k.ex.diskArmed {
+			k.ex.diskWritten += int64(len(data))
+		}
 		return int32(len(data)), false
 	case filePipe:
 		if f.rdEnd {
@@ -340,16 +405,25 @@ func (k *Kernel) Write(pid int, fd int32, data []byte) (ret int32, blocked bool)
 }
 
 // Pipe implements sys_pipe, returning the read and write descriptors.
+// Pipe creation is all-or-nothing: if the second descriptor does not
+// fit under the table cap, the first is rolled back and EMFILE is
+// returned with no fd leaked. Both ends allocate through install, so
+// the boundary check is identical to Open/Dup's (>= the effective cap)
+// instead of the old separate `+2 >` pre-check.
 func (k *Kernel) Pipe(pid int) (rfd, wfd, errno int32) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	t := k.table(pid)
-	if len(t.files)+2 > MaxFDs {
+	p := &pipe{readers: 1, writers: 1}
+	rfd = k.install(t, &file{kind: filePipe, pipe: p, rdEnd: true})
+	if rfd < 0 {
 		return 0, 0, EMFILE
 	}
-	p := &pipe{readers: 1, writers: 1}
-	rfd = t.install(&file{kind: filePipe, pipe: p, rdEnd: true})
-	wfd = t.install(&file{kind: filePipe, pipe: p})
+	wfd = k.install(t, &file{kind: filePipe, pipe: p})
+	if wfd < 0 {
+		k.closeLocked(t, rfd)
+		return 0, 0, EMFILE
+	}
 	return rfd, wfd, 0
 }
 
@@ -357,7 +431,7 @@ func (k *Kernel) Pipe(pid int) (rfd, wfd, errno int32) {
 func (k *Kernel) Socket(pid int) int32 {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	return k.table(pid).install(&file{kind: fileSocket, sock: &sock{aOpen: true, bOpen: false}})
+	return k.install(k.table(pid), &file{kind: fileSocket, sock: &sock{aOpen: true, bOpen: false}})
 }
 
 // Listen implements sys_listen: binds the descriptor to a port and makes
@@ -398,7 +472,7 @@ func (k *Kernel) Accept(pid int, fd int32) (ret int32, blocked bool) {
 	}
 	s := f.lst.backlog[0]
 	f.lst.backlog = f.lst.backlog[1:]
-	return k.table(pid).install(&file{kind: fileSocket, sock: s}), false
+	return k.install(k.table(pid), &file{kind: fileSocket, sock: s}), false
 }
 
 // Connect implements sys_connect: connects a VM socket to a VM listener

@@ -137,5 +137,9 @@ func (k *Kernel) cloneLocked() *Kernel {
 	for port, l := range k.listeners {
 		out.listeners[port] = cloneListener(l)
 	}
+	// Armed degradation state (disk quota, fd pressure) is plain values:
+	// a struct copy carries it bit-identically, so a kernel restored
+	// mid-degradation keeps failing exactly where the original would.
+	out.ex = k.ex
 	return out
 }

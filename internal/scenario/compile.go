@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"lfi/internal/kernel"
 	"lfi/internal/profile"
 )
 
@@ -67,6 +68,8 @@ type compiledTrigger struct {
 	errno        int32
 	callOriginal bool
 	modify       []Modify
+	delay        uint64
+	exhaust      *Exhaust
 
 	random bool
 	// candidates are the pre-resolved random-fault error codes from the
@@ -152,6 +155,34 @@ func compileTrigger(idx int, t *Trigger, set profile.Set) (compiledTrigger, erro
 			return ct, fmt.Errorf("bad errno %q: neither a known errno name nor a number", t.Errno)
 		}
 		ct.hasErrno, ct.errno = true, v
+	}
+	if t.Delay != nil {
+		if t.Delay.Cycles == 0 {
+			return ct, errors.New(`<delay> needs cycles > 0`)
+		}
+		ct.delay = t.Delay.Cycles
+	}
+	if t.Exhaust != nil {
+		switch t.Exhaust.Resource {
+		case ResourceDisk:
+			if t.Exhaust.Slots != 0 {
+				return ct, errors.New(`<exhaust resource="disk"> takes after=, not slots=`)
+			}
+			if t.Exhaust.After < 0 {
+				return ct, fmt.Errorf("bad disk quota after=%d: must be >= 0", t.Exhaust.After)
+			}
+		case ResourceFDs:
+			if t.Exhaust.After != 0 {
+				return ct, errors.New(`<exhaust resource="fds"> takes slots=, not after=`)
+			}
+			if t.Exhaust.Slots < 0 {
+				return ct, fmt.Errorf("bad fd headroom slots=%d: must be >= 0", t.Exhaust.Slots)
+			}
+		default:
+			return ct, fmt.Errorf("unknown <exhaust> resource %q (want %q or %q)",
+				t.Exhaust.Resource, ResourceDisk, ResourceFDs)
+		}
+		ct.exhaust = t.Exhaust
 	}
 	if t.Random && set != nil {
 		if _, pf, ok := set.FindFunction(t.Function); ok && len(pf.ErrorCodes) > 0 {
@@ -404,7 +435,13 @@ type Decision struct {
 	// CallOriginal passes the (possibly modified) call through.
 	CallOriginal bool
 	Modify       []Modify
-	CallCount    int32
+	// DelayCycles, when non-zero, is latency to charge at the call
+	// boundary before anything else happens (latency injection).
+	DelayCycles uint64
+	// Exhaust, when non-nil, is a resource-exhaustion degradation to arm
+	// in the kernel at this fire.
+	Exhaust   *Exhaust
+	CallCount int32
 	// Scanned counts the triggers examined for this function on this
 	// call; the controller charges virtual cycles proportional to it,
 	// modelling native trigger-evaluation cost. With the compiled
@@ -513,6 +550,8 @@ func (e *Evaluator) fire(ct *compiledTrigger, fn string, n int32) Decision {
 		Errno:        ct.errno,
 		CallOriginal: ct.callOriginal,
 		Modify:       ct.modify,
+		DelayCycles:  ct.delay,
+		Exhaust:      ct.exhaust,
 		CallCount:    n,
 	}
 	if ct.random && len(ct.candidates) > 0 {
@@ -563,6 +602,10 @@ func Lint(plan *Plan, set profile.Set) []string {
 		}
 		if t.Probability > 100 {
 			warn(i, t.Function, "probability %v exceeds 100: fires on every call", t.Probability)
+		}
+		if t.Exhaust != nil && t.Exhaust.Resource == ResourceFDs && int(t.Exhaust.Slots) >= kernel.MaxFDs {
+			warn(i, t.Function, "fd headroom slots=%d >= MaxFDs (%d): the pressure never binds",
+				t.Exhaust.Slots, kernel.MaxFDs)
 		}
 		for j := range t.Conds {
 			t.Conds[j].walk(func(c *Cond) {

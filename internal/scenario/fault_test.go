@@ -1,0 +1,218 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"lfi/internal/kernel"
+)
+
+// The degradation fault models are grammar extensions: they must round-
+// trip XML, validate strictly, alter the canonical key, and leave
+// prefix memoization intact (the fire site is static; only the suffix
+// is stateful).
+
+func TestDelayExhaustRoundTrip(t *testing.T) {
+	src := `<plan>
+  <function name="write" inject="3" once="true">
+    <delay cycles="5000"></delay>
+  </function>
+  <function name="open" inject="1" once="true">
+    <exhaust resource="disk" after="4096"></exhaust>
+  </function>
+  <function name="socket" inject="2" once="true">
+    <exhaust resource="fds" slots="2"></exhaust>
+  </function>
+</plan>`
+	p, err := Unmarshal([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Triggers[0].Delay == nil || p.Triggers[0].Delay.Cycles != 5000 {
+		t.Fatalf("delay not parsed: %+v", p.Triggers[0].Delay)
+	}
+	if x := p.Triggers[1].Exhaust; x == nil || x.Resource != ResourceDisk || x.After != 4096 {
+		t.Fatalf("disk exhaust not parsed: %+v", p.Triggers[1].Exhaust)
+	}
+	if x := p.Triggers[2].Exhaust; x == nil || x.Resource != ResourceFDs || x.Slots != 2 {
+		t.Fatalf("fds exhaust not parsed: %+v", p.Triggers[2].Exhaust)
+	}
+	// Marshal must be a fixed point: unmarshal(marshal(p)) == marshal(p).
+	out, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Unmarshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := p2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != string(out2) {
+		t.Fatalf("marshal not a fixed point:\n%s\nvs\n%s", out, out2)
+	}
+	// A degradation element must not leak into the ,any Conds catch-all.
+	for i, tr := range p.Triggers {
+		if len(tr.Conds) != 0 {
+			t.Fatalf("trigger %d: degradation element landed in Conds: %+v", i, tr.Conds)
+		}
+	}
+}
+
+func TestDelayExhaustValidation(t *testing.T) {
+	bad := []string{
+		`<plan><function name="f"><delay cycles="0"></delay></function></plan>`,
+		`<plan><function name="f"><exhaust resource="disk" slots="1"></exhaust></function></plan>`,
+		`<plan><function name="f"><exhaust resource="disk" after="-1"></exhaust></function></plan>`,
+		`<plan><function name="f"><exhaust resource="fds" after="1"></exhaust></function></plan>`,
+		`<plan><function name="f"><exhaust resource="fds" slots="-1"></exhaust></function></plan>`,
+		`<plan><function name="f"><exhaust resource="ram"></exhaust></function></plan>`,
+	}
+	for _, src := range bad {
+		if _, err := Unmarshal([]byte(src)); err == nil {
+			t.Errorf("Unmarshal accepted invalid degradation: %s", src)
+		}
+	}
+	good := []string{
+		`<plan><function name="f"><exhaust resource="disk" after="0"></exhaust></function></plan>`,
+		`<plan><function name="f"><exhaust resource="fds" slots="0"></exhaust></function></plan>`,
+		`<plan><function name="f" retval="-1" errno="EIO"><delay cycles="7"></delay></function></plan>`,
+	}
+	for _, src := range good {
+		if _, err := Unmarshal([]byte(src)); err != nil {
+			t.Errorf("Unmarshal rejected valid degradation %s: %v", src, err)
+		}
+	}
+}
+
+func TestDelayExhaustCanonicalKey(t *testing.T) {
+	mk := func(mut func(*Trigger)) string {
+		p := &Plan{Triggers: []Trigger{{Function: "write", Inject: 1, Once: true}}}
+		mut(&p.Triggers[0])
+		return p.CanonicalKey()
+	}
+	keys := map[string]string{
+		"plain":  mk(func(*Trigger) {}),
+		"delay1": mk(func(tr *Trigger) { tr.Delay = &Delay{Cycles: 100} }),
+		"delay2": mk(func(tr *Trigger) { tr.Delay = &Delay{Cycles: 200} }),
+		"disk0":  mk(func(tr *Trigger) { tr.Exhaust = &Exhaust{Resource: ResourceDisk} }),
+		"disk4k": mk(func(tr *Trigger) { tr.Exhaust = &Exhaust{Resource: ResourceDisk, After: 4096} }),
+		"fds0":   mk(func(tr *Trigger) { tr.Exhaust = &Exhaust{Resource: ResourceFDs} }),
+		"fds2":   mk(func(tr *Trigger) { tr.Exhaust = &Exhaust{Resource: ResourceFDs, Slots: 2} }),
+	}
+	seen := map[string]string{}
+	for name, k := range keys {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("canonical key collision: %s and %s both %s", prev, name, k)
+		}
+		seen[k] = name
+	}
+}
+
+func TestDegradationTriggerCompilesToPassThrough(t *testing.T) {
+	// A delay/exhaust-only trigger neither returns a value nor modifies
+	// arguments: it must resolve to a pass-through probe, with the
+	// degradation payload on the decision.
+	p, err := Unmarshal([]byte(`<plan>
+  <function name="write" inject="1" once="true">
+    <delay cycles="123"></delay>
+    <exhaust resource="disk" after="64"></exhaust>
+  </function>
+</plan>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(p, nil)
+	d := ev.OnCall("write", nil)
+	if !d.Inject {
+		t.Fatal("trigger did not fire")
+	}
+	if !d.CallOriginal || d.HasRetval {
+		t.Errorf("degradation-only trigger must pass through: %+v", d)
+	}
+	if d.DelayCycles != 123 {
+		t.Errorf("DelayCycles = %d, want 123", d.DelayCycles)
+	}
+	if d.Exhaust == nil || d.Exhaust.Resource != ResourceDisk || d.Exhaust.After != 64 {
+		t.Errorf("Exhaust = %+v", d.Exhaust)
+	}
+	// errno-only + delay keeps the C convention retval -1 with the delay.
+	p2 := MustCompile(&Plan{Triggers: []Trigger{{
+		Function: "read", Inject: 1, Once: true, Errno: "EIO",
+		Delay: &Delay{Cycles: 9},
+	}}}, nil)
+	d2 := p2.NewEvaluator().OnCall("read", nil)
+	if !d2.HasRetval || d2.Retval != -1 || !d2.HasErrno || d2.DelayCycles != 9 {
+		t.Errorf("errno+delay decision = %+v", d2)
+	}
+}
+
+func TestDegradationPlansStayMemoizable(t *testing.T) {
+	p := &Plan{Triggers: []Trigger{{
+		Function: "write", Inject: 3, Once: true,
+		Delay:   &Delay{Cycles: 1000},
+		Exhaust: &Exhaust{Resource: ResourceDisk, After: 0},
+	}}}
+	site, reason := FirstFireSite(p)
+	if reason != "" {
+		t.Fatalf("degradation plan non-memoizable: %q", reason)
+	}
+	if site.Function != "write" || site.Call != 3 {
+		t.Fatalf("site = %+v", site)
+	}
+	if !p.Stateful() {
+		t.Error("Stateful() = false for a degradation plan")
+	}
+	if (&Plan{Triggers: []Trigger{{Function: "write", Retval: "-1"}}}).Stateful() {
+		t.Error("Stateful() = true for a plain errno plan")
+	}
+	// Sticky degradations remain blocked, as every sticky plan is.
+	sticky := &Plan{Triggers: []Trigger{{
+		Function: "write", Sticky: true, Exhaust: &Exhaust{Resource: ResourceDisk},
+	}}}
+	if _, reason := FirstFireSite(sticky); reason != "sticky" {
+		t.Errorf("sticky degradation reason = %q, want sticky", reason)
+	}
+}
+
+func TestLintFDSlotsNeverBind(t *testing.T) {
+	p := &Plan{Triggers: []Trigger{{
+		Function: "open", Inject: 1, Once: true,
+		Exhaust: &Exhaust{Resource: ResourceFDs, Slots: kernel.MaxFDs},
+	}}}
+	warns := Lint(p, nil)
+	found := false
+	for _, w := range warns {
+		if strings.Contains(w, "never binds") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Lint missed slots >= MaxFDs: %v", warns)
+	}
+}
+
+func TestPairwiseMergesDegradationWithErrno(t *testing.T) {
+	a := &Plan{Triggers: []Trigger{{Function: "read", Inject: 1, Once: true, Retval: "-1", Errno: "EIO"}}}
+	b := &Plan{Triggers: []Trigger{{
+		Function: "write", Inject: 1, Once: true,
+		Exhaust: &Exhaust{Resource: ResourceDisk, After: 16},
+	}}}
+	m := Pairwise(a, b)
+	if len(m.Triggers) != 2 {
+		t.Fatalf("merged triggers = %d", len(m.Triggers))
+	}
+	if m.Triggers[1].Exhaust == nil || m.Triggers[1].Exhaust.After != 16 {
+		t.Fatalf("degradation lost in merge: %+v", m.Triggers[1])
+	}
+	// The merge is a deep copy: mutating it must not reach the parents.
+	m.Triggers[1].Exhaust.After = 999
+	if b.Triggers[0].Exhaust.After != 16 {
+		t.Error("Pairwise aliased the parent's Exhaust")
+	}
+	if _, err := Compile(m, nil); err != nil {
+		t.Fatalf("merged plan does not compile: %v", err)
+	}
+}

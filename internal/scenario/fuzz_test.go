@@ -64,6 +64,12 @@ var composedSeeds = []string{
 	`<plan seed="7"><function name="read" retval="-1" calloriginal="false"><and><calls after="2" every="3"></calls><not><pid is="2"></pid></not></and></function></plan>`,
 	`<plan><function name="send" retval="-1" errno="EPIPE" calloriginal="false"><or><cycles min="100" max="9000"></cycles><probability pct="12.5"></probability><stacktrace><frame>0xb824490</frame><frame>flush</frame></stacktrace></or></function></plan>`,
 	`<plan><function name="close" retval="-1" calloriginal="false"><calls until="6"></calls><after-fault function="open" count="2"></after-fault></function><function name="open" retval="-1" errno="EMFILE" calloriginal="false"></function></plan>`,
+	// Stateful degradation fault models: latency injection and resource
+	// exhaustion, alone and combined with errno faults.
+	`<plan><function name="write" inject="3" once="true"><delay cycles="7"></delay></function></plan>`,
+	`<plan><function name="open" inject="1" once="true"><exhaust resource="disk" after="16"></exhaust></function></plan>`,
+	`<plan><function name="open" inject="2" once="true"><exhaust resource="fds" slots="2"></exhaust></function></plan>`,
+	`<plan><function name="read" retval="-1" errno="EIO" calloriginal="false" sticky="true"><delay cycles="5000"></delay><exhaust resource="disk" after="0"></exhaust></function></plan>`,
 }
 
 // FuzzPlanCompileEval is the engine-level target: any faultload that

@@ -130,6 +130,27 @@ func (cp *CompiledPlan) FirstFireSite() (FireSite, string) {
 	return FirstFireSite(cp.plan)
 }
 
+// Stateful reports whether the plan carries stateful degradation
+// faults (<delay> or <exhaust>) — faults whose effect persists beyond
+// the fired call. Statefulness does NOT block prefix memoization: a
+// degradation only acts at or after its trigger's fire site, so the
+// shared prefix (calls 1..N-1, strictly pre-fire) carries no armed
+// state and is identical across every plan mapped to the same site.
+// What statefulness rules out is sharing anything at or beyond the
+// fire — the suffix is private per experiment, which is exactly the
+// memoization scheme's shape already.
+func (p *Plan) Stateful() bool {
+	if p == nil {
+		return false
+	}
+	for i := range p.Triggers {
+		if p.Triggers[i].Delay != nil || p.Triggers[i].Exhaust != nil {
+			return true
+		}
+	}
+	return false
+}
+
 // EvalState is the exportable mutable state of an Evaluator: per-
 // function call counts, per-trigger once-latches and per-function fault
 // counts. State/SetState move it between evaluators of the same

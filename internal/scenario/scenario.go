@@ -115,11 +115,57 @@ type Trigger struct {
 	// has fired — a persistent fault (disk full, exhausted heap) rather
 	// than a transient one. Contradicts Once.
 	Sticky bool `xml:"sticky,attr,omitempty"`
+	// Delay, when present, charges the given number of guest cycles at
+	// the intercepted call boundary every time the trigger fires — the
+	// latency-injection fault model. The delay is charged before the
+	// original proceeds (or before the errno return), so cycle budgets,
+	// <cycles> windows and hang classification all see it.
+	Delay *Delay `xml:"delay"`
+	// Exhaust, when present, arms a stateful resource-exhaustion fault
+	// in the kernel at fire time: a disk-byte quota (ENOSPC) or
+	// fd-table pressure (EMFILE). See Exhaust.
+	Exhaust *Exhaust `xml:"exhaust"`
 	// Conds is the composable condition tree: any number of condition
 	// elements (<and>, <or>, <not>, <calls>, <cycles>, <pid>,
 	// <probability>, <stacktrace>, <after-fault>) as direct children of
 	// <function>, ANDed with each other and the flat attributes above.
 	Conds []Cond `xml:",any"`
+}
+
+// Exhaustible resources an <exhaust> fault can degrade.
+const (
+	// ResourceDisk arms a byte quota: once `after` bytes have been
+	// written post-fire, Write and creating Open return ENOSPC.
+	ResourceDisk = "disk"
+	// ResourceFDs shrinks the fd-table headroom to `slots` free
+	// descriptors at fire time; allocations beyond it return EMFILE.
+	ResourceFDs = "fds"
+)
+
+// Delay is the latency-injection fault: <delay cycles="N"> charges N
+// guest cycles at the call boundary each time its trigger fires.
+type Delay struct {
+	Cycles uint64 `xml:"cycles,attr"`
+}
+
+// Exhaust is the resource-exhaustion fault: <exhaust resource="disk"
+// after="K"/> or <exhaust resource="fds" slots="K"/>. Unlike a one-shot
+// errno store, it is stateful — firing arms a degradation in the
+// kernel that persists for the rest of the run (and is carried through
+// kernel snapshots and controller checkpoints). A sticky trigger
+// re-arms on every call, resetting the quota each time.
+type Exhaust struct {
+	// Resource is ResourceDisk or ResourceFDs.
+	Resource string `xml:"resource,attr"`
+	// After is the disk-byte quota: writes beyond it (counted from the
+	// moment the trigger fires) fail with ENOSPC. 0 means the disk is
+	// full immediately. Only valid with resource="disk".
+	After int64 `xml:"after,attr,omitempty"`
+	// Slots is the fd-table headroom left at fire time: descriptor
+	// allocations beyond the current population plus Slots fail with
+	// EMFILE. 0 saturates the table immediately. Only valid with
+	// resource="fds".
+	Slots int32 `xml:"slots,attr,omitempty"`
 }
 
 // StackTrace is the partial-backtrace condition of a trigger.
@@ -173,6 +219,14 @@ func (p *Plan) Clone() *Plan {
 func (t Trigger) Clone() Trigger {
 	if t.Stacktrace != nil {
 		t.Stacktrace = &StackTrace{Frames: append([]string(nil), t.Stacktrace.Frames...)}
+	}
+	if t.Delay != nil {
+		d := *t.Delay
+		t.Delay = &d
+	}
+	if t.Exhaust != nil {
+		x := *t.Exhaust
+		t.Exhaust = &x
 	}
 	t.Modify = append([]Modify(nil), t.Modify...)
 	if t.Conds != nil {

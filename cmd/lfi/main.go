@@ -14,6 +14,7 @@
 //	lfi plan -check plan.xml [-profile libc.profile.xml]
 //	lfi sweep -app app.slef -lib libc.slef -profile libc.profile.xml -j 8 -snapshot -prune
 //	lfi sweep ... -store campaign/ -resume -triage -escalate
+//	lfi sweep -avail minidb -j 8 -snapshot -store campaign/ -triage
 //	lfi disasm lib.slef [-func name]
 //	lfi cfg lib.slef -func name [-dot]
 //	lfi demo
@@ -26,6 +27,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"lfi/internal/apps"
 	"lfi/internal/campaign"
 	"lfi/internal/cfg"
 	"lfi/internal/core"
@@ -304,6 +306,16 @@ func checkPlan(path string, set profile.Set) error {
 			}
 		}
 	}
+	// Fire phase: whether the first injection can hit initialization
+	// paths or only lands on a guest already serving traffic — the
+	// distinction availability sweeps arrange with <calls after> windows.
+	phase, evidence := cp.FirePhase()
+	switch phase {
+	case scenario.PhaseNever:
+		fmt.Println("fire phase: never (no triggers)")
+	default:
+		fmt.Printf("fire phase: %s (%s)\n", phase, evidence)
+	}
 	if site, reason := cp.FirstFireSite(); reason == "" {
 		fmt.Printf("memo: deterministic first-fire site %s@call %d — snapshot sweeps share the pre-fault prefix\n",
 			site.Function, site.Call)
@@ -397,6 +409,54 @@ func cmdRun(args []string) error {
 	return nil
 }
 
+// availTarget assembles the traffic-driven availability campaign for a
+// built-in server guest: libc, the server (plus its worker binary for
+// the multi-process httpd), and the generated client driver that pumps
+// phased request traffic through the kernel's loopback sockets. The
+// fault space is restricted to the server-side calls every request
+// exercises, so a <calls after=N> window lands mid-steady-state.
+func availTarget(server string) (core.CampaignConfig, profile.Set, error) {
+	var fns, extra []string
+	switch server {
+	case "minidb", "minidb-nr":
+		fns = []string{"accept", "write"}
+	case "httpd":
+		fns = []string{"accept", "open"}
+	case "httpd-mp":
+		fns = []string{"accept", "open"}
+		extra = []string{"httpdw"}
+	default:
+		return core.CampaignConfig{}, nil, fmt.Errorf(
+			"sweep: -avail %q is not a built-in server guest (want minidb, minidb-nr, httpd or httpd-mp)", server)
+	}
+	lc, err := libc.Compile()
+	if err != nil {
+		return core.CampaignConfig{}, nil, err
+	}
+	client := apps.AvailClientName(server)
+	progs := []*obj.File{lc}
+	for _, n := range append([]string{server, client}, extra...) {
+		f, err := apps.Compile(n)
+		if err != nil {
+			return core.CampaignConfig{}, nil, fmt.Errorf("sweep: compile %s: %w", n, err)
+		}
+		progs = append(progs, f)
+	}
+	p := &profile.Profile{Library: libc.Name}
+	for _, fn := range fns {
+		p.Functions = append(p.Functions, profile.Function{
+			Name: fn, ErrorCodes: []profile.ErrorCode{{Retval: -1}},
+		})
+	}
+	cfg := core.CampaignConfig{
+		Programs:   progs,
+		Executable: client,
+		Files:      apps.WWWFiles(),
+		Avail:      &core.AvailSpec{Client: client},
+	}
+	return cfg, profile.Set{libc.Name: p}, nil
+}
+
 // cmdSweep runs the §2 robustness benchmark: one fault-injection
 // campaign per (function, error code) in the profiles, distributed over a
 // worker pool, rendered as the per-fault outcome matrix. Profiles may be
@@ -418,6 +478,7 @@ func cmdSweep(args []string) error {
 	memoBudget := fs.Int64("memo-budget", 0, "prefix snapshot cache budget in bytes (0 = default 256 MiB)")
 	prune := fs.Bool("prune", false, "skip experiments whose function the baseline never calls (coverage-informed)")
 	faults := fs.String("faults", "errno", "fault models to sweep: errno (error-return stores), degradation (latency + resource exhaustion), or all")
+	avail := fs.String("avail", "", "traffic-driven availability sweep against a built-in server guest (minidb, minidb-nr, httpd, httpd-mp); replaces -app/-lib/-profile/-faults")
 	engine := fs.String("engine", "", "VM execution engine: block (default) or step (reference interpreter)")
 	storeDir := fs.String("store", "", "persistent campaign store directory (append-only JSONL, written live)")
 	resume := fs.Bool("resume", false, "skip experiments already completed in -store (report stays byte-identical)")
@@ -444,31 +505,43 @@ func cmdSweep(args []string) error {
 	if err := vm.SetDefaultEngine(*engine); err != nil {
 		return fmt.Errorf("sweep: %w", err)
 	}
-	if *app == "" {
-		return fmt.Errorf("sweep: -app is required")
-	}
-	programs, err := loadPrograms(*app, *libFlag)
-	if err != nil {
-		return err
+	if *app == "" && *avail == "" {
+		return fmt.Errorf("sweep: -app is required (or -avail <server>)")
 	}
 
 	var set profile.Set
-	if *profiles != "" {
-		if set, err = loadProfileSet(*profiles); err != nil {
+	var cfgC core.CampaignConfig
+	if *avail != "" {
+		var err error
+		if cfgC, set, err = availTarget(*avail); err != nil {
 			return err
 		}
 	} else {
-		l := core.New(core.Options{Heuristics: *heur})
-		if err := l.AddKernelImage(); err != nil {
+		programs, err := loadPrograms(*app, *libFlag)
+		if err != nil {
 			return err
 		}
-		for _, f := range programs {
-			if err := l.AddLibrary(f); err != nil {
+		if *profiles != "" {
+			if set, err = loadProfileSet(*profiles); err != nil {
+				return err
+			}
+		} else {
+			l := core.New(core.Options{Heuristics: *heur})
+			if err := l.AddKernelImage(); err != nil {
+				return err
+			}
+			for _, f := range programs {
+				if err := l.AddLibrary(f); err != nil {
+					return err
+				}
+			}
+			if set, err = l.ProfileApplication(programs[0].Name); err != nil {
 				return err
 			}
 		}
-		if set, err = l.ProfileApplication(programs[0].Name); err != nil {
-			return err
+		cfgC = core.CampaignConfig{
+			Programs:   programs,
+			Executable: programs[0].Name,
 		}
 	}
 	if len(set) == 0 {
@@ -488,6 +561,7 @@ func cmdSweep(args []string) error {
 
 	var store *campaign.Store
 	if *storeDir != "" {
+		var err error
 		if store, err = campaign.Open(*storeDir); err != nil {
 			return err
 		}
@@ -496,17 +570,17 @@ func cmdSweep(args []string) error {
 		return fmt.Errorf("sweep: -resume, -triage and -escalate need -store")
 	}
 
-	cfgC := core.CampaignConfig{
-		Programs:   programs,
-		Executable: programs[0].Name,
-	}
 	var exps []core.Experiment
-	switch *faults {
-	case "errno":
+	switch {
+	case *avail != "":
+		// The availability matrix carries its own fault models (one-shot
+		// errno + delay + exhaustion), windowed mid-steady-state.
+		exps = core.AvailabilityExperiments(set, apps.AvailAfter)
+	case *faults == "errno":
 		exps = core.PlanExperiments(set)
-	case "degradation":
+	case *faults == "degradation":
 		exps = core.DegradationExperiments(set)
-	case "all":
+	case *faults == "all":
 		exps = append(core.PlanExperiments(set), core.DegradationExperiments(set)...)
 	default:
 		return fmt.Errorf("sweep: unknown -faults %q (want errno, degradation or all)", *faults)

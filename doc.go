@@ -206,6 +206,45 @@
 // experiments.FaultModels (BENCH_faults.json) compares the two models'
 // outcome profiles over the corpus.
 //
+// # Availability under fault
+//
+// The robustness question is also asked of services, not just
+// processes (internal/apps, internal/core availability.go). The guest
+// corpus carries long-running request/response servers — minidb, a
+// WAL-backed transaction server whose append path retries a failed
+// write (and minidb-nr, the same server with the retry compiled out),
+// and httpd-mp, a master fanning requests out to pipe workers with
+// failover — each paired with a generated MiniC traffic client that
+// pumps phased request traffic (warmup, steady state, post-fault
+// probe, a trailing tail window) through the kernel's loopback
+// sockets on the deterministic cycle clock. CampaignConfig.Avail
+// names the client; faults open mid-steady-state via <calls after=N>
+// windows (core.AvailabilityExperiments generates the matrix: per
+// profiled server call one one-shot errno fault plus moderate delay,
+// budget-length delay, persistent disk exhaustion and fd-table
+// saturation), and after the run the client's per-phase counters are
+// read out of guest memory and classified (core.ClassifyAvail):
+// recovered (post-fault probe clean, cycles within a latency envelope
+// of the baseline), degraded (still answering, but with error replies
+// or elevated latency), lost (requests dropped, then restored),
+// wedged (stopped answering before the phases completed) or crashed
+// (a server process died — the crash stack comes from the dead server,
+// not the client). Classification happens in exactly one place on
+// every executor path, so availability reports stay byte-identical
+// across engines, worker counts, fresh/CoW/flat restores, memo
+// settings and -store/-resume (scripts/availcheck.sh, in CI).
+// served=warmup/steady/post counts persist in campaign records,
+// -triage clusters non-recovered runs by (availability class, stack
+// hash), `lfi sweep -avail <server>` runs the matrix from the CLI,
+// and experiments.Availability (BENCH_availability.json,
+// examples/availability) records the flagship comparison: the WAL
+// retry absorbs a one-shot write errno (recovered) where the
+// non-retrying server degrades permanently — and neither retry helps
+// against a disk that stays full (degraded) or a call stalled past
+// the budget (wedged). Where a resource fault is armed matters as
+// much as which resource: fd pressure at accept wedges the service,
+// at write it never binds.
+//
 // The determinism contract is unchanged and oracle-enforced: both
 // engines are decision-for-decision identical — same round-robin
 // scheduling and time-slice splits (superblocks are divided at the

@@ -16,6 +16,7 @@ package apps
 
 import (
 	"fmt"
+	"strings"
 
 	"lfi/internal/minic"
 	"lfi/internal/obj"
@@ -36,6 +37,8 @@ extern int write(int fd, byte *buf, int n);
 extern int socket(int domain);
 extern int listen(int fd, int port);
 extern int accept(int fd);
+extern int connect(int fd, int port);
+extern int yield(void);
 extern int send(int fd, byte *buf, int n);
 extern int recv(int fd, byte *buf, int n);
 extern byte *malloc(int n);
@@ -145,11 +148,204 @@ int main(void) {
     if (n <= 0) { close(cfd); continue; }
     req[n] = 0;
     requests = requests + 1;
+    if (strncmp(req, "GET /quit", 9) == 0) {
+      // Orderly shutdown, for traffic drivers that outlive the server.
+      send(cfd, "200 bye\n\n", 9);
+      close(cfd);
+      exit(0);
+    }
     if (strncmp(req, "GET /app.php", 12) == 0) {
       handle_php(cfd);
     } else {
       handle_static(cfd, "/www/index.html");
     }
+    close(cfd);
+  }
+  return 0;
+}
+`
+
+// HttpdWorkerSource is the request-processing child of the multi-process
+// web server. It reads one newline-terminated request line per turn from
+// fd 0, performs the file and render work of the single-process httpd,
+// and writes a (4-byte length, body) response frame to fd 1. EOF on the
+// request pipe is the master's shutdown signal.
+const HttpdWorkerSource = commonHeader + `
+static int render(byte *buf, int n, int rounds) {
+  int r;
+  int i;
+  int acc;
+  acc = 0;
+  for (r = 0; r < rounds; r = r + 1) {
+    for (i = 0; i < n; i = i + 1) {
+      acc = acc + buf[i];
+      acc = acc ^ (acc << 1);
+    }
+  }
+  return acc;
+}
+
+static int work_static(byte *resp) {
+  int fd;
+  int n;
+  byte fbuf[256];
+  int i;
+  fd = open("/www/index.html", 0, 0);
+  if (fd < 0) {
+    resp[0] = '4'; resp[1] = '0'; resp[2] = '4'; resp[3] = ' ';
+    resp[4] = 10; resp[5] = 10;
+    return 6;
+  }
+  n = read(fd, fbuf, 255);
+  if (n < 0) { n = 0; }
+  close(fd);
+  render(fbuf, n, 8);
+  resp[0] = '2'; resp[1] = '0'; resp[2] = '0'; resp[3] = ' ';
+  for (i = 0; i < n; i = i + 1) { resp[4 + i] = fbuf[i]; }
+  resp[4 + n] = 10;
+  resp[5 + n] = 10;
+  return 6 + n;
+}
+
+static int work_php(byte *resp) {
+  int i;
+  int fd;
+  int n;
+  int total;
+  int len;
+  byte fbuf[128];
+  total = 0;
+  for (i = 0; i < 20; i = i + 1) {
+    fd = open("/www/inc.php", 0, 0);
+    if (fd < 0) { continue; }
+    n = read(fd, fbuf, 127);
+    if (n > 0) {
+      total = total + n;
+      render(fbuf, n, 10);
+    }
+    close(fd);
+  }
+  resp[0] = '2'; resp[1] = '0'; resp[2] = '0'; resp[3] = ' ';
+  len = 4 + itoa(total, resp + 4);
+  resp[len] = 10;
+  resp[len + 1] = 10;
+  return len + 2;
+}
+
+int main(void) {
+  int n;
+  int len;
+  byte req[256];
+  byte resp[300];
+  while (1) {
+    n = read(0, req, 255);
+    if (n <= 0) { exit(0); }
+    req[n] = 0;
+    if (strncmp(req, "GET /app.php", 12) == 0) {
+      len = work_php(resp);
+    } else {
+      len = work_static(resp);
+    }
+    write(1, &len, 4);
+    write(1, resp, len);
+  }
+  return 0;
+}
+`
+
+// HttpdMPSource is the multi-process web server: an accepting master
+// that spawns two HttpdWorkerSource children and round-robins request
+// lines to them over pipes (the Apache prefork shape). A worker that
+// dies mid-request is detected by EOF on its response pipe and retired;
+// the master fails the request over to the surviving worker, and serves
+// "500 " once no workers remain — it degrades instead of wedging.
+// "GET /quit" shuts the pool down: close the request pipes, reap the
+// children, exit.
+const HttpdMPSource = commonHeader + `
+int rq[4];
+int rs[4];
+int dead[2];
+int wpid[2];
+
+static int read_full(int fd, byte *dst, int want) {
+  int got;
+  int n;
+  got = 0;
+  while (got < want) {
+    n = read(fd, dst + got, want - got);
+    if (n < 0) { continue; }
+    if (n == 0) { return got; }
+    got = got + n;
+  }
+  return got;
+}
+
+static int mp_ask(int w, byte *req, int n, byte *resp) {
+  int len;
+  if (dead[w] == 1) { return -1; }
+  if (write(rq[w * 2 + 1], req, n) < 0) { dead[w] = 1; return -1; }
+  if (read_full(rs[w * 2], &len, 4) != 4) { dead[w] = 1; return -1; }
+  if (len < 1 || len > 299) { dead[w] = 1; return -1; }
+  if (read_full(rs[w * 2], resp, len) != len) { dead[w] = 1; return -1; }
+  return len;
+}
+
+int main(void) {
+  int lfd;
+  int cfd;
+  int n;
+  int w;
+  int st;
+  int len;
+  int p[2];
+  byte req[256];
+  byte resp[300];
+  if (pipe(p) != 0) { return 1; }
+  rq[0] = p[0]; rq[1] = p[1];
+  if (pipe(p) != 0) { return 1; }
+  rs[0] = p[0]; rs[1] = p[1];
+  if (pipe(p) != 0) { return 1; }
+  rq[2] = p[0]; rq[3] = p[1];
+  if (pipe(p) != 0) { return 1; }
+  rs[2] = p[0]; rs[3] = p[1];
+  wpid[0] = spawn("httpdw", rq[0], rs[1]);
+  wpid[1] = spawn("httpdw", rq[2], rs[3]);
+  if (wpid[0] < 0 || wpid[1] < 0) { return 2; }
+  // Drop the worker-side pipe ends: a dead worker must surface as EOF
+  // on its response pipe and EPIPE on its request pipe, not a master
+  // blocked on its own still-open copies.
+  close(rq[0]);
+  close(rq[2]);
+  close(rs[1]);
+  close(rs[3]);
+  lfd = socket(1);
+  if (lfd < 0) { return 3; }
+  if (listen(lfd, 80) != 0) { return 4; }
+  w = 0;
+  while (1) {
+    cfd = accept(lfd);
+    if (cfd < 0) { continue; }
+    n = recv(cfd, req, 255);
+    if (n <= 0) { close(cfd); continue; }
+    req[n] = 0;
+    if (strncmp(req, "GET /quit", 9) == 0) {
+      send(cfd, "200 bye\n\n", 9);
+      close(cfd);
+      close(rq[1]);
+      close(rq[3]);
+      waitpid(wpid[0], &st);
+      waitpid(wpid[1], &st);
+      exit(0);
+    }
+    len = mp_ask(w, req, n, resp);
+    if (len < 0) { len = mp_ask(1 - w, req, n, resp); }
+    w = 1 - w;
+    if (len < 0) {
+      send(cfd, "500 \n\n", 6);
+      close(cfd);
+      continue;
+    }
+    send(cfd, resp, len);
     close(cfd);
   }
   return 0;
@@ -164,15 +360,26 @@ int main(void) {
 //
 // Protocol: one connection per transaction; the command string is a
 // space-separated token list: "R <k>" reads key k, "W <k> <v>" writes,
-// "A" runs admin stats, "C" commits. The reply is "OK <sum>\n".
+// "A" runs admin stats, "C" commits, "Q" shuts the server down after
+// replying. The reply is "OK <sum>\n", or "ERR <sum>\n" when the
+// transaction's WAL append failed — durability is part of the contract,
+// so a client-visible error is the honest answer.
+//
+// cfg_retry selects the recovery policy: 1 retries/reopens the WAL on
+// append failures (the production build); 0 gives up on the first
+// failure (MinidbNRSource) — the pair behind the availability
+// comparison of retrying vs non-retrying servers.
 const MinidbSource = commonHeader + `
 int table[512];
 int wal_fd = -1;
+int cfg_retry = 1;
 int wal_failures = 0;
 int wal_shorts = 0;
 int wal_lost = 0;
 int stats_reads = 0;
 int stats_writes = 0;
+int txn_werr = 0;
+int quit_req = 0;
 
 // ---- wal module ----
 
@@ -237,6 +444,11 @@ static int wal_append(int k, int v) {
   if (wal_fd < 0) { return -1; }
   n = write(wal_fd, rec, len);
   if (n < 0) {
+    if (cfg_retry == 0) {
+      // Non-retrying build: the first append failure retires the WAL.
+      wal_giveup();
+      return -1;
+    }
     if (errno == 4) {
       // EINTR: retry once, the common recovery idiom.
       n = write(wal_fd, rec, len);
@@ -246,6 +458,10 @@ static int wal_append(int k, int v) {
     return -1;
   }
   if (n < len) {
+    if (cfg_retry == 0) {
+      wal_giveup();
+      return -1;
+    }
     wal_short_write(n, len);
     return -1;
   }
@@ -389,7 +605,13 @@ static int parse_exec(int cfd, byte *cmd, int len) {
       k = parse_int(cmd, &pos);
       v = parse_int(cmd, &pos);
       tbl_put(k, v);
-      wal_append(k, v);
+      if (wal_append(k, v) != 0) { txn_werr = 1; }
+      continue;
+    }
+    if (cmd[pos] == 'Q') {
+      // Shutdown: reply to this transaction, then exit the serve loop.
+      pos = pos + 1;
+      quit_req = 1;
       continue;
     }
     if (cmd[pos] == 'A') {
@@ -425,6 +647,16 @@ static int parse_exec(int cfd, byte *cmd, int len) {
 static int net_reply(int cfd, int sum) {
   byte out[32];
   int len;
+  if (txn_werr == 1) {
+    // The transaction lost durability: tell the client.
+    out[0] = 'E';
+    out[1] = 'R';
+    out[2] = 'R';
+    out[3] = ' ';
+    len = 4 + itoa(sum, out + 4);
+    out[len] = 10;
+    return send(cfd, out, len + 1);
+  }
   out[0] = 'O';
   out[1] = 'K';
   out[2] = ' ';
@@ -443,6 +675,7 @@ static int net_serve(int lfd) {
   n = recv(cfd, cmd, 255);
   if (n <= 0) { close(cfd); return -1; }
   cmd[n] = 0;
+  txn_werr = 0;
   sum = parse_exec(cfd, cmd, n);
   if (net_reply(cfd, sum) < 0) {
     // Reply failed: nothing to recover, the client sees a dead conn.
@@ -461,6 +694,7 @@ int main(void) {
   if (listen(lfd, 3306) != 0) { return 3; }
   while (1) {
     net_serve(lfd);
+    if (quit_req == 1) { exit(0); }
   }
   return 0;
 }
@@ -545,19 +779,240 @@ int main(void) {
 }
 `
 
+// MinidbNRSource is the non-retrying minidb build: identical to
+// MinidbSource except that the first WAL append failure permanently
+// retires the log (cfg_retry = 0). The availability experiments sweep
+// both builds to measure what the retry actually buys.
+var MinidbNRSource = strings.Replace(MinidbSource,
+	"int cfg_retry = 1;", "int cfg_retry = 0;", 1)
+
+// Availability traffic phases, in requests. The generated client pumps
+// Warm requests to warm the server up, Steady requests during which the
+// faultload fires, and Post requests that probe recovery; the last Tail
+// of the post phase is the restored-service window the "lost" class
+// checks. AvailAfter is the call-window offset availability faultloads
+// arm (`<calls after>`): past warmup, inside the steady phase, for
+// every server function the traffic exercises each request.
+const (
+	AvailWarm   = 200
+	AvailSteady = 600
+	AvailPost   = 400
+	AvailTail   = 100
+	AvailAfter  = 250
+)
+
+// AvailClientName returns the program name of the generated traffic
+// client for a server ("minidb" -> "minidb-drv").
+func AvailClientName(server string) string { return server + "-drv" }
+
+// availClientTemplate is the synthetic traffic driver: it spawns the
+// server, pumps the three availability phases through loopback sockets
+// on the deterministic cycle clock, counts per-phase outcomes in the
+// av_* globals the host reads back after the run, then shuts the
+// server down and reaps it. One connection per request; each request
+// resolves three ways — served (success reply), answered with an error
+// status (the service is up but failing), or unanswered (connect
+// exhaustion, send failure, or EOF before a reply) — because the
+// availability classifier must tell a server that answers ERR
+// (degraded) from one that has stopped answering (wedged).
+const availClientTemplate = commonHeader + `
+int av_warm_ok = 0;
+int av_warm_fail = 0;
+int av_warm_err = 0;
+int av_steady_ok = 0;
+int av_steady_fail = 0;
+int av_steady_err = 0;
+int av_post_ok = 0;
+int av_post_fail = 0;
+int av_post_err = 0;
+int av_tail_fail = 0;
+int av_done = 0;
+int srv_up = 0;
+
+@BUILDREQ@
+
+// req_once returns 2 when the request was served, 1 when the server
+// answered with an error status, 0 when it never answered.
+static int req_once(int i) {
+  int fd;
+  int n;
+  int got;
+  int tries;
+  int len;
+  int cap;
+  byte req[48];
+  byte buf[64];
+  len = build_req(i, req);
+  fd = socket(1);
+  if (fd < 0) { return 0; }
+  // Before the first successful connect the server may still be
+  // starting up: retry across several scheduler rounds. Afterwards a
+  // refused connect means the listener is gone; fail fast.
+  tries = 0;
+  cap = 8;
+  if (srv_up == 0) { cap = 1500; }
+  while (connect(fd, @PORT@) != 0) {
+    tries = tries + 1;
+    if (tries > cap) { close(fd); return 0; }
+    yield();
+  }
+  srv_up = 1;
+  if (send(fd, req, len) < 0) { close(fd); return 0; }
+  got = 0;
+  while (got < 63) {
+    n = recv(fd, buf + got, 63 - got);
+    if (n <= 0) { break; }
+    got = got + n;
+    if (buf[got - 1] == 10) { break; }
+  }
+  close(fd);
+  if (got < 1) { return 0; }
+  if (buf[0] != '@OK@') { return 1; }
+  return 2;
+}
+
+static void quit_server(void) {
+  int fd;
+  int tries;
+  int n;
+  byte buf[32];
+  fd = socket(1);
+  if (fd < 0) { return; }
+  tries = 0;
+  while (connect(fd, @PORT@) != 0) {
+    tries = tries + 1;
+    if (tries > 8) { close(fd); return; }
+    yield();
+  }
+  send(fd, @QUIT@);
+  // Wait for the goodbye (or EOF) so the server gets its shutdown turn.
+  n = recv(fd, buf, 31);
+  close(fd);
+}
+
+int main(void) {
+  int pid;
+  int i;
+  int st;
+  int r;
+  pid = spawn("@SERVER@", 0, 0);
+  if (pid < 0) { return 9; }
+  for (i = 0; i < @WARM@; i = i + 1) {
+    r = req_once(i);
+    if (r == 2) { av_warm_ok = av_warm_ok + 1; }
+    if (r == 1) { av_warm_err = av_warm_err + 1; }
+    if (r == 0) { av_warm_fail = av_warm_fail + 1; }
+  }
+  for (i = 0; i < @STEADY@; i = i + 1) {
+    r = req_once(@WARM@ + i);
+    if (r == 2) { av_steady_ok = av_steady_ok + 1; }
+    if (r == 1) { av_steady_err = av_steady_err + 1; }
+    if (r == 0) { av_steady_fail = av_steady_fail + 1; }
+  }
+  for (i = 0; i < @POST@; i = i + 1) {
+    r = req_once(@WARM@ + @STEADY@ + i);
+    if (r == 2) { av_post_ok = av_post_ok + 1; }
+    if (r == 1) { av_post_err = av_post_err + 1; }
+    if (r == 0) { av_post_fail = av_post_fail + 1; }
+    if (r != 2) {
+      if (i >= @POST@ - @TAIL@) { av_tail_fail = av_tail_fail + 1; }
+    }
+  }
+  quit_server();
+  waitpid(pid, &st);
+  av_done = 1;
+  return 0;
+}
+`
+
+// dbBuildReq writes one minidb transaction per request — always a
+// write, so every request exercises the WAL durability path.
+const dbBuildReq = `static int build_req(int i, byte *req) {
+  int len;
+  int k;
+  k = i % 64;
+  req[0] = 'W';
+  req[1] = ' ';
+  len = 2 + itoa(k, req + 2);
+  req[len] = ' ';
+  len = len + 1;
+  len = len + itoa(k + 7, req + len);
+  req[len] = ' ';
+  req[len + 1] = 'C';
+  req[len + 2] = 10;
+  return len + 3;
+}`
+
+// httpBuildReq requests the static page each time.
+const httpBuildReq = `static int build_req(int i, byte *req) {
+  int j;
+  byte *s;
+  s = "GET /index.html\n";
+  j = 0;
+  while (s[j] != 0) { req[j] = s[j]; j = j + 1; }
+  return j;
+}`
+
+// AvailClientSource generates the traffic client for one of the server
+// applications.
+func AvailClientSource(server string) (string, error) {
+	var port int32
+	var ok byte
+	var build, quit string
+	switch server {
+	case "minidb", "minidb-nr":
+		port, ok, build = DBPort, 'O', dbBuildReq
+		quit = `"Q\n", 2`
+	case "httpd", "httpd-mp":
+		port, ok, build = HTTPPort, '2', httpBuildReq
+		quit = `"GET /quit\n", 10`
+	default:
+		return "", fmt.Errorf("apps: no availability client for %q", server)
+	}
+	r := strings.NewReplacer(
+		"@BUILDREQ@", build,
+		"@PORT@", fmt.Sprint(port),
+		"@OK@", string(ok),
+		"@QUIT@", quit,
+		"@SERVER@", server,
+		"@WARM@", fmt.Sprint(AvailWarm),
+		"@STEADY@", fmt.Sprint(AvailSteady),
+		"@POST@", fmt.Sprint(AvailPost),
+		"@TAIL@", fmt.Sprint(AvailTail),
+	)
+	return r.Replace(availClientTemplate), nil
+}
+
 // Compile builds one of the applications by name.
 func Compile(name string) (*obj.File, error) {
 	var src string
 	switch name {
 	case "httpd":
 		src = HttpdSource
+	case "httpd-mp":
+		src = HttpdMPSource
+	case "httpdw":
+		src = HttpdWorkerSource
 	case "minidb":
 		src = MinidbSource
+	case "minidb-nr":
+		src = MinidbNRSource
 	case "pidgin":
 		src = PidginSource
 	case "resolver":
 		src = ResolverSource
 	default:
+		if server, ok := strings.CutSuffix(name, "-drv"); ok {
+			src, err := AvailClientSource(server)
+			if err != nil {
+				return nil, err
+			}
+			f, err := minic.Compile(name, src, obj.Executable)
+			if err != nil {
+				return nil, fmt.Errorf("apps: compiling %s: %w", name, err)
+			}
+			return f, nil
+		}
 		return nil, fmt.Errorf("apps: unknown application %q", name)
 	}
 	f, err := minic.Compile(name, src, obj.Executable)

@@ -55,6 +55,15 @@ type Record struct {
 	DelayCycles    uint64 `json:"delay_cycles,omitempty"`
 	Exhausted      string `json:"exhausted,omitempty"`
 	ExhaustTripped bool   `json:"exhaust_tripped,omitempty"`
+
+	// Availability payload (sweeps driven by a traffic client): the
+	// run's availability class and the requests served before/during/
+	// after the fault window. Empty/zero for non-availability sweeps,
+	// so pre-availability stores parse (and resume) unchanged.
+	Avail       string `json:"avail,omitempty"`
+	AvailBefore int32  `json:"avail_before,omitempty"`
+	AvailDuring int32  `json:"avail_during,omitempty"`
+	AvailAfter  int32  `json:"avail_after,omitempty"`
 }
 
 // NewRecord distils one executed experiment into its persistent form.
@@ -72,6 +81,11 @@ func NewRecord(exp *core.Experiment, entry core.SweepEntry, rep *core.Report) Re
 		Outcome:  string(entry.Outcome),
 		ExitCode: entry.ExitCode,
 		Signal:   entry.Signal,
+
+		Avail:       string(entry.Avail),
+		AvailBefore: entry.AvailBefore,
+		AvailDuring: entry.AvailDuring,
+		AvailAfter:  entry.AvailAfter,
 	}
 	if rep != nil {
 		r.Injections = len(rep.Injections)
@@ -114,6 +128,11 @@ func (r Record) Entry() core.SweepEntry {
 		Outcome:  core.Outcome(r.Outcome),
 		ExitCode: r.ExitCode,
 		Signal:   r.Signal,
+
+		Avail:       core.AvailClass(r.Avail),
+		AvailBefore: r.AvailBefore,
+		AvailDuring: r.AvailDuring,
+		AvailAfter:  r.AvailAfter,
 	}
 }
 

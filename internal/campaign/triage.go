@@ -15,8 +15,13 @@ import (
 type Cluster struct {
 	// StackHash identifies the failure site (controller.StackHash over
 	// the crash backtrace); "unknown" groups crashes with no recorded
-	// stack.
+	// stack. Availability records prefix it with their class
+	// ("wedged", "degraded+<hash>", ...) so service-level failure modes
+	// cluster apart from each other and from plain crashes.
 	StackHash string
+	// Avail is the availability class shared by the cluster's members;
+	// empty for plain crash clusters.
+	Avail string
 	// CrashStack is the representative backtrace, innermost frame first
 	// (taken from the lexicographically smallest member key, so it is
 	// deterministic across runs).
@@ -33,12 +38,39 @@ type Cluster struct {
 // unknownCluster groups crash records that carry no stack to hash.
 const unknownCluster = "unknown"
 
-// Triage dedups the store's crash records into clusters by crash-stack
-// hash. Input records are deduplicated by experiment key first (last
-// record wins, matching the resume view), so re-running a campaign
-// never inflates a cluster's reach. The result is fully deterministic:
-// clusters sort by reach descending, then stack hash ascending, and
-// members by key.
+// triageHash maps one record to its cluster key. Plain crashes cluster
+// by crash-stack hash. Availability records — runs classified by a
+// traffic driver — cluster by (availability class, stack hash): every
+// non-recovered class is a distinct service-level failure mode, and
+// within the crashed class the stack hash still separates failure
+// sites. Recovered availability runs and non-crash plain records do
+// not cluster ("" = not a triage subject).
+func triageHash(r Record) string {
+	stack := r.StackHash
+	if stack == "" {
+		stack = unknownCluster
+	}
+	if r.Avail != "" {
+		if core.AvailClass(r.Avail) == core.AvailRecovered {
+			return ""
+		}
+		if r.StackHash != "" {
+			return r.Avail + "+" + r.StackHash
+		}
+		return r.Avail
+	}
+	if core.Outcome(r.Outcome) != core.OutcomeCrash {
+		return ""
+	}
+	return stack
+}
+
+// Triage dedups the store's crash and availability-failure records into
+// clusters by triageHash. Input records are deduplicated by experiment
+// key first (last record wins, matching the resume view), so re-running
+// a campaign never inflates a cluster's reach. The result is fully
+// deterministic: clusters sort by reach descending, then stack hash
+// ascending, and members by key.
 func Triage(recs []Record) []Cluster {
 	latest := make(map[string]Record, len(recs))
 	var order []string
@@ -51,19 +83,14 @@ func Triage(recs []Record) []Cluster {
 	byHash := make(map[string][]Record)
 	for _, key := range order {
 		r := latest[key]
-		if core.Outcome(r.Outcome) != core.OutcomeCrash {
-			continue
+		if h := triageHash(r); h != "" {
+			byHash[h] = append(byHash[h], r)
 		}
-		h := r.StackHash
-		if h == "" {
-			h = unknownCluster
-		}
-		byHash[h] = append(byHash[h], r)
 	}
 	out := make([]Cluster, 0, len(byHash))
 	for h, members := range byHash {
 		sort.Slice(members, func(i, j int) bool { return members[i].Key < members[j].Key })
-		c := Cluster{StackHash: h, Reach: len(members), Members: members}
+		c := Cluster{StackHash: h, Avail: members[0].Avail, Reach: len(members), Members: members}
 		for _, m := range members {
 			c.Keys = append(c.Keys, m.Key)
 		}
@@ -87,7 +114,7 @@ func RenderClusters(clusters []Cluster) string {
 	for _, c := range clusters {
 		total += c.Reach
 	}
-	fmt.Fprintf(&b, "crash triage: %d crash(es) in %d cluster(s)\n", total, len(clusters))
+	fmt.Fprintf(&b, "crash triage: %d failure(s) in %d cluster(s)\n", total, len(clusters))
 	for i, c := range clusters {
 		fmt.Fprintf(&b, "  cluster %d [%s] reach=%d\n", i+1, c.StackHash, c.Reach)
 		if len(c.CrashStack) > 0 {
@@ -95,7 +122,15 @@ func RenderClusters(clusters []Cluster) string {
 		}
 		for _, m := range c.Members {
 			fault := fmt.Sprintf("%s.%s -> %d", m.Library, m.Function, m.Retval)
-			fmt.Fprintf(&b, "    %-40s signal=%d\n", fault, m.Signal)
+			if m.Fault != "" {
+				fault = fmt.Sprintf("%s.%s %s", m.Library, m.Function, m.Fault)
+			}
+			if m.Avail != "" {
+				fmt.Fprintf(&b, "    %-40s avail=%s served=%d/%d/%d\n",
+					fault, m.Avail, m.AvailBefore, m.AvailDuring, m.AvailAfter)
+			} else {
+				fmt.Fprintf(&b, "    %-40s signal=%d\n", fault, m.Signal)
+			}
 		}
 	}
 	return b.String()

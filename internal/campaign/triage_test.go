@@ -60,7 +60,7 @@ func TestTriageClustersDeterministic(t *testing.T) {
 
 	out := campaign.RenderClusters(clusters)
 	for _, want := range []string{
-		"5 crash(es) in 3 cluster(s)",
+		"5 failure(s) in 3 cluster(s)",
 		"cluster 1 [aaaa] reach=3",
 		"stack: malloc<-main",
 		"l.read -> 0",
@@ -274,5 +274,50 @@ int main(void) {
 	clusters := campaign.Triage(s.Records())
 	if len(clusters) == 0 {
 		t.Error("latent-pair crash did not cluster")
+	}
+}
+
+// TestTriageAvailabilityClusters: availability records cluster by
+// (class, stack hash) — service-level failure modes separate from each
+// other and from plain crashes, and recovered runs never cluster.
+func TestTriageAvailabilityClusters(t *testing.T) {
+	recs := []campaign.Record{
+		{Key: "a1", Library: "l", Function: "accept", Fault: "exhaust=fds:slots=0",
+			Outcome: "hang", Avail: "wedged", AvailBefore: 200},
+		{Key: "a2", Library: "l", Function: "write", Fault: "delay=200000000",
+			Outcome: "hang", Avail: "wedged", AvailBefore: 200},
+		{Key: "a3", Library: "l", Function: "write", Fault: "exhaust=disk:after=0",
+			Outcome: "handled", Avail: "degraded", AvailBefore: 200, AvailDuring: 250, AvailAfter: 0},
+		{Key: "a4", Library: "l", Function: "write", Outcome: "handled", Avail: "recovered",
+			AvailBefore: 200, AvailDuring: 600, AvailAfter: 400},
+		{Key: "a5", Library: "l", Function: "read", Outcome: "crash", Signal: 11,
+			Avail: "crashed", StackHash: "cccc", CrashStack: []string{"read", "main"}},
+		// A plain (non-availability) crash with the same stack hash stays
+		// in its own cluster.
+		{Key: "p1", Library: "l", Function: "read", Outcome: "crash", Signal: 11,
+			StackHash: "cccc", CrashStack: []string{"read", "main"}},
+	}
+	clusters := campaign.Triage(recs)
+	got := map[string]int{}
+	for _, c := range clusters {
+		got[c.StackHash] = c.Reach
+	}
+	want := map[string]int{"wedged": 2, "degraded": 1, "crashed+cccc": 1, "cccc": 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("clusters = %v, want %v", got, want)
+	}
+	if clusters[0].StackHash != "wedged" || clusters[0].Avail != "wedged" {
+		t.Errorf("top cluster = %+v, want the wedged pair", clusters[0])
+	}
+	out := campaign.RenderClusters(clusters)
+	for _, w := range []string{
+		"5 failure(s) in 4 cluster(s)",
+		"l.accept exhaust=fds:slots=0",
+		"avail=wedged served=200/0/0",
+		"avail=degraded served=200/250/0",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("render missing %q:\n%s", w, out)
+		}
 	}
 }

@@ -198,6 +198,11 @@ type CampaignConfig struct {
 	// PassThrough forces trigger evaluation without fault activation
 	// (the Tables 3/4 overhead methodology).
 	PassThrough bool
+	// Avail, when set, opts the campaign into availability collection:
+	// the Executable is treated as a traffic driver and every report
+	// carries its phase counters (Report.Avail). Nil leaves reports
+	// exactly as before.
+	Avail *AvailSpec
 }
 
 // Campaign is a configured injection experiment.
@@ -214,8 +219,18 @@ type Report struct {
 	Injections []controller.InjectionRecord
 	ReplayPlan *scenario.Plan
 	Cycles     uint64
-	// Deadlocked is set when the run wedged rather than exiting.
+	// Deadlocked is set when the run wedged rather than exiting — a true
+	// scheduler deadlock or an exhausted cycle budget (back-compat: both
+	// keep setting this flag).
 	Deadlocked bool
+	// BudgetExhausted distinguishes the two Deadlocked causes: true when
+	// the run hit its cycle budget (possible livelock — the availability
+	// classifier's wedge signal), false when the scheduler proved a true
+	// deadlock (every process blocked).
+	BudgetExhausted bool
+	// Avail carries the run's service-level phase counters when the
+	// campaign ran with CampaignConfig.Avail set; nil otherwise.
+	Avail *AvailCounters
 	// Degradation is the kernel's resource-degradation state at end of
 	// run: which exhaustion faults were armed and whether they actually
 	// failed an operation (tripped). Zero when the faultload armed none.
@@ -278,7 +293,7 @@ func (c *Campaign) Controller() *controller.Controller { return c.ctl }
 // Run executes to completion (budget 0 = unlimited) and reports.
 func (c *Campaign) Run(budget uint64) (*Report, error) {
 	err := c.sys.Run(budget) // sequenced: status/cycles are read post-run
-	rep, rerr := assembleReport(err, c.proc, c.sys.TotalCycles, c.ctl)
+	rep, rerr := assembleReport(err, c.sys, c.ctl, c.cfg.Avail)
 	if c.cfg.VM.Coverage {
 		rep.Coverage = coveredInsts(c.sys)
 	}
@@ -286,13 +301,17 @@ func (c *Campaign) Run(budget uint64) (*Report, error) {
 }
 
 // assembleReport turns a finished run (fresh-spawn or snapshot-restore)
-// into a Report, folding deadlock and budget exhaustion into the
-// Deadlocked flag and capturing the crash backtrace on signal deaths.
-func assembleReport(err error, proc *vm.Proc, cycles uint64, ctl *controller.Controller) (*Report, error) {
-	rep := &Report{Status: proc.Status, Cycles: cycles}
-	if proc.Sys != nil {
-		rep.Degradation = proc.Sys.Kernel().Degradation()
-	}
+// into a Report: it splits budget exhaustion from true deadlock (both
+// keep Deadlocked set for back-compat), captures the crash backtrace on
+// signal deaths, and — under an availability spec — collects the
+// traffic client's phase counters. The run's own process is the first
+// spawned one; when it survived but a server process it spawned died,
+// the server's backtrace becomes the report's crash stack so triage
+// clusters server deaths by where the server died.
+func assembleReport(err error, sys *vm.System, ctl *controller.Controller, avail *AvailSpec) (*Report, error) {
+	proc := sys.Procs()[0]
+	rep := &Report{Status: proc.Status, Cycles: sys.TotalCycles}
+	rep.Degradation = sys.Kernel().Degradation()
 	if proc.Status.Signal != 0 {
 		rep.CrashStack = crashStack(proc)
 	}
@@ -300,10 +319,24 @@ func assembleReport(err error, proc *vm.Proc, cycles uint64, ctl *controller.Con
 		rep.Injections = ctl.Log()
 		rep.ReplayPlan = ctl.ReplayPlan()
 	}
+	if avail != nil {
+		rep.Avail = collectAvail(sys, avail)
+		if rep.CrashStack == nil && rep.Avail.ServerSignal != 0 {
+			for _, p := range sys.Procs()[1:] {
+				if p.Status.Signal != 0 {
+					rep.CrashStack = crashStack(p)
+					break
+				}
+			}
+		}
+	}
 	switch err {
 	case nil:
-	case vm.ErrDeadlock, vm.ErrBudget:
+	case vm.ErrDeadlock:
 		rep.Deadlocked = true
+	case vm.ErrBudget:
+		rep.Deadlocked = true
+		rep.BudgetExhausted = true
 	default:
 		return rep, err
 	}

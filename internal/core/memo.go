@@ -231,7 +231,7 @@ func (c *memoCache) statsSnapshot() *MemoStats {
 // checkpointed evaluator state and log prefix, and run only the suffix.
 // The served flag is true when the entry came from a terminated prefix
 // without executing anything member-specific.
-func (r *snapshotRunner) runMemo(exp Experiment, key memoKey, baseline int32, budget uint64) (SweepEntry, *Report, bool, error) {
+func (r *snapshotRunner) runMemo(exp Experiment, key memoKey, base *Report, budget uint64) (SweepEntry, *Report, bool, error) {
 	entry := exp.entry()
 	e, build := r.memo.acquire(key)
 	if build {
@@ -245,13 +245,13 @@ func (r *snapshotRunner) runMemo(exp Experiment, key memoKey, baseline int32, bu
 		// injection invariant): run this member in full, like a
 		// non-memoized sweep would.
 		r.memo.note(func(s *MemoStats) { s.Fallbacks++ })
-		entry, rep, err := r.runPlain(exp, baseline, budget)
+		entry, rep, err := r.runPlain(exp, base, budget)
 		return entry, rep, false, err
 	case e.term != nil:
 		// The prefix terminated before the site with no injection, so
 		// every member's run is identical to it: serve the shared report.
 		r.memo.note(func(s *MemoStats) { s.Terminal++ })
-		entry.classify(e.term, baseline)
+		entry.classify(e.term, base, r.cfg.Avail)
 		return entry, e.term, true, nil
 	}
 	sys := e.snap.Restore()
@@ -260,9 +260,8 @@ func (r *snapshotRunner) runMemo(exp Experiment, key memoKey, baseline int32, bu
 	if err := ctl.Install(sys); err != nil {
 		return entry, nil, false, err
 	}
-	proc := sys.Procs()[0]
 	err := sys.Run(budget) // absolute budget: TotalCycles carries over the prefix
-	rep, rerr := assembleReport(err, proc, sys.TotalCycles, ctl)
+	rep, rerr := assembleReport(err, sys, ctl, r.cfg.Avail)
 	if r.cfg.VM.Coverage {
 		rep.Coverage = coveredInsts(sys)
 	}
@@ -270,7 +269,7 @@ func (r *snapshotRunner) runMemo(exp Experiment, key memoKey, baseline int32, bu
 		return entry, nil, false, rerr
 	}
 	r.memo.note(func(s *MemoStats) { s.Restored++ })
-	entry.classify(rep, baseline)
+	entry.classify(rep, base, r.cfg.Avail)
 	return entry, rep, false, nil
 }
 
@@ -303,7 +302,7 @@ func (r *snapshotRunner) buildPrefix(e *memoEntry, cp *scenario.CompiledPlan, ke
 		return
 	}
 	if !hit {
-		rep, rerr := assembleReport(err, sys.Procs()[0], sys.TotalCycles, ctl)
+		rep, rerr := assembleReport(err, sys, ctl, r.cfg.Avail)
 		if rerr != nil {
 			e.failed = true
 			return

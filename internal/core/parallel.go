@@ -161,17 +161,17 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 	// nil for an empty matrix even with opts.Snapshot) or a plain fresh
 	// spawn. All three produce the same exit code.
 	var (
-		baseline int32
-		called   map[string]bool
-		err      error
+		base   *Report
+		called map[string]bool
+		err    error
 	)
 	switch {
 	case opts.PruneUncalled:
-		baseline, called, err = baselineCoverage(cfg, budget)
+		base, called, err = baselineCoverage(cfg, budget)
 	case sr != nil:
-		baseline, err = sr.baseline(budget)
+		base, err = sr.baseline(budget)
 	default:
-		baseline, err = runBaseline(cfg, budget)
+		base, err = runBaseline(cfg, budget)
 	}
 	if err != nil {
 		return nil, err
@@ -185,7 +185,7 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 			}
 		}
 		if called != nil {
-			if entry, ok := pruneEntry(&exp, called, baseline); ok {
+			if entry, ok := pruneEntry(&exp, called, base, cfg.Avail); ok {
 				if opts.OnResult != nil {
 					opts.OnResult(&exp, entry, nil)
 				}
@@ -199,9 +199,9 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 			err    error
 		)
 		if sr != nil {
-			entry, rep, served, err = sr.run(exp, baseline, budget)
+			entry, rep, served, err = sr.run(exp, base, budget)
 		} else {
-			entry, rep, err = runExperiment(cfg, exp, baseline, budget)
+			entry, rep, err = runExperiment(cfg, exp, base, budget)
 		}
 		if err != nil {
 			return entry, served, err
@@ -211,7 +211,7 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 		}
 		return entry, served, nil
 	}
-	res := &SweepResult{Executable: cfg.Executable, Baseline: baseline}
+	res := &SweepResult{Executable: cfg.Executable, Baseline: base.Status.Code}
 	if sr != nil && sr.memo != nil {
 		defer func() { res.Memo = sr.memo.statsSnapshot() }()
 	}

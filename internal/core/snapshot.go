@@ -109,9 +109,8 @@ func (r *snapshotRunner) exec(cp *scenario.CompiledPlan, budget uint64) (*Report
 	if err := ctl.Install(sys); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	proc := sys.Procs()[0]
 	err := sys.Run(budget) // sequenced: status/cycles are read post-run
-	rep, rerr := assembleReport(err, proc, sys.TotalCycles, ctl)
+	rep, rerr := assembleReport(err, sys, ctl, r.cfg.Avail)
 	if r.cfg.VM.Coverage {
 		rep.Coverage = coveredInsts(sys)
 	}
@@ -121,12 +120,15 @@ func (r *snapshotRunner) exec(cp *scenario.CompiledPlan, budget uint64) (*Report
 // baseline runs the clean reference from the snapshot: the shared stub
 // surface with an empty faultload is a pure pass-through, so the exit
 // code matches a fresh uninstrumented spawn.
-func (r *snapshotRunner) baseline(budget uint64) (int32, error) {
+func (r *snapshotRunner) baseline(budget uint64) (*Report, error) {
 	rep, err := r.exec(r.passthru, budget)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	return baselineExit(rep)
+	if err := checkBaseline(rep, r.cfg.Avail); err != nil {
+		return nil, err
+	}
+	return rep, nil
 }
 
 // run executes one experiment on the snapshot executor. Precompiled
@@ -135,27 +137,27 @@ func (r *snapshotRunner) baseline(budget uint64) (int32, error) {
 // cache (memo.go); everything else runs in full via runPlain. The
 // served flag is true when the entry was satisfied without a
 // member-specific run (terminated shared prefix).
-func (r *snapshotRunner) run(exp Experiment, baseline int32, budget uint64) (SweepEntry, *Report, bool, error) {
+func (r *snapshotRunner) run(exp Experiment, base *Report, budget uint64) (SweepEntry, *Report, bool, error) {
 	if r.memo != nil && exp.Compiled != nil {
 		site, reason := exp.Compiled.FirstFireSite()
 		if reason == "" {
 			key := memoKey{fn: site.Function, call: site.Call, ntrig: exp.Compiled.TriggerCount(site.Function)}
 			if r.memo.groupSize(key) >= 2 {
-				return r.runMemo(exp, key, baseline, budget)
+				return r.runMemo(exp, key, base, budget)
 			}
 			r.memo.note(func(s *MemoStats) { s.Singletons++ })
 		} else {
 			r.memo.note(func(s *MemoStats) { s.Unmemoizable++ })
 		}
 	}
-	entry, rep, err := r.runPlain(exp, baseline, budget)
+	entry, rep, err := r.runPlain(exp, base, budget)
 	return entry, rep, false, err
 }
 
 // runPlain executes one experiment from the snapshot and classifies it
 // — the restore-path twin of runExperiment, returning the run report
 // for OnResult observers alongside the entry.
-func (r *snapshotRunner) runPlain(exp Experiment, baseline int32, budget uint64) (SweepEntry, *Report, error) {
+func (r *snapshotRunner) runPlain(exp Experiment, base *Report, budget uint64) (SweepEntry, *Report, error) {
 	entry := exp.entry()
 	cp := exp.Compiled
 	switch {
@@ -183,7 +185,7 @@ func (r *snapshotRunner) runPlain(exp Experiment, baseline int32, budget uint64)
 	if err != nil {
 		return entry, nil, err
 	}
-	entry.classify(rep, baseline)
+	entry.classify(rep, base, r.cfg.Avail)
 	return entry, rep, nil
 }
 
@@ -194,22 +196,21 @@ func (r *snapshotRunner) runPlain(exp Experiment, baseline int32, budget uint64)
 // only names functions outside this set can never fire, because the
 // deterministic VM replays the baseline exactly until a fault changes
 // control flow.
-func baselineCoverage(cfg CampaignConfig, budget uint64) (int32, map[string]bool, error) {
+func baselineCoverage(cfg CampaignConfig, budget uint64) (*Report, map[string]bool, error) {
 	covCfg := cfg
 	covCfg.Plan = nil
 	covCfg.Compiled = nil
 	covCfg.VM.Coverage = true
 	c, err := NewCampaign(covCfg)
 	if err != nil {
-		return 0, nil, err
+		return nil, nil, err
 	}
 	rep, err := c.Run(budget)
 	if err != nil {
-		return 0, nil, err
+		return nil, nil, err
 	}
-	code, err := baselineExit(rep)
-	if err != nil {
-		return 0, nil, err
+	if err := checkBaseline(rep, cfg.Avail); err != nil {
+		return nil, nil, err
 	}
 	called := make(map[string]bool)
 	for _, p := range c.System().Procs() {
@@ -227,7 +228,7 @@ func baselineCoverage(cfg CampaignConfig, budget uint64) (int32, map[string]bool
 			}
 		}
 	}
-	return code, called, nil
+	return rep, called, nil
 }
 
 // pruneEntry short-circuits an experiment the baseline proves inert:
@@ -238,7 +239,7 @@ func baselineCoverage(cfg CampaignConfig, budget uint64) (int32, map[string]bool
 // empty or uncompilable faultload are never pruned; the executor
 // surfaces their outcomes and errors in plan order, exactly as without
 // pruning.
-func pruneEntry(exp *Experiment, called map[string]bool, baseline int32) (SweepEntry, bool) {
+func pruneEntry(exp *Experiment, called map[string]bool, base *Report, avail *AvailSpec) (SweepEntry, bool) {
 	fns := experimentFunctions(exp)
 	if len(fns) == 0 {
 		return SweepEntry{}, false
@@ -255,6 +256,14 @@ func pruneEntry(exp *Experiment, called map[string]bool, baseline int32) (SweepE
 	}
 	entry := exp.entry()
 	entry.Outcome = OutcomeNotTriggered
-	entry.ExitCode = baseline
+	entry.ExitCode = base.Status.Code
+	if avail != nil && base.Avail != nil {
+		// The run would replay the baseline exactly, so the synthesised
+		// availability row is the baseline classified against itself.
+		entry.Avail = ClassifyAvail(base, base, avail.latencyPct())
+		entry.AvailBefore = base.Avail.WarmOK
+		entry.AvailDuring = base.Avail.SteadyOK
+		entry.AvailAfter = base.Avail.PostOK
+	}
 	return entry, true
 }

@@ -69,6 +69,14 @@ type SweepEntry struct {
 	Outcome  Outcome
 	ExitCode int32
 	Signal   int32
+	// Avail is the availability class of a traffic-driven run, with the
+	// requests served before/during/after the fault window alongside.
+	// Empty without an availability spec, so plain sweep rows render
+	// exactly as before.
+	Avail       AvailClass
+	AvailBefore int32
+	AvailDuring int32
+	AvailAfter  int32
 }
 
 // String renders the entry as a report line.
@@ -86,7 +94,12 @@ func (e SweepEntry) String() string {
 			fault += " errno=" + name
 		}
 	}
-	return fmt.Sprintf("%-46s %s", fault, e.Outcome)
+	line := fmt.Sprintf("%-46s %s", fault, e.Outcome)
+	if e.Avail != "" {
+		line += fmt.Sprintf(" avail=%s served=%d/%d/%d",
+			e.Avail, e.AvailBefore, e.AvailDuring, e.AvailAfter)
+	}
+	return line
 }
 
 // SweepResult is the robustness matrix of one application.
@@ -305,29 +318,43 @@ func DegradationExperiments(set profile.Set) []Experiment {
 	return out
 }
 
-// baselineExit extracts a baseline run's exit code, rejecting crashed
-// or wedged baselines — no classification can anchor on those.
-func baselineExit(rep *Report) (int32, error) {
+// checkBaseline rejects crashed or wedged baselines — no classification
+// can anchor on those — and, under an availability spec, baselines whose
+// traffic run did not complete cleanly (a fault-free client that drops
+// requests would poison every availability class).
+func checkBaseline(rep *Report, avail *AvailSpec) error {
 	if rep.Status.Signal != 0 || rep.Deadlocked {
-		return 0, fmt.Errorf("core: baseline run is unhealthy: %+v", rep.Status)
+		return fmt.Errorf("core: baseline run is unhealthy: %+v", rep.Status)
 	}
-	return rep.Status.Code, nil
+	if avail != nil {
+		c := rep.Avail
+		if c == nil || !c.Done || c.ServerSignal != 0 ||
+			c.WarmFail+c.SteadyFail+c.PostFail+c.TailFail != 0 ||
+			c.WarmErr+c.SteadyErr+c.PostErr != 0 {
+			return fmt.Errorf("core: baseline traffic run is unhealthy: %+v", c)
+		}
+	}
+	return nil
 }
 
-// runBaseline executes the clean run that anchors outcome classification.
-func runBaseline(cfg CampaignConfig, budget uint64) (int32, error) {
+// runBaseline executes the clean run that anchors outcome (and
+// availability) classification.
+func runBaseline(cfg CampaignConfig, budget uint64) (*Report, error) {
 	baseCfg := cfg
 	baseCfg.Plan = nil
 	baseCfg.Compiled = nil
 	baseline, err := NewCampaign(baseCfg)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	baseRep, err := baseline.Run(budget)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	return baselineExit(baseRep)
+	if err := checkBaseline(baseRep, cfg.Avail); err != nil {
+		return nil, err
+	}
+	return baseRep, nil
 }
 
 // entry seeds the report row for an experiment's coordinates.
@@ -338,11 +365,24 @@ func (exp *Experiment) entry() SweepEntry {
 	}
 }
 
-// classify fills the outcome half of the entry from a finished run.
-func (e *SweepEntry) classify(rep *Report, baseline int32) {
+// classify fills the outcome half of the entry from a finished run:
+// the process-shaped Outcome against the baseline exit code and — when
+// the sweep runs under an availability spec — the service-level class
+// against the baseline's counters and cycle envelope. Every executor
+// path (fresh, snapshot, memo-restored, memo-terminal) funnels through
+// here, which is what keeps availability reports byte-identical across
+// engines and memo settings.
+func (e *SweepEntry) classify(rep *Report, base *Report, avail *AvailSpec) {
 	e.ExitCode = rep.Status.Code
 	e.Signal = rep.Status.Signal
-	e.Outcome = Classify(rep, baseline)
+	e.Outcome = Classify(rep, base.Status.Code)
+	if avail == nil || rep.Avail == nil {
+		return
+	}
+	e.Avail = ClassifyAvail(rep, base, avail.latencyPct())
+	e.AvailBefore = rep.Avail.WarmOK
+	e.AvailDuring = rep.Avail.SteadyOK
+	e.AvailAfter = rep.Avail.PostOK
 }
 
 // runExperiment executes one experiment in a fresh Campaign (its own
@@ -352,7 +392,7 @@ func (e *SweepEntry) classify(rep *Report, baseline int32) {
 // immutable and evaluator state is per-campaign, so the shared
 // CampaignConfig and Experiment are only ever read — this is what keeps
 // a many-worker sweep race-free.
-func runExperiment(cfg CampaignConfig, exp Experiment, baseline int32, budget uint64) (SweepEntry, *Report, error) {
+func runExperiment(cfg CampaignConfig, exp Experiment, base *Report, budget uint64) (SweepEntry, *Report, error) {
 	entry := exp.entry()
 	runCfg := cfg
 	runCfg.Plan = exp.Plan
@@ -366,7 +406,7 @@ func runExperiment(cfg CampaignConfig, exp Experiment, baseline int32, budget ui
 	if err != nil {
 		return entry, nil, err
 	}
-	entry.classify(rep, baseline)
+	entry.classify(rep, base, cfg.Avail)
 	return entry, rep, nil
 }
 

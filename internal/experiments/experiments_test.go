@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"lfi/internal/core"
 )
 
 var envCache *Env
@@ -382,4 +384,41 @@ func TestFaultModelsComparison(t *testing.T) {
 		}
 	}
 	t.Logf("\n%s", report)
+}
+
+// TestAvailabilityComparison pins the flagship service-level result:
+// the WAL retry absorbs a one-shot write errno (recovered) where the
+// non-retrying server degrades permanently, and neither retry helps
+// against persistent exhaustion or a budget-length stall.
+func TestAvailabilityComparison(t *testing.T) {
+	r, err := Availability(4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []struct {
+		server, function, fault string
+		want                    core.AvailClass
+	}{
+		{"minidb", "write", "errno", core.AvailRecovered},
+		{"minidb-nr", "write", "errno", core.AvailDegraded},
+		{"minidb", "write", "exhaust=disk:after=0", core.AvailDegraded},
+		{"minidb-nr", "write", "exhaust=disk:after=0", core.AvailDegraded},
+		{"minidb", "write", "delay=200000000", core.AvailWedged},
+		{"minidb", "accept", "exhaust=fds:slots=0", core.AvailWedged},
+	}
+	for _, c := range cells {
+		if got := r.Class(c.server, c.function, c.fault); got != c.want {
+			t.Errorf("%s %s/%s = %s, want %s", c.server, c.function, c.fault, got, c.want)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{
+		"write/errno: minidb=recovered minidb-nr=degraded",
+		"classes:",
+		"served=200/",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
 }

@@ -279,3 +279,73 @@ func TestRestoredKernelContinuesDegrading(t *testing.T) {
 		t.Fatalf("SetDegradation round trip: %+v vs %+v", k2.Degradation(), r.Degradation())
 	}
 }
+
+// The accept path under fd pressure: a serving listener whose table is
+// saturated answers EMFILE without dropping the established connection,
+// Socket starves the same way on the client side, and a kernel snapshot
+// taken mid-connection — pressure armed and tripped, a peer queued on
+// the backlog — restores to exactly that state and completes the
+// connection once a descriptor frees up.
+
+func TestFDPressureAcceptPath(t *testing.T) {
+	k := New()
+	k.NewProcess(1) // server
+	k.NewProcess(2) // client
+	lfd := k.Socket(1)
+	if lfd < 0 || k.Listen(1, lfd, 80) != 0 {
+		t.Fatal("listen setup failed")
+	}
+	cfd := k.Socket(2)
+	if cfd < 0 || k.Connect(2, cfd, 80) != 0 {
+		t.Fatal("connect failed")
+	}
+	if n, _ := k.Write(2, cfd, []byte("ping")); n != 4 {
+		t.Fatalf("send to queued conn = %d", n)
+	}
+
+	// Zero headroom on the server: the accept's own slot allocation
+	// fails, trips the degradation, and the connection stays queued.
+	k.ArmFDPressure(1, 0)
+	if ret, blocked := k.Accept(1, lfd); ret != -EMFILE || blocked {
+		t.Fatalf("accept under pressure = (%d, %v), want (-EMFILE, false)", ret, blocked)
+	}
+	if st := k.Degradation(); !st.FDsArmed || !st.FDsTripped {
+		t.Fatalf("state after starved accept = %+v", st)
+	}
+
+	// Socket starves on the client side too — same system-wide limit.
+	if ret := k.Socket(2); ret != -EMFILE {
+		t.Fatalf("socket under pressure = %d, want -EMFILE", ret)
+	}
+
+	// Snapshot mid-connection: armed+tripped, peer still on the backlog.
+	want := k.Degradation()
+	snap := k.Snapshot()
+
+	r := snap.Restore()
+	if got := r.Degradation(); got != want {
+		t.Fatalf("restored degradation = %+v, want %+v", got, want)
+	}
+	// The restored server is still starved...
+	if ret, _ := r.Accept(1, lfd); ret != -EMFILE {
+		t.Fatalf("restored accept = %d, want -EMFILE", ret)
+	}
+	// ...until pressure lifts; then the queued connection — bytes and
+	// all — is finally served.
+	r.ArmFDPressure(1, 1)
+	sfd, blocked := r.Accept(1, lfd)
+	if sfd < 0 || blocked {
+		t.Fatalf("accept after relief = (%d, %v)", sfd, blocked)
+	}
+	if data, n, _ := r.Read(1, sfd, 4); n != 4 || string(data) != "ping" {
+		t.Fatalf("read after relieved accept = %q (%d)", data, n)
+	}
+
+	// The original kernel is untouched by the restored copy's progress.
+	if st := k.Degradation(); st != want {
+		t.Fatalf("original mutated: %+v, want %+v", st, want)
+	}
+	if ret, _ := k.Accept(1, lfd); ret != -EMFILE {
+		t.Fatalf("original accept = %d, want -EMFILE", ret)
+	}
+}

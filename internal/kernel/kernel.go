@@ -290,6 +290,15 @@ func (k *Kernel) closeLocked(t *fdTable, fd int32) {
 		}
 	case fileListener:
 		f.lst.closed = true
+		// Connections queued on the backlog will never be accepted: drop
+		// the acceptor-side view so connected-but-unaccepted peers see
+		// EOF on recv and EPIPE on send instead of blocking forever. A
+		// crashed server releases its fds through this same path, which
+		// is what lets a traffic driver observe the outage and move on.
+		for _, s := range f.lst.backlog {
+			s.aOpen = false
+		}
+		f.lst.backlog = nil
 		delete(k.listeners, f.lst.port)
 	}
 }
@@ -470,9 +479,16 @@ func (k *Kernel) Accept(pid int, fd int32) (ret int32, blocked bool) {
 	if len(f.lst.backlog) == 0 {
 		return 0, true
 	}
+	// Install before dequeue: a failed allocation (EMFILE under fd
+	// pressure) must not drop the established connection — it stays
+	// queued and a later accept, once a descriptor frees up, serves it.
 	s := f.lst.backlog[0]
+	nfd := k.install(k.table(pid), &file{kind: fileSocket, sock: s})
+	if nfd < 0 {
+		return nfd, false
+	}
 	f.lst.backlog = f.lst.backlog[1:]
-	return k.install(k.table(pid), &file{kind: fileSocket, sock: s}), false
+	return nfd, false
 }
 
 // Connect implements sys_connect: connects a VM socket to a VM listener

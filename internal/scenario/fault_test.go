@@ -216,3 +216,47 @@ func TestPairwiseMergesDegradationWithErrno(t *testing.T) {
 		t.Fatalf("merged plan does not compile: %v", err)
 	}
 }
+
+func TestFirePhase(t *testing.T) {
+	cases := []struct {
+		name  string
+		plan  *Plan
+		phase string
+		site  string
+	}{
+		{"empty", &Plan{}, PhaseNever, "no triggers"},
+		{"bare-trigger", &Plan{Triggers: []Trigger{{Function: "open", Retval: "-1"}}},
+			PhaseStartup, "open fireable from call 1"},
+		{"probability-is-startup", &Plan{Triggers: []Trigger{{
+			Function: "read", Probability: 50, Random: true}}},
+			PhaseStartup, "read fireable from call 1"},
+		{"inject-n", &Plan{Triggers: []Trigger{{Function: "open", Retval: "-1", Inject: 5}}},
+			PhaseSteady, "open fireable from call 5"},
+		{"calls-window", &Plan{Triggers: []Trigger{{
+			Function: "accept", Retval: "-1", Once: true,
+			Conds: []Cond{Calls(250, 0, 0)}}}},
+			PhaseSteady, "accept fireable from call 251"},
+		{"calls-and-cycles", &Plan{Triggers: []Trigger{{
+			Function: "write", Retval: "-1",
+			Conds: []Cond{And(Calls(200, 50, 0), Cycles(500_000, 0))}}}},
+			PhaseSteady, "write fireable from call 201 and cycle 500000"},
+		{"cycles-only", &Plan{Triggers: []Trigger{{
+			Function: "write", Retval: "-1", Conds: []Cond{Cycles(1000, 0)}}}},
+			PhaseSteady, "write fireable from call 1 and cycle 1000"},
+		{"or-window-conservative", &Plan{Triggers: []Trigger{{
+			Function: "send", Retval: "-1",
+			Conds: []Cond{Or(Calls(9, 0, 0), Cycles(77, 0))}}}},
+			PhaseStartup, "send fireable from call 1"},
+		{"loosest-trigger-wins", &Plan{Triggers: []Trigger{
+			{Function: "write", Retval: "-1", Inject: 40},
+			{Function: "accept", Retval: "-1", Conds: []Cond{Calls(10, 0, 0)}},
+		}}, PhaseSteady, "accept fireable from call 11"},
+	}
+	for _, tc := range cases {
+		phase, site := FirePhase(tc.plan)
+		if phase != tc.phase || site != tc.site {
+			t.Errorf("%s: FirePhase = %q (%q), want %q (%q)",
+				tc.name, phase, site, tc.phase, tc.site)
+		}
+	}
+}

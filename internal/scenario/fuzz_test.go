@@ -70,6 +70,13 @@ var composedSeeds = []string{
 	`<plan><function name="open" inject="1" once="true"><exhaust resource="disk" after="16"></exhaust></function></plan>`,
 	`<plan><function name="open" inject="2" once="true"><exhaust resource="fds" slots="2"></exhaust></function></plan>`,
 	`<plan><function name="read" retval="-1" errno="EIO" calloriginal="false" sticky="true"><delay cycles="5000"></delay><exhaust resource="disk" after="0"></exhaust></function></plan>`,
+	// Traffic-window faultloads: availability sweeps open the fault
+	// window mid-steady-state on a serving guest via <calls after> and
+	// <cycles min> floors against server-side calls.
+	`<plan><function name="accept" retval="-1" errno="EMFILE" calloriginal="false" once="true"><calls after="250"></calls></function></plan>`,
+	`<plan><function name="write" retval="-1" errno="ENOSPC" calloriginal="false"><and><calls after="200" every="50"></calls><cycles min="500000"></cycles></and></function></plan>`,
+	`<plan><function name="accept" once="true"><exhaust resource="fds" slots="0"></exhaust><calls after="250"></calls></function></plan>`,
+	`<plan><function name="write" once="true"><delay cycles="30000000"></delay><and><calls after="250" until="300"></calls><cycles min="1000" max="200000000"></cycles></and></function></plan>`,
 }
 
 // FuzzPlanCompileEval is the engine-level target: any faultload that
@@ -82,7 +89,7 @@ func FuzzPlanCompileEval(f *testing.F) {
 		f.Add([]byte(seed))
 	}
 	set := compatSet()
-	fns := []string{"open", "read", "write", "close", "malloc", "send"}
+	fns := []string{"open", "read", "write", "close", "malloc", "send", "accept"}
 	stack := []scenario.StackFrame{{Addr: 0xb824490, Symbol: "readdir"}, {Addr: 0x1000, Symbol: "flush"}}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		plan, err := scenario.Unmarshal(data)

@@ -14,6 +14,8 @@
 // random="true" faults draw only at fire time and stay memoizable).
 package scenario
 
+import "fmt"
+
 // FireSite is a deterministic first-fire site: no trigger of the
 // analyzed plan can fire before the Call-th intercepted call (1-based,
 // counted per process) to Function.
@@ -128,6 +130,82 @@ func earliestCall(t *Trigger) int32 {
 // source faultload; see the package-level FirstFireSite.
 func (cp *CompiledPlan) FirstFireSite() (FireSite, string) {
 	return FirstFireSite(cp.plan)
+}
+
+// Fire phases reported by FirePhase.
+const (
+	PhaseStartup = "startup"
+	PhaseSteady  = "steady-state"
+	PhaseNever   = "never"
+)
+
+// FirePhase statically classifies when the plan's earliest injection
+// can land in the guest's lifecycle. Unlike FirstFireSite it needs no
+// memoizability proof: each trigger is lower-bounded independently
+// (inject="n", top-level ANDed <calls after> windows, and <cycles min>
+// floors) and the loosest trigger wins. PhaseStartup means some
+// trigger may fire at its function's very first call with no cycle
+// floor — the fault can hit initialization paths. PhaseSteady means
+// every trigger waits out a warmup window, so the fault lands on a
+// guest that is already serving. The second return is human-readable
+// evidence for the earliest fireable site.
+func FirePhase(p *Plan) (phase, site string) {
+	if p == nil || len(p.Triggers) == 0 {
+		return PhaseNever, "no triggers"
+	}
+	type bound struct {
+		fn     string
+		call   int32
+		cycles uint64
+	}
+	var best *bound
+	for i := range p.Triggers {
+		t := &p.Triggers[i]
+		b := bound{fn: t.Function, call: earliestCall(t), cycles: cycleFloor(t)}
+		if b.call <= 1 && b.cycles == 0 {
+			return PhaseStartup, fmt.Sprintf("%s fireable from call 1", b.fn)
+		}
+		if best == nil || b.call < best.call ||
+			(b.call == best.call && b.cycles < best.cycles) {
+			best = &b
+		}
+	}
+	site = fmt.Sprintf("%s fireable from call %d", best.fn, best.call)
+	if best.cycles > 0 {
+		site += fmt.Sprintf(" and cycle %d", best.cycles)
+	}
+	return PhaseSteady, site
+}
+
+// cycleFloor lower-bounds the virtual cycle count before which the
+// trigger cannot fire: top-level <cycles min> conditions (including
+// under top-level <and> chains) are ANDed with everything else, so
+// their floors bind; <or>/<not> children are conservatively ignored.
+func cycleFloor(t *Trigger) uint64 {
+	var n uint64
+	var visit func(c *Cond)
+	visit = func(c *Cond) {
+		switch c.XMLName.Local {
+		case condAnd:
+			for i := range c.Kids {
+				visit(&c.Kids[i])
+			}
+		case condCycles:
+			if c.Min > n {
+				n = c.Min
+			}
+		}
+	}
+	for i := range t.Conds {
+		visit(&t.Conds[i])
+	}
+	return n
+}
+
+// FirePhase applies the phase classifier to the compiled plan's source
+// faultload; see the package-level FirePhase.
+func (cp *CompiledPlan) FirePhase() (phase, site string) {
+	return FirePhase(cp.plan)
 }
 
 // Stateful reports whether the plan carries stateful degradation

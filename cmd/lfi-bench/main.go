@@ -25,7 +25,7 @@ func main() {
 
 func run() error {
 	which := flag.String("run", "all",
-		"experiments to run: all, or comma-separated of table1,table2,efficiency,robustness,correlated,table3,table4,pidgin,coverage,docgaps,figure2,availability")
+		"experiments to run: all, or comma-separated of table1,table2,efficiency,robustness,correlated,table3,table4,pidgin,coverage,docgaps,figure2,availability,audit")
 	funcs := flag.Int("funcs", 5000, "table1 corpus size (paper: >20000)")
 	requests := flag.Int("requests", 1000, "table3 AB requests per cell (paper: 1000)")
 	txns := flag.Int("txns", 200, "table4 transactions per cell")
@@ -41,7 +41,7 @@ func run() error {
 
 	sel := map[string]bool{}
 	if *which == "all" {
-		for _, k := range []string{"figure2", "table1", "table2", "efficiency", "robustness", "correlated", "table3", "table4", "pidgin", "coverage", "docgaps", "availability"} {
+		for _, k := range []string{"figure2", "table1", "table2", "efficiency", "robustness", "correlated", "table3", "table4", "pidgin", "coverage", "docgaps", "availability", "audit"} {
 			sel[k] = true
 		}
 	} else {
@@ -119,6 +119,14 @@ func run() error {
 				fmt.Fprintf(os.Stderr, "%s %s\n", s.Name, s.Sweep.Memo.String())
 			}
 		}
+	}
+	if sel["audit"] {
+		section("Caller-side audit")
+		r, err := experiments.StaticAudit(*jobs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
 	}
 	if sel["correlated"] {
 		section("§4 Correlated faultload")

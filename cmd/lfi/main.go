@@ -15,6 +15,8 @@
 //	lfi sweep -app app.slef -lib libc.slef -profile libc.profile.xml -j 8 -snapshot -prune
 //	lfi sweep ... -store campaign/ -resume -triage -escalate
 //	lfi sweep -avail minidb -j 8 -snapshot -store campaign/ -triage
+//	lfi sweep ... -order=static   # audit-prioritised execution order
+//	lfi audit -lib libc.slef [-profile libc.profile.xml] app.slef
 //	lfi disasm lib.slef [-func name]
 //	lfi cfg lib.slef -func name [-dot]
 //	lfi demo
@@ -28,6 +30,7 @@ import (
 	"strings"
 
 	"lfi/internal/apps"
+	"lfi/internal/audit"
 	"lfi/internal/campaign"
 	"lfi/internal/cfg"
 	"lfi/internal/core"
@@ -49,7 +52,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: lfi <build|profile|plan|run|sweep|disasm|cfg|demo> ...")
+		return fmt.Errorf("usage: lfi <build|profile|plan|run|sweep|audit|disasm|cfg|demo> ...")
 	}
 	switch args[0] {
 	case "build":
@@ -62,6 +65,8 @@ func run(args []string) error {
 		return cmdRun(args[1:])
 	case "sweep":
 		return cmdSweep(args[1:])
+	case "audit":
+		return cmdAudit(args[1:])
 	case "disasm":
 		return cmdDisasm(args[1:])
 	case "cfg":
@@ -161,10 +166,11 @@ func cmdProfile(args []string) error {
 	one := fs.String("library", "", "profile one library by module name")
 	outDir := fs.String("o", ".", "output directory for .profile.xml files")
 	heur := fs.Bool("heuristics", false, "enable the unsound §3.1 filtering heuristics")
+	maxStates := fs.Int("max-states", 0, "per-function product-graph state budget (0 = default; exhaustion is reported per function)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	l := core.New(core.Options{Heuristics: *heur})
+	l := core.New(core.Options{Heuristics: *heur, MaxStates: *maxStates})
 	if err := l.AddKernelImage(); err != nil {
 		return err
 	}
@@ -212,6 +218,17 @@ func cmdProfile(args []string) error {
 		}
 		fmt.Printf("wrote %s (%d functions)\n", dst, len(p.Functions))
 	}
+	// Budget exhaustion is never silent: every function whose analysis
+	// was cut short (MaxStates truncation, MaxDepth refusals) gets a
+	// diagnostic, because its profile may be missing error codes.
+	if diags := l.Diagnostics(); len(diags) > 0 {
+		st := l.Stats()
+		fmt.Fprintf(os.Stderr, "profile: %d analysis budget exhaustion(s) (%d truncated, %d depth-limited):\n",
+			len(diags), st.Truncated, st.DepthLimited)
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
+		}
+	}
 	return nil
 }
 
@@ -223,6 +240,8 @@ func cmdPlan(args []string) error {
 	profiles := fs.String("profile", "", "comma-separated .profile.xml paths")
 	out := fs.String("o", "plan.xml", "output plan path")
 	check := fs.String("check", "", "validate and lint an existing faultload XML instead of generating one")
+	app := fs.String("app", "", "application SLEF (with -check: audit its call sites into the plan's targets)")
+	libFlag := fs.String("lib", "", "comma-separated library SLEF paths (with -check, audited alongside -app)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -231,7 +250,16 @@ func cmdPlan(args []string) error {
 		return err
 	}
 	if *check != "" {
-		return checkPlan(*check, set)
+		var files []*obj.File
+		if *app != "" {
+			if files, err = loadPrograms(*app, *libFlag); err != nil {
+				return err
+			}
+		}
+		return checkPlan(*check, set, files)
+	}
+	if *app != "" || *libFlag != "" {
+		return fmt.Errorf("plan: -app/-lib only apply to -check")
 	}
 	if len(set) == 0 {
 		return fmt.Errorf("plan: need at least one -profile")
@@ -266,8 +294,11 @@ func cmdPlan(args []string) error {
 // compile errors (bad retval/errno, malformed condition trees) fail the
 // command with the offending trigger's position; lint findings are
 // printed as warnings. With -profile, random triggers are checked
-// against the profiles that would feed them.
-func checkPlan(path string, set profile.Set) error {
+// against the profiles that would feed them. With -app/-lib, each
+// targeted function is annotated with its caller-side audit class, so
+// the author sees up front which faultloads hit call sites that never
+// check the return value.
+func checkPlan(path string, set profile.Set, files []*obj.File) error {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -315,6 +346,20 @@ func checkPlan(path string, set profile.Set) error {
 		fmt.Println("fire phase: never (no triggers)")
 	default:
 		fmt.Printf("fire phase: %s (%s)\n", phase, evidence)
+	}
+	if len(files) > 0 {
+		res, err := audit.Analyze(files, fns, audit.Options{})
+		if err != nil {
+			return fmt.Errorf("plan: audit: %w", err)
+		}
+		classes := res.Classes()
+		for _, fn := range fns {
+			class := classes[fn]
+			if class == "" {
+				class = "unknown" // no discovered call site
+			}
+			fmt.Printf("audit: %-20s %s\n", fn, class)
+		}
 	}
 	if site, reason := cp.FirstFireSite(); reason == "" {
 		fmt.Printf("memo: deterministic first-fire site %s@call %d — snapshot sweeps share the pre-fault prefix\n",
@@ -469,6 +514,7 @@ func cmdSweep(args []string) error {
 	profiles := fs.String("profile", "", "comma-separated .profile.xml paths (omit to profile -lib in-process)")
 	jobs := fs.Int("j", 0, "parallel workers (0 = GOMAXPROCS)")
 	maxCrashes := fs.Int("max-crashes", 0, "stop after this many crash outcomes (0 = run the full matrix)")
+	order := fs.String("order", "default", "execution order: default (plan order) or static (caller-side audit fronts unchecked targets; full-sweep report stays byte-identical)")
 	budget := fs.Uint64("budget", 0, "per-run cycle budget (0 = default)")
 	progress := fs.Bool("progress", false, "print live progress to stderr")
 	heur := fs.Bool("heuristics", false, "enable the §3.1 filtering heuristics for in-process profiling")
@@ -585,6 +631,24 @@ func cmdSweep(args []string) error {
 	default:
 		return fmt.Errorf("sweep: unknown -faults %q (want errno, degradation or all)", *faults)
 	}
+	switch *order {
+	case "default":
+	case "static":
+		// Audit the guest binaries for the profiled targets, stamp each
+		// experiment with its target's class (persisted by -store,
+		// clustered by -triage), and run the statically fragile ones
+		// first. Reassembly keeps the full-sweep report byte-identical;
+		// only -max-crashes early stops observe the new order.
+		ares, err := audit.Analyze(cfgC.Programs, auditTargets(set), audit.Options{})
+		if err != nil {
+			return fmt.Errorf("sweep: audit: %w", err)
+		}
+		classes := ares.Classes()
+		core.AnnotateAudit(exps, classes)
+		opts.ExecOrder = core.StaticOrder(exps, classes)
+	default:
+		return fmt.Errorf("sweep: unknown -order %q (want default or static)", *order)
+	}
 	res, err := campaign.Sweep(cfgC, exps, *budget, opts, store, *resume)
 	if err != nil {
 		return err
@@ -603,6 +667,9 @@ func cmdSweep(args []string) error {
 		fmt.Printf("escalation: %d single-fault survivor(s) -> %d pairwise plan(s)\n",
 			len(surv), len(second))
 		if len(second) > 0 {
+			// The escalated plan is a different experiment list; the
+			// round-one permutation does not apply to it.
+			opts.ExecOrder = nil
 			res2, err := campaign.Sweep(cfgC, second, *budget, opts, store, *resume)
 			if err != nil {
 				return err
@@ -615,6 +682,73 @@ func cmdSweep(args []string) error {
 				fmt.Print(campaign.RenderClusters(campaign.Triage(store.Records())))
 			}
 		}
+	}
+	return nil
+}
+
+// auditTargets collects the function names a profile set covers — the
+// functions a sweep would inject into, and therefore the ones whose
+// call sites the audit should classify.
+func auditTargets(set profile.Set) []string {
+	var targets []string
+	for _, p := range set {
+		for _, fn := range p.Functions {
+			targets = append(targets, fn.Name)
+		}
+	}
+	return targets
+}
+
+// cmdAudit runs the caller-side error-handling audit: a static forward
+// taint walk from every call site into a profiled (or imported)
+// function, classifying whether the caller checks the return value. A
+// nonzero exit on unchecked sites makes it a CI lint; the same
+// classification drives `lfi sweep -order=static`.
+func cmdAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
+	libFlag := fs.String("lib", "", "comma-separated library SLEF paths audited alongside the positional binaries")
+	profiles := fs.String("profile", "", "comma-separated .profile.xml paths restricting the audited targets (default: every function the binaries import)")
+	maxStates := fs.Int("max-states", 0, "per-site taint-walk state budget (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("audit: at least one SLEF binary required")
+	}
+	var files []*obj.File
+	for _, p := range append(append([]string(nil), fs.Args()...), splitList(*libFlag)...) {
+		f, err := loadObj(p)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+	}
+	var targets []string
+	if *profiles != "" {
+		set, err := loadProfileSet(*profiles)
+		if err != nil {
+			return err
+		}
+		targets = auditTargets(set)
+	} else {
+		// No profile restriction: audit every cross-module call (the
+		// imports) and every intra-module call to an exported function
+		// (a library's internal use of its own API, e.g. puts_fd
+		// calling write).
+		for _, f := range files {
+			targets = append(targets, f.Imports...)
+			for _, sym := range f.ExportedFuncs() {
+				targets = append(targets, sym.Name)
+			}
+		}
+	}
+	res, err := audit.Analyze(files, targets, audit.Options{MaxStates: *maxStates})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	if n := len(res.Unchecked()); n > 0 {
+		return fmt.Errorf("audit: %d unchecked call site(s)", n)
 	}
 	return nil
 }

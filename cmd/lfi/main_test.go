@@ -433,3 +433,147 @@ func TestCLISweepFaultModels(t *testing.T) {
 		t.Error("unknown -faults value should fail")
 	}
 }
+
+// cliAuditSrc calls into libc with one checked and several unchecked
+// call sites — the audit must split them.
+const cliAuditSrc = `
+needs "libc.so";
+extern int open(byte *path, int flags, int mode);
+extern int close(int fd);
+extern int read(int fd, byte *buf, int n);
+extern byte *malloc(int n);
+int main(void) {
+  int fd;
+  int n;
+  byte buf[32];
+  byte *p;
+  fd = open("/data", 0, 0);
+  if (fd < 0) { return 2; }
+  n = read(fd, buf, 31);
+  close(fd);
+  p = malloc(8);
+  p[0] = 'x';
+  return 0;
+}
+`
+
+func buildAuditApp(t *testing.T, dir string) (appPath, libPath, profPath string) {
+	t.Helper()
+	libPath, profPath = writeDemoAssets(t, dir)
+	srcPath := filepath.Join(dir, "app.mc")
+	if err := os.WriteFile(srcPath, []byte(cliAuditSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	appPath = filepath.Join(dir, "app.slef")
+	if err := run([]string{"build", "-exe", "-name", "app", "-o", appPath, srcPath}); err != nil {
+		t.Fatal(err)
+	}
+	return appPath, libPath, profPath
+}
+
+// captureStdoutErr is captureStdout for commands expected to fail (the
+// audit's CI-lint exit): it returns the output and the error.
+func captureStdoutErr(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outc := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		outc <- string(b)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-outc
+	r.Close()
+	return out, runErr
+}
+
+func TestCLIAudit(t *testing.T) {
+	dir := t.TempDir()
+	appPath, libPath, profPath := buildAuditApp(t, dir)
+
+	auditArgs := []string{"audit", "-lib", libPath, "-profile", profPath, appPath}
+	out, err := captureStdoutErr(t, func() error { return run(auditArgs) })
+	if err == nil {
+		t.Fatal("audit with unchecked sites must exit nonzero")
+	}
+	for _, want := range []string{
+		"caller-side audit:",
+		"main -> open: checked",
+		"main -> malloc: unchecked-clobbered",
+		"main -> close: unchecked-clobbered",
+		"puts_fd -> write: unchecked-propagated",
+		"unchecked:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("audit output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Deterministic across runs.
+	again, _ := captureStdoutErr(t, func() error { return run(auditArgs) })
+	if out != again {
+		t.Errorf("audit output not deterministic:\n--- 1 ---\n%s--- 2 ---\n%s", out, again)
+	}
+
+	// Without -profile the targets default to the binaries' imports;
+	// libc.slef audited alone has its own internal unchecked site.
+	out2, err2 := captureStdoutErr(t, func() error {
+		return run([]string{"audit", libPath})
+	})
+	if err2 == nil {
+		t.Error("libc self-audit should flag puts_fd -> write")
+	}
+	if !strings.Contains(out2, "puts_fd -> write: unchecked-propagated") {
+		t.Errorf("self-audit output:\n%s", out2)
+	}
+}
+
+func TestCLISweepStaticOrder(t *testing.T) {
+	dir := t.TempDir()
+	appPath, libPath, profPath := buildAuditApp(t, dir)
+	base := []string{"sweep", "-app", appPath, "-lib", libPath, "-profile", profPath, "-j", "4"}
+	def := captureStdout(t, func() error { return run(base) })
+	static := captureStdout(t, func() error {
+		return run(append([]string{"sweep", "-order=static"}, base[1:]...))
+	})
+	if def != static {
+		t.Errorf("-order=static full-sweep report differs from default:\n--- default ---\n%s--- static ---\n%s", def, static)
+	}
+	if _, err := captureStdoutErr(t, func() error {
+		return run(append([]string{"sweep", "-order=bogus"}, base[1:]...))
+	}); err == nil {
+		t.Error("unknown -order accepted")
+	}
+}
+
+func TestCLIPlanCheckAudit(t *testing.T) {
+	dir := t.TempDir()
+	appPath, libPath, profPath := buildAuditApp(t, dir)
+	planPath := filepath.Join(dir, "plan.xml")
+	if err := run([]string{"plan", "-kind", "exhaustive", "-profile", profPath, "-o", planPath}); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return run([]string{"plan", "-check", planPath, "-profile", profPath,
+			"-app", appPath, "-lib", libPath})
+	})
+	for _, want := range []string{"fire phase:", "audit: malloc", "unchecked-clobbered", "audit: open", "checked"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plan -check missing %q:\n%s", want, out)
+		}
+	}
+	// Without -app the audit lines are absent, everything else intact.
+	plain := captureStdout(t, func() error {
+		return run([]string{"plan", "-check", planPath, "-profile", profPath})
+	})
+	if strings.Contains(plain, "audit:") {
+		t.Errorf("plan -check without -app printed audit lines:\n%s", plain)
+	}
+}

@@ -245,6 +245,39 @@
 // much as which resource: fd pressure at accept wedges the service,
 // at write it never binds.
 //
+// # Caller-side audit
+//
+// Before any fault is injected, a static forward-dataflow pass over the
+// guest binaries (internal/audit) finds the call sites that ignore
+// their error returns. For every call site targeting a profiled
+// function the audit tracks the return register from the call onward
+// through the caller's CFG and classifies the site: checked (R0
+// reaches a conditional branch), unchecked-clobbered (overwritten
+// before any test), unchecked-propagated (returned to the next caller
+// untested), or stored (written to memory, tracking ends). Analysis
+// budgets are never silent — a site whose walk is truncated says so in
+// the report, and the profiler's own MaxStates/MaxDepth cuts surface
+// as per-function diagnostics (`lfi profile`, profiler.Stats.Truncated
+// / DepthLimited) since a truncated analysis can mean missing error
+// codes. The audit surfaces three ways: `lfi audit` renders the
+// deterministic classification and exits nonzero when unchecked sites
+// exist (a CI lint; `lfi plan -check -app/-lib` prints each
+// faultload's target class next to its fire-phase line); `lfi sweep
+// -order=static` reorders execution so faultloads targeting unchecked
+// call sites run first — the scheduler permutes only the execution
+// order and reassembles results in plan order, so the full-sweep
+// report stays byte-identical to the default across engines, worker
+// counts, restore modes and memo settings (scripts/auditcheck.sh, in
+// CI), while -max-crashes triage reaches crashing faults sooner; and
+// campaign records carry the target's class so -triage splits crash
+// clusters into statically predicted and surprises.
+// experiments.StaticAudit (BENCH_audit.json) measures both uses on a
+// guest spanning the classification range: the unchecked =>
+// non-recovered prediction scores recall 1.00 at precision 0.67 (the
+// false positive is a deliberately tolerated close), and the static
+// order discovers every crash cluster within 37% of the experiment
+// budget where plan order needs all of it.
+//
 // The determinism contract is unchanged and oracle-enforced: both
 // engines are decision-for-decision identical — same round-robin
 // scheduling and time-slice splits (superblocks are divided at the

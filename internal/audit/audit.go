@@ -1,0 +1,589 @@
+// Package audit implements the caller-side error-handling audit: a
+// forward dataflow pass over guest binaries that classifies, for every
+// call site targeting a profiled/intercepted function, what the caller
+// does with the returned value.
+//
+// The profiler (internal/profiler) points the disasm/cfg/dataflow
+// machinery at *callees* to learn what errors a library function can
+// return; this package points the same machinery at *callers* to learn
+// whether those errors would even be looked at. The paper's headline
+// §6.1 case study — Pidgin losing data because a library error return
+// was ignored — is exactly the pattern this pass finds statically,
+// before any experiment runs.
+//
+// For each call site the return register (R0) is tainted and the taint
+// is tracked forward through the caller's CFG: copies, arithmetic
+// derivations and push/pop round-trips keep it, frame spills are
+// tracked through reloads, and the walk is bounded by a per-site state
+// budget whose exhaustion is always reported, never silent. The site's
+// class is the strongest claim any explored path supports:
+//
+//   - checked: a compare reads the return value or a value derived
+//     from it (in SIA-32 codegen every `if (x < 0)` materialises as a
+//     cmp on the tainted register before the conditional branch);
+//   - stored: the value escapes the trackable state — stored to a
+//     global or through a pointer, or consumed as an argument of a
+//     later call — so its fate is outside this function;
+//   - unchecked-propagated: the caller returns the value to its own
+//     caller without examining it;
+//   - unchecked-clobbered: every path overwrites or abandons the value
+//     before any compare — the return is definitively ignored.
+//
+// The two unchecked classes are the campaign scheduler's static prior:
+// faultloads targeting functions with unchecked call sites are the ones
+// most likely to crash rather than be handled, so `lfi sweep
+// -order=static` runs them first.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lfi/internal/cfg"
+	"lfi/internal/disasm"
+	"lfi/internal/isa"
+	"lfi/internal/obj"
+)
+
+// Class is the audit classification of one call site.
+type Class string
+
+// Call-site classes, ordered from most to least fragile (see Rank).
+const (
+	ClassClobbered  Class = "unchecked-clobbered"
+	ClassPropagated Class = "unchecked-propagated"
+	ClassStored     Class = "stored"
+	ClassChecked    Class = "checked"
+)
+
+// Unchecked reports whether the class asserts the return value is never
+// examined in the caller — the lint-failing, run-first classes.
+func (c Class) Unchecked() bool {
+	return c == ClassClobbered || c == ClassPropagated
+}
+
+// Rank orders classes by fragility: lower ranks are more likely to turn
+// an injected error into an unhandled failure. Unknown strings rank
+// between stored and checked (no static evidence either way).
+func Rank(class string) int {
+	switch Class(class) {
+	case ClassClobbered:
+		return 0
+	case ClassPropagated:
+		return 1
+	case ClassStored:
+		return 2
+	case ClassChecked:
+		return 4
+	}
+	return 3
+}
+
+// Site is one audited call site.
+type Site struct {
+	// Module is the binary containing the call, Caller the enclosing
+	// function symbol, Off the text offset of the call instruction.
+	Module string
+	Caller string
+	Off    int32
+	// Target is the profiled function the call resolves to.
+	Target string
+	Class  Class
+	// Exhausted marks sites whose forward walk hit the state budget;
+	// the class then reflects only the explored prefix of paths.
+	Exhausted bool
+}
+
+// String renders the site as one deterministic report line.
+func (s Site) String() string {
+	line := fmt.Sprintf("%#06x %s -> %s: %s", s.Off, s.Caller, s.Target, s.Class)
+	if s.Exhausted {
+		line += " (budget exhausted)"
+	}
+	return line
+}
+
+// Options tunes the audit.
+type Options struct {
+	// MaxStates bounds the forward walk per call site; zero means
+	// DefaultMaxStates. Exhaustion is reported on the Site, never
+	// swallowed.
+	MaxStates int
+}
+
+// DefaultMaxStates bounds the per-site forward state expansion, mirroring
+// the profiler's product-graph budget.
+const DefaultMaxStates = 4096
+
+// Result is the audit of a set of binaries.
+type Result struct {
+	// Sites are the classified call sites, sorted by (module, offset) —
+	// deterministic for any input order of identical binaries.
+	Sites []Site
+	// Targets is the sorted profiled-function set the audit looked for.
+	Targets []string
+	// Incomplete lists functions whose CFG could not be built
+	// ("module.fn: error"); their call sites are not audited.
+	Incomplete []string
+}
+
+// Analyze audits every function of the given binaries for call sites
+// targeting one of the named functions. Call targets resolve like the
+// interposition layer sees them: direct local calls by symbol, import
+// calls by imported name; register-indirect calls are unresolvable and
+// skipped (the CFG marks them incomplete).
+func Analyze(files []*obj.File, targets []string, opts Options) (*Result, error) {
+	max := opts.MaxStates
+	if max <= 0 {
+		max = DefaultMaxStates
+	}
+	want := make(map[string]bool, len(targets))
+	res := &Result{}
+	for _, t := range targets {
+		if !want[t] {
+			want[t] = true
+			res.Targets = append(res.Targets, t)
+		}
+	}
+	sort.Strings(res.Targets)
+
+	for _, f := range files {
+		prog, err := disasm.Disassemble(f)
+		if err != nil {
+			return nil, fmt.Errorf("audit: %s: %w", f.Name, err)
+		}
+		seen := make(map[int32]bool) // call offsets already attributed
+		for _, sym := range f.Funcs() {
+			if sym.Size <= 0 {
+				continue
+			}
+			g, err := cfg.Build(prog, sym.Off)
+			if err != nil {
+				res.Incomplete = append(res.Incomplete,
+					fmt.Sprintf("%s.%s: %v", f.Name, sym.Name, err))
+				continue
+			}
+			end := sym.Off + sym.Size
+			for _, b := range g.Blocks {
+				for i := 0; i < b.NumInsts(); i++ {
+					off := b.InstOff(i)
+					if b.Inst(i).Op != isa.OpCall || off < sym.Off || off >= end || seen[off] {
+						continue
+					}
+					target, ok := callTargetName(prog, off)
+					if !ok || !want[target] {
+						continue
+					}
+					seen[off] = true
+					class, exhausted := classifySite(g, b, i, max)
+					res.Sites = append(res.Sites, Site{
+						Module: f.Name, Caller: sym.Name, Off: off,
+						Target: target, Class: class, Exhausted: exhausted,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(res.Sites, func(i, j int) bool {
+		a, b := res.Sites[i], res.Sites[j]
+		if a.Module != b.Module {
+			return a.Module < b.Module
+		}
+		return a.Off < b.Off
+	})
+	sort.Strings(res.Incomplete)
+	return res, nil
+}
+
+// callTargetName resolves the call at off to a function name: imported
+// symbol name for import calls, defining symbol for direct local calls.
+func callTargetName(prog *disasm.Program, off int32) (string, bool) {
+	local, imp, imported, ok := prog.CallTarget(off)
+	if !ok {
+		return "", false
+	}
+	if imported {
+		return imp, true
+	}
+	return prog.SymbolFor(local)
+}
+
+// Unchecked returns the sites whose class asserts the return value is
+// never examined.
+func (r *Result) Unchecked() []Site {
+	var out []Site
+	for _, s := range r.Sites {
+		if s.Class.Unchecked() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Exhausted counts sites whose analysis hit the state budget.
+func (r *Result) Exhausted() int {
+	n := 0
+	for _, s := range r.Sites {
+		if s.Exhausted {
+			n++
+		}
+	}
+	return n
+}
+
+// Classes aggregates the audit per target function: each audited
+// function maps to its most fragile site class (minimum Rank). This is
+// the static prior core.StaticOrder schedules by and the classification
+// campaign records carry. Functions with no discovered call site are
+// absent — "unknown" to the consumer.
+func (r *Result) Classes() map[string]string {
+	out := make(map[string]string)
+	for _, s := range r.Sites {
+		if cur, ok := out[s.Target]; !ok || Rank(string(s.Class)) < Rank(cur) {
+			out[s.Target] = string(s.Class)
+		}
+	}
+	return out
+}
+
+// Render prints the deterministic audit report: per-module site lines,
+// per-function summaries, and the unchecked/exhaustion totals.
+func (r *Result) Render() string {
+	var b strings.Builder
+	byTarget := make(map[string]int)
+	for _, s := range r.Sites {
+		byTarget[s.Target]++
+	}
+	fmt.Fprintf(&b, "caller-side audit: %d call site(s) into %d of %d profiled function(s)\n",
+		len(r.Sites), len(byTarget), len(r.Targets))
+	var module string
+	for _, s := range r.Sites {
+		if s.Module != module {
+			module = s.Module
+			fmt.Fprintf(&b, "%s:\n", module)
+		}
+		fmt.Fprintf(&b, "  %s\n", s)
+	}
+	if len(byTarget) > 0 {
+		b.WriteString("per-function:\n")
+		targets := make([]string, 0, len(byTarget))
+		for t := range byTarget {
+			targets = append(targets, t)
+		}
+		sort.Strings(targets)
+		for _, t := range targets {
+			counts := make(map[Class]int)
+			for _, s := range r.Sites {
+				if s.Target == t {
+					counts[s.Class]++
+				}
+			}
+			classes := make([]string, 0, len(counts))
+			for c := range counts {
+				classes = append(classes, string(c))
+			}
+			sort.Slice(classes, func(i, j int) bool {
+				if ri, rj := Rank(classes[i]), Rank(classes[j]); ri != rj {
+					return ri < rj
+				}
+				return classes[i] < classes[j]
+			})
+			parts := make([]string, 0, len(classes))
+			for _, c := range classes {
+				parts = append(parts, fmt.Sprintf("%d %s", counts[Class(c)], c))
+			}
+			fmt.Fprintf(&b, "  %s: %d site(s) — %s\n", t, byTarget[t], strings.Join(parts, ", "))
+		}
+	}
+	for _, inc := range r.Incomplete {
+		fmt.Fprintf(&b, "incomplete: %s\n", inc)
+	}
+	if n := r.Exhausted(); n > 0 {
+		fmt.Fprintf(&b, "analysis budget exhausted at %d site(s) (raise MaxStates)\n", n)
+	}
+	fmt.Fprintf(&b, "unchecked: %d site(s)\n", len(r.Unchecked()))
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Forward taint walk
+// ---------------------------------------------------------------------------
+
+// maxFrameSlots bounds the tracked spill slots per path; a tainted store
+// beyond the bound degrades to stored-evidence instead of growing state.
+const maxFrameSlots = 16
+
+// maxOpStack bounds the abstract expression stack per path.
+const maxOpStack = 16
+
+// taintState is the per-path abstract state of the forward walk: which
+// registers, BP-relative frame slots and expression-stack entries hold
+// the call's return value (or a value derived from it).
+type taintState struct {
+	regs  uint16
+	frame map[int32]bool
+	stack []bool
+}
+
+func (s *taintState) reg(r isa.Reg) bool { return s.regs&(1<<uint(r)) != 0 }
+func (s *taintState) setReg(r isa.Reg, t bool) {
+	if t {
+		s.regs |= 1 << uint(r)
+	} else {
+		s.regs &^= 1 << uint(r)
+	}
+}
+
+func (s *taintState) live() bool {
+	if s.regs != 0 {
+		return true
+	}
+	for _, t := range s.frame {
+		if t {
+			return true
+		}
+	}
+	for _, t := range s.stack {
+		if t {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *taintState) clone() *taintState {
+	n := &taintState{regs: s.regs}
+	if len(s.frame) > 0 {
+		n.frame = make(map[int32]bool, len(s.frame))
+		for k, v := range s.frame {
+			n.frame[k] = v
+		}
+	}
+	if len(s.stack) > 0 {
+		n.stack = append([]bool(nil), s.stack...)
+	}
+	return n
+}
+
+// key canonicalises the state for visited-set dedup.
+func (s *taintState) key() string {
+	offs := make([]int32, 0, len(s.frame))
+	for off, t := range s.frame {
+		if t {
+			offs = append(offs, off)
+		}
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "r%x|f", s.regs)
+	for _, off := range offs {
+		fmt.Fprintf(&b, "%d,", off)
+	}
+	b.WriteString("|s")
+	for _, t := range s.stack {
+		if t {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// evidence accumulates what the explored paths did with the value.
+type evidence struct {
+	checked    bool
+	propagated bool
+	stored     bool
+}
+
+func (e evidence) class() Class {
+	switch {
+	case e.checked:
+		return ClassChecked
+	case e.propagated:
+		return ClassPropagated
+	case e.stored:
+		return ClassStored
+	default:
+		return ClassClobbered
+	}
+}
+
+// walkItem is one pending (position, state) pair of the forward walk.
+type walkItem struct {
+	block *cfg.Block
+	idx   int // first instruction index to execute
+	st    *taintState
+}
+
+// classifySite runs the forward taint walk from just after the call at
+// instruction index callIdx of block b.
+func classifySite(g *cfg.Graph, b *cfg.Block, callIdx int, maxStates int) (Class, bool) {
+	init := &taintState{}
+	init.setReg(isa.R0, true)
+	var ev evidence
+	exhausted := false
+	visited := make(map[string]bool)
+	expanded := 0
+	work := []walkItem{{block: b, idx: callIdx + 1, st: init}}
+
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		if expanded >= maxStates {
+			exhausted = true
+			break
+		}
+		expanded++
+
+		st := it.st
+		ended := false
+		for i := it.idx; i < it.block.NumInsts(); i++ {
+			if stepTaint(st, it.block.Inst(i), &ev) {
+				ended = true
+				break
+			}
+			if !st.live() {
+				// The value is gone from every tracked location: the
+				// path abandons it (clobbered unless other paths say
+				// otherwise).
+				ended = true
+				break
+			}
+		}
+		if ended || ev.checked {
+			// checked dominates every other class; once seen, no
+			// further exploration can change the outcome.
+			if ev.checked {
+				break
+			}
+			continue
+		}
+		for _, succ := range it.block.Succs {
+			key := fmt.Sprintf("b%d|%s", succ.ID, st.key())
+			if visited[key] {
+				continue
+			}
+			visited[key] = true
+			work = append(work, walkItem{block: succ, idx: 0, st: st.clone()})
+		}
+	}
+	return ev.class(), exhausted
+}
+
+// stepTaint advances one path's taint state over one instruction,
+// recording evidence. It returns true when the path ends (a compare on
+// the tainted value, a return, or a terminator).
+func stepTaint(st *taintState, in isa.Inst, ev *evidence) bool {
+	switch in.Op {
+	case isa.OpCmpRI:
+		if st.reg(in.A) {
+			ev.checked = true
+			return true
+		}
+	case isa.OpCmpRR:
+		if st.reg(in.A) || st.reg(in.B) {
+			ev.checked = true
+			return true
+		}
+	case isa.OpRet:
+		if st.reg(isa.R0) {
+			ev.propagated = true
+		}
+		return true
+	case isa.OpHalt:
+		return true
+	case isa.OpJmpI:
+		// Computed jump; if it keys on the value, the value escaped our
+		// model. Either way the path is unfollowable.
+		if st.reg(in.A) {
+			ev.stored = true
+		}
+		return true
+	case isa.OpMovRI, isa.OpLea, isa.OpTLSBase, isa.OpDlNext:
+		st.setReg(in.A, false)
+	case isa.OpMovRR:
+		st.setReg(in.A, st.reg(in.B))
+	case isa.OpLoad, isa.OpLoadB:
+		if in.B == isa.BP {
+			st.setReg(in.A, st.frame[in.Imm])
+		} else {
+			// Loading *through* the value (unchecked pointer deref)
+			// yields pointee bytes, not the value itself.
+			st.setReg(in.A, false)
+		}
+	case isa.OpStoreR, isa.OpStoreB:
+		if in.A == isa.BP {
+			if st.reg(in.B) && st.frame == nil {
+				st.frame = make(map[int32]bool, 4)
+			}
+			if st.reg(in.B) && len(st.frame) >= maxFrameSlots && !st.frame[in.Imm] {
+				// Spill table full: the value escapes the bounded model.
+				ev.stored = true
+			} else if st.frame != nil {
+				st.frame[in.Imm] = st.reg(in.B)
+			}
+		} else if st.reg(in.B) {
+			// Stored to a global or through a pointer: fate unknown.
+			ev.stored = true
+		}
+	case isa.OpStoreI:
+		if in.A == isa.BP && st.frame != nil {
+			st.frame[in.StoreIDisp()] = false
+		}
+	case isa.OpPushR:
+		if len(st.stack) >= maxOpStack {
+			if st.reg(in.A) {
+				ev.stored = true
+			}
+		} else {
+			st.stack = append(st.stack, st.reg(in.A))
+		}
+	case isa.OpPushI:
+		if len(st.stack) < maxOpStack {
+			st.stack = append(st.stack, false)
+		}
+	case isa.OpPopR:
+		if n := len(st.stack); n > 0 {
+			st.setReg(in.A, st.stack[n-1])
+			st.stack = st.stack[:n-1]
+		} else {
+			st.setReg(in.A, false)
+		}
+	case isa.OpXorRR:
+		if in.A == in.B {
+			st.setReg(in.A, false) // zeroing idiom kills the taint
+		} else {
+			st.setReg(in.A, st.reg(in.A) || st.reg(in.B))
+		}
+	case isa.OpAddRR, isa.OpSubRR, isa.OpMulRR, isa.OpDivRR, isa.OpModRR,
+		isa.OpAndRR, isa.OpOrRR:
+		st.setReg(in.A, st.reg(in.A) || st.reg(in.B))
+	case isa.OpAddRI, isa.OpSubRI, isa.OpAndRI, isa.OpOrRI, isa.OpXorRI,
+		isa.OpShlRI, isa.OpShrRI, isa.OpNeg, isa.OpNot:
+		// Derived values keep the taint: `n + 1 < 9` still checks n.
+	case isa.OpCall, isa.OpCallR, isa.OpSyscall:
+		// Arguments pushed for the callee are consumed by it; a tainted
+		// argument escapes into the callee (used, but whether it is
+		// examined is beyond this function).
+		for _, t := range st.stack {
+			if t {
+				ev.stored = true
+				break
+			}
+		}
+		st.stack = st.stack[:0]
+		if in.Op == isa.OpSyscall &&
+			(st.reg(isa.R1) || st.reg(isa.R2) || st.reg(isa.R3)) {
+			ev.stored = true
+		}
+		// Caller-saved registers are clobbered by the callee.
+		st.setReg(isa.R0, false)
+		st.setReg(isa.R1, false)
+		st.setReg(isa.R2, false)
+		st.setReg(isa.R3, false)
+	}
+	return false
+}

@@ -1,0 +1,60 @@
+package audit_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lfi/internal/audit"
+	"lfi/internal/corpus"
+	"lfi/internal/obj"
+)
+
+// FuzzAudit audits generated MiniC guests: for any corpus seed the
+// classification must not panic, must be deterministic, and must assign
+// every discovered call site exactly one valid class.
+func FuzzAudit(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 20090629} {
+		f.Add(seed, 6)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, nfuncs int) {
+		if nfuncs < 1 || nfuncs > 24 {
+			t.Skip("function count out of the generator's useful range")
+		}
+		lib, err := corpus.Generate(corpus.Traits{
+			Name: "fuzzed.so", Seed: seed, NumFuncs: nfuncs,
+		})
+		if err != nil {
+			t.Skip("generator rejected the traits")
+		}
+		var targets []string
+		for _, sym := range lib.Object.Funcs() {
+			targets = append(targets, sym.Name)
+		}
+		res, err := audit.Analyze([]*obj.File{lib.Object}, targets, audit.Options{})
+		if err != nil {
+			t.Fatalf("audit: %v", err)
+		}
+		valid := map[audit.Class]bool{
+			audit.ClassChecked: true, audit.ClassStored: true,
+			audit.ClassPropagated: true, audit.ClassClobbered: true,
+		}
+		seen := make(map[string]bool, len(res.Sites))
+		for _, s := range res.Sites {
+			if !valid[s.Class] {
+				t.Errorf("site %s has invalid class %q", s, s.Class)
+			}
+			key := fmt.Sprintf("%s@%d", s.Module, s.Off)
+			if seen[key] {
+				t.Errorf("call site %s classified more than once", key)
+			}
+			seen[key] = true
+		}
+		again, err := audit.Analyze([]*obj.File{lib.Object}, targets, audit.Options{})
+		if err != nil {
+			t.Fatalf("audit (2nd run): %v", err)
+		}
+		if res.Render() != again.Render() {
+			t.Error("audit of the same binary is not deterministic")
+		}
+	})
+}

@@ -41,6 +41,13 @@ type Record struct {
 	ExitCode int32  `json:"exit_code"`
 	Signal   int32  `json:"signal,omitempty"`
 
+	// AuditClass is the caller-side audit classification of the target
+	// function's most fragile call site (internal/audit), carried so
+	// triage can separate statically predicted failures from surprises.
+	// Empty when the sweep ran without an audit — pre-audit stores parse
+	// (and resume) unchanged.
+	AuditClass string `json:"audit_class,omitempty"`
+
 	// Triage payload.
 	Injections int      `json:"injections,omitempty"`
 	LogDigest  string   `json:"log_digest,omitempty"`
@@ -81,6 +88,8 @@ func NewRecord(exp *core.Experiment, entry core.SweepEntry, rep *core.Report) Re
 		Outcome:  string(entry.Outcome),
 		ExitCode: entry.ExitCode,
 		Signal:   entry.Signal,
+
+		AuditClass: exp.Audit,
 
 		Avail:       string(entry.Avail),
 		AvailBefore: entry.AvailBefore,

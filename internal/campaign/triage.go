@@ -22,6 +22,12 @@ type Cluster struct {
 	// Avail is the availability class shared by the cluster's members;
 	// empty for plain crash clusters.
 	Avail string
+	// Audit is the caller-side audit class shared by the cluster's
+	// members (empty when the campaign ran without an audit). Crashes of
+	// statically unchecked targets cluster apart from surprises — a
+	// crash the audit did not predict — so the surprises, the ones that
+	// defeat the static lint, surface on their own.
+	Audit string
 	// CrashStack is the representative backtrace, innermost frame first
 	// (taken from the lexicographically smallest member key, so it is
 	// deterministic across runs).
@@ -62,6 +68,16 @@ func triageHash(r Record) string {
 	if core.Outcome(r.Outcome) != core.OutcomeCrash {
 		return ""
 	}
+	// Audited campaigns split crash clusters by whether the static audit
+	// predicted the failure: an unchecked call site crashing is the lint
+	// confirmed, a checked/stored one crashing is a surprise worth its
+	// own line at the top of the triage report.
+	if r.AuditClass != "" {
+		if core.AuditUnchecked(r.AuditClass) {
+			return "predicted:" + stack
+		}
+		return "surprise:" + stack
+	}
 	return stack
 }
 
@@ -90,7 +106,7 @@ func Triage(recs []Record) []Cluster {
 	out := make([]Cluster, 0, len(byHash))
 	for h, members := range byHash {
 		sort.Slice(members, func(i, j int) bool { return members[i].Key < members[j].Key })
-		c := Cluster{StackHash: h, Avail: members[0].Avail, Reach: len(members), Members: members}
+		c := Cluster{StackHash: h, Avail: members[0].Avail, Audit: members[0].AuditClass, Reach: len(members), Members: members}
 		for _, m := range members {
 			c.Keys = append(c.Keys, m.Key)
 		}
@@ -125,12 +141,17 @@ func RenderClusters(clusters []Cluster) string {
 			if m.Fault != "" {
 				fault = fmt.Sprintf("%s.%s %s", m.Library, m.Function, m.Fault)
 			}
+			var line string
 			if m.Avail != "" {
-				fmt.Fprintf(&b, "    %-40s avail=%s served=%d/%d/%d\n",
+				line = fmt.Sprintf("    %-40s avail=%s served=%d/%d/%d",
 					fault, m.Avail, m.AvailBefore, m.AvailDuring, m.AvailAfter)
 			} else {
-				fmt.Fprintf(&b, "    %-40s signal=%d\n", fault, m.Signal)
+				line = fmt.Sprintf("    %-40s signal=%d", fault, m.Signal)
 			}
+			if m.AuditClass != "" {
+				line += " audit=" + m.AuditClass
+			}
+			b.WriteString(line + "\n")
 		}
 	}
 	return b.String()

@@ -321,3 +321,88 @@ func TestTriageAvailabilityClusters(t *testing.T) {
 		}
 	}
 }
+
+// TestTriagePredictedVsSurprise: crash records carrying an audit class
+// split into predicted (the static lint fired) and surprise clusters,
+// even when the crash stacks hash alike; pre-audit records are
+// untouched.
+func TestTriagePredictedVsSurprise(t *testing.T) {
+	recs := []campaign.Record{
+		{Key: "p1", Library: "l", Function: "malloc", Outcome: "crash", Signal: 11,
+			StackHash: "aaaa", CrashStack: []string{"malloc", "main"},
+			AuditClass: "unchecked-clobbered"},
+		{Key: "p2", Library: "l", Function: "read", Outcome: "crash", Signal: 11,
+			StackHash: "aaaa", CrashStack: []string{"malloc", "main"},
+			AuditClass: "unchecked-propagated"},
+		{Key: "s1", Library: "l", Function: "open", Outcome: "crash", Signal: 11,
+			StackHash: "aaaa", CrashStack: []string{"malloc", "main"},
+			AuditClass: "checked"},
+		// No audit ran for this record: classic stack-only clustering.
+		{Key: "n1", Library: "l", Function: "write", Outcome: "crash", Signal: 11,
+			StackHash: "aaaa", CrashStack: []string{"malloc", "main"}},
+	}
+	clusters := campaign.Triage(recs)
+	if len(clusters) != 3 {
+		t.Fatalf("want predicted/surprise/plain clusters, got %+v", clusters)
+	}
+	byHash := make(map[string]campaign.Cluster, len(clusters))
+	for _, c := range clusters {
+		byHash[c.StackHash] = c
+	}
+	pred, ok := byHash["predicted:aaaa"]
+	if !ok || pred.Reach != 2 {
+		t.Errorf("predicted cluster = %+v", byHash)
+	}
+	if pred.Audit == "" {
+		t.Errorf("predicted cluster lacks audit class: %+v", pred)
+	}
+	if c, ok := byHash["surprise:aaaa"]; !ok || c.Reach != 1 || c.Audit != "checked" {
+		t.Errorf("surprise cluster = %+v", c)
+	}
+	if c, ok := byHash["aaaa"]; !ok || c.Reach != 1 {
+		t.Errorf("plain cluster = %+v", c)
+	}
+	out := campaign.RenderClusters(clusters)
+	for _, want := range []string{
+		"[predicted:aaaa]", "[surprise:aaaa]",
+		"audit=unchecked-clobbered", "audit=checked",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSweepStoreCarriesAudit: annotated experiments persist their audit
+// class and the round-tripped record keeps it.
+func TestSweepStoreCarriesAudit(t *testing.T) {
+	cfg, set := mixedTarget(t)
+	exps := core.PlanExperiments(set)
+	core.AnnotateAudit(exps, map[string]string{"malloc": "unchecked-clobbered"})
+	dir := t.TempDir()
+	s, err := campaign.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := campaign.Sweep(cfg, exps, 0, core.SweepOptions{Workers: 2}, s, false); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range s.Records() {
+		switch r.Function {
+		case "malloc":
+			if r.AuditClass != "unchecked-clobbered" {
+				t.Errorf("malloc record audit_class = %q", r.AuditClass)
+			}
+			found = true
+		default:
+			if r.AuditClass != "" {
+				t.Errorf("%s record has stray audit_class %q", r.Function, r.AuditClass)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no malloc record in store")
+	}
+}

@@ -176,6 +176,12 @@ func (l *LFI) ProfileApplication(appName string) (profile.Set, error) {
 // states expanded) for the §6.2 efficiency measurements.
 func (l *LFI) Stats() profiler.Stats { return l.prof.Stats() }
 
+// Diagnostics reports per-function analysis-budget exhaustion — one
+// line per exported function whose return-origin search was truncated
+// at MaxStates or whose dependent calls were cut at the recursion
+// depth bound. Empty when every profile is budget-complete.
+func (l *LFI) Diagnostics() []string { return l.prof.Diagnostics() }
+
 // CampaignConfig describes one fault-injection experiment.
 type CampaignConfig struct {
 	// Programs are the executable and all libraries it needs.

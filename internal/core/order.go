@@ -1,0 +1,62 @@
+package core
+
+import "sort"
+
+// This file is the bridge between the caller-side audit (internal/audit)
+// and the sweep scheduler: the audit's per-function classification
+// becomes an execution-order permutation (SweepOptions.ExecOrder) that
+// fronts the statically fragile experiments, while plan-order
+// reassembly keeps the full-sweep report byte-identical to the default
+// order. The class map is passed as plain strings so core does not
+// depend on the audit package.
+
+// Audit class ranks, mirroring audit.Rank: lower runs earlier. Unknown
+// classes (functions with no discovered call site) sit between stored
+// and checked — no static evidence either way.
+func auditRank(class string) int {
+	switch class {
+	case "unchecked-clobbered":
+		return 0
+	case "unchecked-propagated":
+		return 1
+	case "stored":
+		return 2
+	case "checked":
+		return 4
+	}
+	return 3
+}
+
+// AuditUnchecked reports whether a class string asserts the call site
+// never examines the return value.
+func AuditUnchecked(class string) bool {
+	return class == "unchecked-clobbered" || class == "unchecked-propagated"
+}
+
+// AnnotateAudit stamps each experiment with the audit class of its
+// target function, so campaign records (and triage) carry the static
+// prediction alongside the dynamic outcome. Functions absent from the
+// class map stay unannotated ("unknown").
+func AnnotateAudit(exps []Experiment, class map[string]string) {
+	for i := range exps {
+		exps[i].Audit = class[exps[i].Function]
+	}
+}
+
+// StaticOrder builds the audit-prioritised execution order: experiments
+// whose target function has the most fragile call sites run first
+// (unchecked-clobbered, unchecked-propagated, stored, unknown, checked),
+// ties broken by plan index so the permutation is deterministic. The
+// returned slice is a permutation of [0, len(exps)) for
+// SweepOptions.ExecOrder; the committed report remains in plan order.
+func StaticOrder(exps []Experiment, class map[string]string) []int {
+	order := make([]int, len(exps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return auditRank(class[exps[order[a]].Function]) <
+			auditRank(class[exps[order[b]].Function])
+	})
+	return order
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"lfi/internal/profile"
@@ -80,6 +81,17 @@ type SweepOptions struct {
 	// truncates exactly where a fresh one would. Called from worker
 	// goroutines — implementations must be safe for concurrent use.
 	Skip func(exp *Experiment) (SweepEntry, bool)
+	// ExecOrder, when non-nil, is a permutation of [0, len(exps))
+	// giving the order experiments are dispatched AND committed in —
+	// the audit-prioritised schedule of `lfi sweep -order=static`
+	// (core.StaticOrder), where faultloads targeting unchecked call
+	// sites run first so crash clusters surface early under MaxCrashes.
+	// Early-stop thresholds count outcomes in execution order and
+	// truncate there; a completed sweep's entries are reassembled into
+	// plan order before the result is returned, so the full-sweep
+	// report is byte-identical to the default (nil) order at any worker
+	// count. A non-permutation is rejected.
+	ExecOrder []int
 	// OnResult, when non-nil, observes every freshly-executed experiment
 	// from the worker goroutine that ran it — the live feed persistent
 	// stores append to, firing as results complete (before plan-order
@@ -131,6 +143,19 @@ func SweepParallel(cfg CampaignConfig, set profile.Set, budget uint64, workers i
 func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts SweepOptions) (*SweepResult, error) {
 	if budget == 0 {
 		budget = DefaultSweepBudget
+	}
+	// pos maps commit position -> plan index under the optional
+	// execution-order permutation (identity when unset).
+	if opts.ExecOrder != nil {
+		if err := checkPermutation(opts.ExecOrder, len(exps)); err != nil {
+			return nil, err
+		}
+	}
+	pos := func(k int) int {
+		if opts.ExecOrder != nil {
+			return opts.ExecOrder[k]
+		}
+		return k
 	}
 	// A matrix that intercepts nothing — empty, or experiments whose
 	// faultloads name no functions — has nothing a snapshot would
@@ -226,15 +251,17 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 
 	collect := newCollector(res, len(exps), opts)
 	if workers <= 1 {
-		for _, exp := range exps {
-			entry, served, err := run(exp)
+		for k := range exps {
+			i := pos(k)
+			entry, served, err := run(exps[i])
 			if err != nil {
 				return nil, err
 			}
-			if collect.commit(entry, served) {
+			if collect.commit(i, entry, served) {
 				break
 			}
 		}
+		collect.reassemble()
 		return res, nil
 	}
 
@@ -264,12 +291,13 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 		}
 	}()
 
-	// Dispatcher: feeds the plan in order until done or halted.
+	// Dispatcher: feeds the plan in execution order until done or halted.
 	go func() {
 		defer close(jobs)
-		for i, exp := range exps {
+		for k := range exps {
+			i := pos(k)
 			select {
-			case jobs <- job{idx: i, exp: exp}:
+			case jobs <- job{idx: i, exp: exps[i]}:
 			case <-stop:
 				return
 			}
@@ -298,18 +326,20 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 		close(results)
 	}()
 
-	// Collector: re-order completions into plan order so the report is
-	// independent of scheduling. Errors are buffered like entries and
-	// surfaced in plan order too — an error from a plan-order-later
-	// experiment must not preempt an earlier early stop, or the sweep
-	// would fail at some worker counts and succeed at others.
+	// Collector: re-order completions into execution order so the report
+	// is independent of scheduling (plan order unless ExecOrder permutes
+	// it; reassemble below restores plan order either way). Errors are
+	// buffered like entries and surfaced in execution order too — an
+	// error from a later experiment must not preempt an earlier early
+	// stop, or the sweep would fail at some worker counts and succeed at
+	// others.
 	pending := make(map[int]outcome, workers)
 	next := 0
 	for r := range results {
 		pending[r.idx] = r
 		stopped := false
-		for {
-			o, ok := pending[next]
+		for next < len(exps) {
+			o, ok := pending[pos(next)]
 			if !ok {
 				break
 			}
@@ -317,9 +347,9 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 				halt()
 				return nil, o.err
 			}
-			delete(pending, next)
+			delete(pending, pos(next))
 			next++
-			if collect.commit(o.entry, o.served) {
+			if collect.commit(o.idx, o.entry, o.served) {
 				stopped = true
 				break
 			}
@@ -329,7 +359,23 @@ func RunExperiments(cfg CampaignConfig, exps []Experiment, budget uint64, opts S
 			break
 		}
 	}
+	collect.reassemble()
 	return res, nil
+}
+
+// checkPermutation validates an ExecOrder against the plan size.
+func checkPermutation(order []int, n int) error {
+	if len(order) != n {
+		return fmt.Errorf("core: ExecOrder has %d entries for %d experiments", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, i := range order {
+		if i < 0 || i >= n || seen[i] {
+			return fmt.Errorf("core: ExecOrder is not a permutation of the plan")
+		}
+		seen[i] = true
+	}
+	return nil
 }
 
 // collector accumulates in-order entries, drives progress reporting and
@@ -340,18 +386,23 @@ type collector struct {
 	opts   SweepOptions
 	tally  map[Outcome]int
 	served int
+	// idxs records each committed entry's plan index, so reassemble can
+	// restore plan order after a permuted (ExecOrder) execution.
+	idxs []int
 }
 
 func newCollector(res *SweepResult, total int, opts SweepOptions) *collector {
 	return &collector{res: res, total: total, opts: opts, tally: make(map[Outcome]int)}
 }
 
-// commit appends one in-plan-order entry and reports whether the sweep
-// should stop early. served marks entries satisfied without executing a
-// run (resume cache hits, pruned experiments, shared terminal
-// prefixes), tallied separately from executed experiments.
-func (c *collector) commit(entry SweepEntry, served bool) (stop bool) {
+// commit appends one in-execution-order entry (idx is its plan index)
+// and reports whether the sweep should stop early. served marks entries
+// satisfied without executing a run (resume cache hits, pruned
+// experiments, shared terminal prefixes), tallied separately from
+// executed experiments.
+func (c *collector) commit(idx int, entry SweepEntry, served bool) (stop bool) {
 	c.res.Entries = append(c.res.Entries, entry)
+	c.idxs = append(c.idxs, idx)
 	c.tally[entry.Outcome]++
 	if served {
 		c.served++
@@ -367,4 +418,28 @@ func (c *collector) commit(entry SweepEntry, served bool) (stop bool) {
 		})
 	}
 	return c.opts.MaxCrashes > 0 && c.tally[OutcomeCrash] >= c.opts.MaxCrashes
+}
+
+// reassemble sorts the committed entries back into plan order. Under the
+// default schedule commits already arrive in plan order and this is a
+// no-op; under ExecOrder it is what makes a completed permuted sweep's
+// report byte-identical to the default order's.
+func (c *collector) reassemble() {
+	if c.opts.ExecOrder == nil {
+		return
+	}
+	sort.Sort(&byPlanIndex{entries: c.res.Entries, idxs: c.idxs})
+}
+
+// byPlanIndex sorts entries and their plan indices together.
+type byPlanIndex struct {
+	entries []SweepEntry
+	idxs    []int
+}
+
+func (s *byPlanIndex) Len() int           { return len(s.idxs) }
+func (s *byPlanIndex) Less(i, j int) bool { return s.idxs[i] < s.idxs[j] }
+func (s *byPlanIndex) Swap(i, j int) {
+	s.entries[i], s.entries[j] = s.entries[j], s.entries[i]
+	s.idxs[i], s.idxs[j] = s.idxs[j], s.idxs[i]
 }

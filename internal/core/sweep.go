@@ -159,6 +159,13 @@ type Experiment struct {
 	// Fault labels a degradation fault model (see SweepEntry.Fault);
 	// empty for error-return experiments.
 	Fault string
+	// Audit is the caller-side audit class of the target function's
+	// most fragile call site ("checked", "stored",
+	// "unchecked-propagated", "unchecked-clobbered"; empty = unknown).
+	// Purely an annotation: it rides into campaign records and triage
+	// but is not part of the experiment's identity (Key) or its report
+	// row, so annotated and unannotated sweeps render identically.
+	Audit string
 	// Plan is the faultload for this run. PlanExperiments builds a
 	// deterministic once-on-first-call trigger; hand-built experiments
 	// may use any plan, including seeded random triggers (the per-run

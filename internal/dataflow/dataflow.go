@@ -160,6 +160,7 @@ type Analysis struct {
 	MaxStates int
 	// stats
 	statesExpanded int
+	truncated      bool
 	// feasStack is scratch state for PathFeasible's operand tracking.
 	feasStack []argVal
 }
@@ -170,6 +171,13 @@ const DefaultMaxStates = 4096
 // StatesExpanded reports how many (block, location) product states the
 // last ReturnOrigins call expanded; used by the ablation benchmarks.
 func (a *Analysis) StatesExpanded() int { return a.statesExpanded }
+
+// Truncated reports whether the last ReturnOrigins call hit the
+// MaxStates budget and abandoned part of the product-graph search. A
+// truncated analysis may miss return origins (and thus error codes);
+// callers surface it as a diagnostic rather than silently shipping a
+// partial profile.
+func (a *Analysis) Truncated() bool { return a.truncated }
 
 // Abstract locations tracked by the backward search: registers and
 // BP-relative frame slots (negative offsets = locals and spills; positive
@@ -211,6 +219,7 @@ func (a *Analysis) ReturnOrigins() []Origin {
 		max = DefaultMaxStates
 	}
 	a.statesExpanded = 0
+	a.truncated = false
 
 	var origins []Origin
 	type visitKey struct {
@@ -236,6 +245,7 @@ func (a *Analysis) ReturnOrigins() []Origin {
 		st := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if a.statesExpanded >= max {
+			a.truncated = true
 			break
 		}
 		a.statesExpanded++

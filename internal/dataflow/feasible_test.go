@@ -1,6 +1,8 @@
 package dataflow_test
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -163,5 +165,64 @@ func TestUnknownOperandsStayFeasible(t *testing.T) {
 `)
 	if feas, ok := got[-2]; ok && !feas {
 		t.Error("call results are unconstrained; path must stay feasible")
+	}
+}
+
+// diamondGuardSrc builds a function whose defining block sits behind a
+// contradictory argument guard (a0 > 95 && a0 < 5) with n unconstrained
+// diamonds in between, giving 2^n acyclic entry->def paths — every one
+// of them unsatisfiable.
+func diamondGuardSrc(n int) string {
+	var b strings.Builder
+	b.WriteString(`
+.lib x
+.extern g
+.global f
+.func f
+  push bp
+  mov bp, sp
+  load r0, [bp+8]
+  cmp r0, 95
+  jle .out
+`)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `  call g
+  cmp r0, 1
+  je .b%d
+  jmp .j%d
+.b%d:
+  nop
+.j%d:
+`, i, i, i, i)
+	}
+	b.WriteString(`  load r0, [bp+8]
+  cmp r0, 5
+  jge .out
+  mov r0, -3
+  mov sp, bp
+  pop bp
+  ret
+.out:
+  mov r0, 0
+  mov sp, bp
+  pop bp
+  ret
+`)
+	return b.String()
+}
+
+// TestFeasibilityBudgetConservative: PathFeasible enumerates at most 128
+// candidate paths. Exhausting the budget must fail open — report
+// feasible — so pruning never discards an error code it could not prove
+// away; a small instance of the same contradiction is still pruned.
+func TestFeasibilityBudgetConservative(t *testing.T) {
+	// 2 diamonds: 4 paths, all checked, contradiction proven.
+	if got := feasOrigins(t, diamondGuardSrc(2)); got[-3] {
+		t.Error("4-path contradiction not pruned (budget is not the limit here)")
+	}
+	// 8 diamonds: 256 paths > 128. The DFS gives up with the
+	// contradiction unproven and must conservatively keep the code.
+	if got := feasOrigins(t, diamondGuardSrc(8)); !got[-3] {
+		t.Error("budget exhaustion reported infeasible; must fail open and keep the error code")
 	}
 }

@@ -422,3 +422,64 @@ func TestAvailabilityComparison(t *testing.T) {
 		}
 	}
 }
+
+// TestStaticAuditExperiment pins the audit's headline numbers: the
+// unchecked classification recalls every crashing function, the benign
+// unchecked close is the expected precision hit, and the
+// audit-prioritised order reaches every crash cluster within half the
+// experiment budget the default order needs the whole of.
+func TestStaticAuditExperiment(t *testing.T) {
+	r, err := StaticAudit(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The static classification itself.
+	for fn, want := range map[string]string{
+		"malloc":    "unchecked-clobbered",
+		"cache_get": "unchecked-clobbered",
+		"close":     "unchecked-clobbered",
+		"open":      "checked",
+		"read":      "checked",
+	} {
+		if got := r.Classes[fn]; got != want {
+			t.Errorf("class(%s) = %q, want %q", fn, got, want)
+		}
+	}
+	// Prediction quality: both crashes are predicted (recall 1.0);
+	// close is unchecked-but-benign, the designed false positive.
+	if r.TruePos != 2 || r.FalseNeg != 0 {
+		t.Errorf("confusion TP=%d FN=%d, want TP=2 FN=0", r.TruePos, r.FalseNeg)
+	}
+	if r.FalsePos != 1 {
+		t.Errorf("FP=%d, want 1 (the benign unchecked close)", r.FalsePos)
+	}
+	if r.Recall() != 1.0 {
+		t.Errorf("recall = %v, want 1.0", r.Recall())
+	}
+	// The discovery curve: two distinct crash clusters; static order
+	// must find both within half the budget (the acceptance criterion),
+	// and strictly earlier than plan order.
+	if r.Clusters != 2 {
+		t.Errorf("clusters = %d, want 2 (app malloc + cross-library cache_get)", r.Clusters)
+	}
+	if 2*r.StaticBudget > r.Total {
+		t.Errorf("static order used %d/%d experiments to find all clusters; want <= 50%%",
+			r.StaticBudget, r.Total)
+	}
+	if r.StaticBudget >= r.DefaultBudget {
+		t.Errorf("static order (%d) not earlier than default (%d)", r.StaticBudget, r.DefaultBudget)
+	}
+	// Deterministic across worker counts.
+	seq, err := StaticAudit(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sweep.Render() != seq.Sweep.Render() || r.Audit.Render() != seq.Audit.Render() ||
+		r.DefaultBudget != seq.DefaultBudget || r.StaticBudget != seq.StaticBudget ||
+		r.TruePos != seq.TruePos || r.FalsePos != seq.FalsePos ||
+		r.TrueNeg != seq.TrueNeg || r.FalseNeg != seq.FalseNeg {
+		t.Errorf("results differ across worker counts:\n--- 4 ---\n%s--- 1 ---\n%s",
+			r.Render(), seq.Render())
+	}
+	t.Logf("\n%s", r.Render())
+}

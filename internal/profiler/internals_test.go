@@ -1,6 +1,7 @@
 package profiler_test
 
 import (
+	"strings"
 	"testing"
 
 	"lfi/internal/minic"
@@ -156,5 +157,85 @@ void touch(int a) {
 	fn, _ := p.Lookup("touch")
 	if len(fn.ErrorCodes) != 0 {
 		t.Errorf("void function reported codes: %v", fn.Retvals())
+	}
+}
+
+// TestBudgetDiagnostics: budget-limited analyses are never silent —
+// MaxStates truncation and MaxDepth cuts each surface a per-function
+// diagnostic line and bump the Stats counters.
+func TestBudgetDiagnostics(t *testing.T) {
+	src := `
+static int d0(void) { return -77; }
+static int d1(void) { return d0(); }
+static int d2(void) { return d1(); }
+int deep(int x) {
+  if (x < 0) { return d2(); }
+  return 0;
+}`
+	lib, err := minic.Compile("deep.so", src, obj.Library)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A generous budget: complete analysis, no diagnostics.
+	clean := profiler.New(profiler.Options{})
+	if err := clean.AddLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clean.ProfileLibrary("deep.so"); err != nil {
+		t.Fatal(err)
+	}
+	if d := clean.Diagnostics(); len(d) != 0 {
+		t.Errorf("complete analysis emitted diagnostics: %v", d)
+	}
+	if s := clean.Stats(); s.Truncated != 0 || s.DepthLimited != 0 {
+		t.Errorf("complete analysis counted budget cuts: %+v", s)
+	}
+
+	// MaxStates=1 truncates the product-graph search for every function.
+	tight := profiler.New(profiler.Options{MaxStates: 1})
+	if err := tight.AddLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tight.ProfileLibrary("deep.so"); err != nil {
+		t.Fatal(err)
+	}
+	if s := tight.Stats(); s.Truncated == 0 {
+		t.Errorf("MaxStates=1 not counted as truncation: %+v", s)
+	}
+	diags := tight.Diagnostics()
+	if len(diags) == 0 {
+		t.Fatal("MaxStates truncation produced no diagnostics")
+	}
+	foundDeep := false
+	for _, d := range diags {
+		if strings.Contains(d, "deep.so.deep") && strings.Contains(d, "truncated") {
+			foundDeep = true
+		}
+	}
+	if !foundDeep {
+		t.Errorf("no truncation diagnostic names deep.so.deep: %v", diags)
+	}
+
+	// MaxDepth=2 cuts the dependent chain; the cut is attributed to the
+	// exported function whose analysis triggered it.
+	shallow := profiler.New(profiler.Options{MaxDepth: 2})
+	if err := shallow.AddLibrary(lib); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shallow.ProfileLibrary("deep.so"); err != nil {
+		t.Fatal(err)
+	}
+	if s := shallow.Stats(); s.DepthLimited == 0 {
+		t.Errorf("MaxDepth cut not counted: %+v", s)
+	}
+	foundDepth := false
+	for _, d := range shallow.Diagnostics() {
+		if strings.Contains(d, "deep.so.deep") && strings.Contains(d, "MaxDepth=2") {
+			foundDepth = true
+		}
+	}
+	if !foundDepth {
+		t.Errorf("no depth diagnostic names deep.so.deep: %v", shallow.Diagnostics())
 	}
 }

@@ -24,6 +24,7 @@ package profiler
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"lfi/internal/cfg"
 	"lfi/internal/dataflow"
@@ -63,6 +64,14 @@ type Stats struct {
 	FunctionsAnalyzed  int
 	DependentsAnalyzed int
 	StatesExpanded     int
+	// Truncated counts analyses (exported or dependent) abandoned at the
+	// MaxStates product-graph budget; their profiles may miss error
+	// codes.
+	Truncated int
+	// DepthLimited counts dependent-call resolutions refused at the
+	// MaxDepth recursion bound; the affected origins degrade to
+	// non-constant.
+	DepthLimited int
 }
 
 // Profiler analyses a set of libraries (plus the kernel image) and emits
@@ -73,6 +82,7 @@ type Profiler struct {
 	progs map[string]*disasm.Program
 	memo  map[memoKey]memoVal
 	stats Stats
+	diags []string
 }
 
 type memoKey struct {
@@ -100,6 +110,16 @@ func New(opts Options) *Profiler {
 
 // Stats returns cumulative profiling statistics.
 func (pr *Profiler) Stats() Stats { return pr.stats }
+
+// Diagnostics returns one line per exported function whose analysis was
+// cut short by a budget — MaxStates truncation of the product-graph
+// search, or MaxDepth refusals while resolving its dependent calls. An
+// empty slice means every profile is complete with respect to the
+// configured budgets. The lines accumulate across ProfileLibrary calls
+// in analysis order.
+func (pr *Profiler) Diagnostics() []string {
+	return append([]string(nil), pr.diags...)
+}
 
 // AddLibrary registers (and disassembles) a library so that dependent
 // functions in it can be analysed. The kernel image produced by
@@ -186,9 +206,37 @@ func (pr *Profiler) profileFunction(prog *disasm.Program, libName string, sym ob
 		Resolver:  &resolver{pr: pr, module: libName, depth: 0},
 		MaxStates: pr.opts.MaxStates,
 	}
+	// Budget diagnostics: capture the truncation counters around the
+	// analysis so cuts inside dependent resolutions (which bump the
+	// counters from the resolver) are attributed to this exported
+	// function.
+	depBefore := pr.stats.Truncated
+	depthBefore := pr.stats.DepthLimited
 	origins := an.ReturnOrigins()
 	pr.stats.FunctionsAnalyzed++
 	pr.stats.StatesExpanded += an.StatesExpanded()
+	depTrunc := pr.stats.Truncated - depBefore
+	depthCut := pr.stats.DepthLimited - depthBefore
+	var notes []string
+	if an.Truncated() {
+		pr.stats.Truncated++
+		maxStates := pr.opts.MaxStates
+		if maxStates <= 0 {
+			maxStates = dataflow.DefaultMaxStates
+		}
+		notes = append(notes, fmt.Sprintf("return-origin search truncated at %d states (MaxStates=%d)",
+			an.StatesExpanded(), maxStates))
+	}
+	if depTrunc > 0 {
+		notes = append(notes, fmt.Sprintf("%d dependent analysis(es) truncated", depTrunc))
+	}
+	if depthCut > 0 {
+		notes = append(notes, fmt.Sprintf("%d dependent call(s) cut at MaxDepth=%d", depthCut, pr.opts.MaxDepth))
+	}
+	if len(notes) > 0 {
+		pr.diags = append(pr.diags, fmt.Sprintf("%s.%s: %s — profile may be missing error codes",
+			libName, sym.Name, strings.Join(notes, "; ")))
+	}
 
 	// Group side effects by return value.
 	type entry struct {
@@ -334,6 +382,7 @@ var _ dataflow.Resolver = (*resolver)(nil)
 // and other libraries called by the current one" — plus the kernel).
 func (r *resolver) ReturnConstants(ref dataflow.CalleeRef) ([]int32, bool) {
 	if r.depth >= r.pr.opts.MaxDepth {
+		r.pr.stats.DepthLimited++
 		return nil, false
 	}
 	switch ref.Kind {
@@ -415,6 +464,9 @@ func (pr *Profiler) returnConstants(module string, off int32, depth int) ([]int3
 		}
 	}
 	pr.stats.StatesExpanded += an.StatesExpanded()
+	if an.Truncated() {
+		pr.stats.Truncated++
+	}
 	sort.Slice(consts, func(i, j int) bool { return consts[i] < consts[j] })
 	pr.memo[key] = memoVal{consts: consts, done: true}
 	return consts, true
